@@ -1,0 +1,113 @@
+// Fig. 5 reproduction: feature extraction + feature-vector composition time
+// as a function of the number of transactions in a 1-minute window.
+//
+// The paper sweeps from the observed median (54) to the maximum (6,048)
+// transactions per window and reports linear growth, staying under 1 second
+// at the maximum.  We benchmark the same sweep and fit a line to verify
+// linearity (R^2) and check the 1-second budget.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "features/window.h"
+#include "synthetic/generator.h"
+#include "util/stats.h"
+
+using namespace wtp;
+
+namespace {
+
+struct Fixture {
+  synthetic::EnterpriseTrace trace;
+  features::FeatureSchema schema{{}, {}, {}, {}};
+
+  static const Fixture& get() {
+    static const Fixture fixture = [] {
+      bench::BenchOptions options;
+      options.weeks = 2;
+      options.scale = 0.3;
+      Fixture f{bench::make_trace(options), {{}, {}, {}, {}}};
+      f.schema = features::FeatureSchema::from_transactions(f.trace.transactions);
+      return f;
+    }();
+    return fixture;
+  }
+};
+
+/// Builds a 1-minute burst of `count` transactions by replaying scripted
+/// page views from one user.
+std::vector<log::WebTransaction> window_burst(std::size_t count) {
+  const auto& fixture = Fixture::get();
+  util::Rng rng{count * 2654435761ULL + 17};
+  std::vector<log::WebTransaction> txns;
+  while (txns.size() < count) {
+    synthetic::SessionSpec spec;
+    spec.user_index = txns.size() % fixture.trace.users.size();
+    spec.device_index = 0;
+    spec.start = fixture.trace.config.start_time;
+    spec.duration_minutes = 1.0;
+    synthetic::generate_session(fixture.trace, spec, rng, txns);
+  }
+  txns.resize(count);
+  // Compress all timestamps into one 60-second window.
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    txns[i].timestamp =
+        fixture.trace.config.start_time + static_cast<util::UnixSeconds>(i % 60);
+  }
+  std::sort(txns.begin(), txns.end(), [](const auto& a, const auto& b) {
+    return a.timestamp < b.timestamp;
+  });
+  return txns;
+}
+
+void BM_FeatureComposition(benchmark::State& state) {
+  const auto& fixture = Fixture::get();
+  const features::WindowAggregator aggregator{fixture.schema, {60, 30}};
+  const auto txns = window_burst(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregator.aggregate_single(txns));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+// The paper's sweep: median 54 up to the maximum 6048 transactions/window.
+BENCHMARK(BM_FeatureComposition)->Arg(54)->Arg(256)->Arg(1024)->Arg(3000)->Arg(6048);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Explicit linearity check (Fig. 5's shape claim).
+  const auto& fixture = Fixture::get();
+  const features::WindowAggregator aggregator{fixture.schema, {60, 30}};
+  std::vector<double> counts;
+  std::vector<double> seconds;
+  std::printf("\nFig. 5 — composition time vs transactions per 1-minute window\n");
+  for (const std::size_t count : {54u, 500u, 1000u, 2000u, 4000u, 6048u}) {
+    const auto txns = window_burst(count);
+    // Best of 5 runs to suppress scheduler noise.
+    double best = 1e9;
+    for (int run = 0; run < 5; ++run) {
+      util::Stopwatch stopwatch;
+      benchmark::DoNotOptimize(aggregator.aggregate_single(txns));
+      best = std::min(best, stopwatch.elapsed_seconds());
+    }
+    counts.push_back(static_cast<double>(count));
+    seconds.push_back(best);
+    std::printf("  %5zu transactions: %8.3f ms\n", count, best * 1e3);
+  }
+  const util::LinearFit fit = util::linear_fit(counts, seconds);
+  std::printf("linear fit: %.3f us/transaction, R^2 = %.4f\n",
+              fit.slope * 1e6, fit.r_squared);
+  const bool linear = fit.r_squared > 0.95;
+  const bool under_budget = seconds.back() < 1.0;
+  std::printf("shape check (linear growth, R^2 > 0.95): %s\n",
+              linear ? "PASS" : "FAIL");
+  std::printf("shape check (max window composed < 1s): %s\n",
+              under_budget ? "PASS" : "FAIL");
+  return linear && under_budget ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+#include "baseline/flow.h"
+
+#include <algorithm>
+
+namespace wtp::baseline {
+
+std::vector<FlowRecord> transactions_to_flows(
+    std::span<const log::WebTransaction> txns, util::UnixSeconds flow_timeout_s) {
+  std::vector<FlowRecord> flows;
+  for (const auto& txn : txns) {
+    const bool continues = !flows.empty() &&
+                           flows.back().destination == txn.url &&
+                           txn.timestamp - flows.back().end <= flow_timeout_s;
+    if (continues) {
+      flows.back().end = txn.timestamp;
+      ++flows.back().transaction_count;
+      continue;
+    }
+    FlowRecord flow;
+    flow.start = txn.timestamp;
+    flow.end = txn.timestamp;
+    flow.destination = txn.url;
+    flow.transaction_count = 1;
+    flow.gap_before = flows.empty() ? 0 : std::max<util::UnixSeconds>(
+                                              0, txn.timestamp - flows.back().end);
+    flow.https = txn.scheme == log::UriScheme::kHttps;
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+namespace {
+
+template <typename T>
+std::size_t bucket_of(T value, const std::vector<T>& bounds) noexcept {
+  std::size_t b = 0;
+  while (b < bounds.size() && value > bounds[b]) ++b;
+  return b;
+}
+
+}  // namespace
+
+FlowQuantizer::FlowQuantizer(std::vector<util::UnixSeconds> duration_bounds,
+                             std::vector<std::size_t> count_bounds,
+                             std::vector<util::UnixSeconds> gap_bounds)
+    : duration_bounds_{std::move(duration_bounds)},
+      count_bounds_{std::move(count_bounds)},
+      gap_bounds_{std::move(gap_bounds)} {}
+
+std::size_t FlowQuantizer::num_symbols() const noexcept {
+  return (duration_bounds_.size() + 1) * (count_bounds_.size() + 1) *
+         (gap_bounds_.size() + 1) * 2;
+}
+
+std::size_t FlowQuantizer::symbol(const FlowRecord& flow) const noexcept {
+  const std::size_t duration_bucket = bucket_of(flow.duration(), duration_bounds_);
+  const std::size_t count_bucket = bucket_of(flow.transaction_count, count_bounds_);
+  const std::size_t gap_bucket = bucket_of(flow.gap_before, gap_bounds_);
+  const std::size_t scheme_bucket = flow.https ? 1 : 0;
+  std::size_t symbol = duration_bucket;
+  symbol = symbol * (count_bounds_.size() + 1) + count_bucket;
+  symbol = symbol * (gap_bounds_.size() + 1) + gap_bucket;
+  symbol = symbol * 2 + scheme_bucket;
+  return symbol;
+}
+
+std::vector<std::size_t> FlowQuantizer::symbolize(
+    std::span<const FlowRecord> flows) const {
+  std::vector<std::size_t> symbols;
+  symbols.reserve(flows.size());
+  for (const auto& flow : flows) symbols.push_back(symbol(flow));
+  return symbols;
+}
+
+}  // namespace wtp::baseline

@@ -1,0 +1,60 @@
+// Reduction of web transactions to coarse IP-flow-like records and their
+// quantization into discrete symbols.
+//
+// State-of-the-art user profiling before this paper (Verde et al., ICDCS'14)
+// fingerprints users from NetFlow records alone: per-flow packet counts,
+// durations and inter-flow gaps, with no content information.  To reproduce
+// that baseline on our traces we degrade each transaction stream to what
+// NetFlow would have seen: consecutive requests to the same destination
+// within a timeout collapse into one flow carrying only volume/timing
+// features.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "log/transaction.h"
+#include "util/time.h"
+
+namespace wtp::baseline {
+
+struct FlowRecord {
+  util::UnixSeconds start = 0;
+  util::UnixSeconds end = 0;
+  std::string destination;            ///< stands in for the dst IP
+  std::size_t transaction_count = 0;  ///< stands in for the packet count
+  util::UnixSeconds gap_before = 0;   ///< gap to the previous flow (0 for first)
+  bool https = false;
+
+  [[nodiscard]] util::UnixSeconds duration() const noexcept { return end - start; }
+};
+
+/// Collapses a time-sorted single-user/host transaction sequence into flows:
+/// a new flow starts when the destination changes or the inter-transaction
+/// gap exceeds `flow_timeout_s`.
+[[nodiscard]] std::vector<FlowRecord> transactions_to_flows(
+    std::span<const log::WebTransaction> txns, util::UnixSeconds flow_timeout_s);
+
+/// Maps flows to discrete HMM symbols by bucketing duration, transaction
+/// count, inter-flow gap and scheme — the feature set of the NetFlow
+/// baseline.
+class FlowQuantizer {
+ public:
+  /// Bucket upper bounds (inclusive); one extra overflow bucket is implied.
+  FlowQuantizer(std::vector<util::UnixSeconds> duration_bounds = {2, 10, 60},
+                std::vector<std::size_t> count_bounds = {2, 8, 32},
+                std::vector<util::UnixSeconds> gap_bounds = {5, 60, 600});
+
+  [[nodiscard]] std::size_t num_symbols() const noexcept;
+  [[nodiscard]] std::size_t symbol(const FlowRecord& flow) const noexcept;
+  [[nodiscard]] std::vector<std::size_t> symbolize(
+      std::span<const FlowRecord> flows) const;
+
+ private:
+  std::vector<util::UnixSeconds> duration_bounds_;
+  std::vector<std::size_t> count_bounds_;
+  std::vector<util::UnixSeconds> gap_bounds_;
+};
+
+}  // namespace wtp::baseline

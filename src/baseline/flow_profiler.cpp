@@ -1,0 +1,75 @@
+#include "baseline/flow_profiler.h"
+
+#include <limits>
+
+namespace wtp::baseline {
+
+FlowProfiler::FlowProfiler(FlowProfilerConfig config) : config_{std::move(config)} {}
+
+std::vector<std::vector<std::size_t>> FlowProfiler::sessionize(
+    std::span<const log::WebTransaction> txns) const {
+  const std::vector<FlowRecord> flows =
+      transactions_to_flows(txns, config_.flow_timeout_s);
+  std::vector<std::vector<std::size_t>> sequences;
+  for (const auto& flow : flows) {
+    if (sequences.empty() || flow.gap_before > config_.session_gap_s) {
+      sequences.emplace_back();
+    }
+    sequences.back().push_back(config_.quantizer.symbol(flow));
+  }
+  return sequences;
+}
+
+void FlowProfiler::train(
+    const std::map<std::string, std::vector<log::WebTransaction>>& by_user) {
+  models_.clear();
+  for (const auto& [user, txns] : by_user) {
+    const auto sequences = sessionize(txns);
+    if (sequences.empty()) continue;
+    models_.emplace(user,
+                    hmm::DiscreteHmm::train(sequences, config_.hmm_states,
+                                            config_.quantizer.num_symbols(),
+                                            config_.train));
+  }
+}
+
+std::optional<double> FlowProfiler::score(
+    const std::string& user, std::span<const log::WebTransaction> txns) const {
+  const auto it = models_.find(user);
+  if (it == models_.end()) return std::nullopt;
+  const auto sequences = sessionize(txns);
+  double total = 0.0;
+  std::size_t symbols = 0;
+  for (const auto& sequence : sequences) {
+    total += it->second.log_likelihood(sequence);
+    symbols += sequence.size();
+  }
+  if (symbols == 0) return std::nullopt;
+  return total / static_cast<double>(symbols);
+}
+
+std::string FlowProfiler::identify(std::span<const log::WebTransaction> txns) const {
+  std::string best_user;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& [user, model] : models_) {
+    (void)model;
+    const auto user_score = score(user, txns);
+    if (user_score && *user_score > best_score) {
+      best_score = *user_score;
+      best_user = user;
+    }
+  }
+  return best_user;
+}
+
+std::vector<std::string> FlowProfiler::users() const {
+  std::vector<std::string> users;
+  users.reserve(models_.size());
+  for (const auto& [user, model] : models_) {
+    (void)model;
+    users.push_back(user);
+  }
+  return users;
+}
+
+}  // namespace wtp::baseline

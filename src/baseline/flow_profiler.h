@@ -1,0 +1,58 @@
+// Verde-style NetFlow baseline profiler: one discrete HMM per user over
+// quantized flow symbols; identification by maximum mean log-likelihood.
+//
+// Used by ablation A4 to reproduce the paper's qualitative comparison: flow
+// records carry so little signal that reliable identification needs hours
+// of observation, while transaction-window profiles need minutes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baseline/flow.h"
+#include "hmm/discrete_hmm.h"
+#include "log/transaction.h"
+
+namespace wtp::baseline {
+
+struct FlowProfilerConfig {
+  util::UnixSeconds flow_timeout_s = 30;
+  std::size_t hmm_states = 4;
+  /// Training sequences are flows chunked into sessions separated by gaps
+  /// longer than this (a long gap means the user left).
+  util::UnixSeconds session_gap_s = 1800;
+  hmm::HmmTrainConfig train;
+  FlowQuantizer quantizer{};
+};
+
+class FlowProfiler {
+ public:
+  explicit FlowProfiler(FlowProfilerConfig config = {});
+
+  /// Trains one HMM per user from that user's (time-sorted) transactions.
+  /// Users whose trace yields no flows are skipped.
+  void train(const std::map<std::string, std::vector<log::WebTransaction>>& by_user);
+
+  /// Mean log-likelihood of the observation under `user`'s model; nullopt
+  /// when the user is unknown or the observation yields no flows.
+  [[nodiscard]] std::optional<double> score(
+      const std::string& user, std::span<const log::WebTransaction> txns) const;
+
+  /// Most likely user for an observation window; empty when undecidable.
+  [[nodiscard]] std::string identify(std::span<const log::WebTransaction> txns) const;
+
+  [[nodiscard]] std::vector<std::string> users() const;
+  [[nodiscard]] bool trained() const noexcept { return !models_.empty(); }
+
+ private:
+  [[nodiscard]] std::vector<std::vector<std::size_t>> sessionize(
+      std::span<const log::WebTransaction> txns) const;
+
+  FlowProfilerConfig config_;
+  std::map<std::string, hmm::DiscreteHmm> models_;
+};
+
+}  // namespace wtp::baseline

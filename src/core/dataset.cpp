@@ -1,0 +1,106 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wtp::core {
+
+ProfilingDataset::ProfilingDataset(std::vector<log::WebTransaction> transactions,
+                                   DatasetConfig config)
+    : config_{config} {
+  if (config.train_fraction <= 0.0 || config.train_fraction >= 1.0) {
+    throw std::invalid_argument{"ProfilingDataset: train_fraction must be in (0,1)"};
+  }
+  // The schema is built over the full dataset, as in the paper (§IV-A).
+  schema_ = features::FeatureSchema::from_transactions(transactions);
+  by_device_ = features::group_by_device(transactions);
+
+  auto by_user = features::group_by_user(transactions);
+
+  // Filter users below the transaction threshold, then keep the most active
+  // `max_users`.
+  std::vector<std::pair<std::string, std::size_t>> eligible;
+  for (const auto& [user, txns] : by_user) {
+    if (txns.size() >= config.min_transactions) eligible.emplace_back(user, txns.size());
+  }
+  std::sort(eligible.begin(), eligible.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (config.max_users > 0 && eligible.size() > config.max_users) {
+    eligible.resize(config.max_users);
+  }
+
+  for (auto& [user, count] : eligible) {
+    UserData data;
+    data.transactions = std::move(by_user[user]);
+    data.train_count = static_cast<std::size_t>(
+        config.train_fraction * static_cast<double>(count));
+    users_.emplace(user, std::move(data));
+  }
+  for (const auto& [user, data] : users_) {
+    (void)data;
+    user_ids_.push_back(user);
+  }
+}
+
+const ProfilingDataset::UserData& ProfilingDataset::user_data(
+    const std::string& user) const {
+  const auto it = users_.find(user);
+  if (it == users_.end()) {
+    throw std::out_of_range{"ProfilingDataset: unknown user '" + user + "'"};
+  }
+  return it->second;
+}
+
+std::span<const log::WebTransaction> ProfilingDataset::train_transactions(
+    const std::string& user) const {
+  const UserData& data = user_data(user);
+  return std::span{data.transactions}.first(data.train_count);
+}
+
+std::span<const log::WebTransaction> ProfilingDataset::test_transactions(
+    const std::string& user) const {
+  const UserData& data = user_data(user);
+  return std::span{data.transactions}.subspan(data.train_count);
+}
+
+std::span<const log::WebTransaction> ProfilingDataset::all_transactions(
+    const std::string& user) const {
+  return user_data(user).transactions;
+}
+
+std::vector<util::SparseVector> ProfilingDataset::subsample(
+    std::vector<util::SparseVector> vectors, std::size_t max_count) {
+  if (max_count == 0 || vectors.size() <= max_count) return vectors;
+  std::vector<util::SparseVector> sampled;
+  sampled.reserve(max_count);
+  const double stride =
+      static_cast<double>(vectors.size()) / static_cast<double>(max_count);
+  for (std::size_t i = 0; i < max_count; ++i) {
+    sampled.push_back(std::move(vectors[static_cast<std::size_t>(
+        static_cast<double>(i) * stride)]));
+  }
+  return sampled;
+}
+
+std::vector<util::SparseVector> ProfilingDataset::train_windows(
+    const std::string& user, const features::WindowConfig& window) const {
+  const features::WindowAggregator aggregator{schema_, window};
+  auto vectors = features::window_vectors(aggregator.aggregate(train_transactions(user)));
+  return subsample(std::move(vectors), config_.max_training_windows);
+}
+
+std::vector<util::SparseVector> ProfilingDataset::test_windows(
+    const std::string& user, const features::WindowConfig& window) const {
+  const features::WindowAggregator aggregator{schema_, window};
+  return features::window_vectors(aggregator.aggregate(test_transactions(user)));
+}
+
+std::map<std::string, std::size_t> ProfilingDataset::transaction_counts() const {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [user, data] : users_) counts[user] = data.transactions.size();
+  return counts;
+}
+
+}  // namespace wtp::core

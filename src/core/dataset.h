@@ -1,0 +1,95 @@
+// ProfilingDataset: the paper's data preparation pipeline (§IV).
+//
+// From a raw transaction log it: groups transactions per user, filters out
+// users with too few transactions (paper: < 1,500; 25 of 36 kept), builds
+// the bag-of-words feature schema over the full dataset (843 columns at
+// paper scale), splits each user's transactions chronologically 75/25 into
+// train/test, and materializes transaction windows for any window
+// configuration on demand.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "features/schema.h"
+#include "features/split.h"
+#include "features/window.h"
+#include "log/transaction.h"
+#include "util/sparse_vector.h"
+
+namespace wtp::core {
+
+struct DatasetConfig {
+  double train_fraction = 0.75;        ///< oldest fraction used for training
+  std::size_t min_transactions = 1500; ///< user filter threshold (paper §IV-A)
+  std::size_t max_users = 25;          ///< keep the N most active eligible users
+  /// Upper bound on windows used to train one model; larger sets are
+  /// uniformly subsampled (deterministic stride) to keep SMO tractable.
+  std::size_t max_training_windows = 1200;
+};
+
+class ProfilingDataset {
+ public:
+  /// Takes ownership of the (time-sorted) transaction log.
+  ProfilingDataset(std::vector<log::WebTransaction> transactions,
+                   DatasetConfig config = {});
+
+  [[nodiscard]] const features::FeatureSchema& schema() const noexcept {
+    return schema_;
+  }
+  /// Users that survived the filter, sorted lexicographically.
+  [[nodiscard]] const std::vector<std::string>& user_ids() const noexcept {
+    return user_ids_;
+  }
+  [[nodiscard]] std::size_t user_count() const noexcept { return user_ids_.size(); }
+
+  [[nodiscard]] std::span<const log::WebTransaction> train_transactions(
+      const std::string& user) const;
+  [[nodiscard]] std::span<const log::WebTransaction> test_transactions(
+      const std::string& user) const;
+  /// All of a user's transactions (train + test, time-sorted).
+  [[nodiscard]] std::span<const log::WebTransaction> all_transactions(
+      const std::string& user) const;
+
+  /// Training windows for a user under a window configuration, subsampled
+  /// to config.max_training_windows.
+  [[nodiscard]] std::vector<util::SparseVector> train_windows(
+      const std::string& user, const features::WindowConfig& window) const;
+
+  /// Test windows (never subsampled).
+  [[nodiscard]] std::vector<util::SparseVector> test_windows(
+      const std::string& user, const features::WindowConfig& window) const;
+
+  /// Full trace grouped by device (for host-specific windowing).
+  [[nodiscard]] const std::map<std::string, std::vector<log::WebTransaction>>&
+  by_device() const noexcept {
+    return by_device_;
+  }
+
+  /// Per-user transaction counts of the *kept* users.
+  [[nodiscard]] std::map<std::string, std::size_t> transaction_counts() const;
+
+  [[nodiscard]] const DatasetConfig& config() const noexcept { return config_; }
+
+  /// Deterministic uniform subsampling helper (stride-based, keeps order).
+  [[nodiscard]] static std::vector<util::SparseVector> subsample(
+      std::vector<util::SparseVector> vectors, std::size_t max_count);
+
+ private:
+  struct UserData {
+    std::vector<log::WebTransaction> transactions;  // time-sorted
+    std::size_t train_count = 0;                    // prefix length
+  };
+
+  [[nodiscard]] const UserData& user_data(const std::string& user) const;
+
+  DatasetConfig config_;
+  features::FeatureSchema schema_{{}, {}, {}, {}};
+  std::vector<std::string> user_ids_;
+  std::map<std::string, UserData> users_;
+  std::map<std::string, std::vector<log::WebTransaction>> by_device_;
+};
+
+}  // namespace wtp::core

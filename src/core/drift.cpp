@@ -1,0 +1,40 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wtp::core {
+
+DriftMonitor::DriftMonitor(DriftConfig config)
+    : config_{config}, ewma_{config.expected_rate} {
+  if (config.expected_rate <= 0.0 || config.expected_rate > 1.0) {
+    throw std::invalid_argument{"DriftMonitor: expected_rate must be in (0, 1]"};
+  }
+  if (config.ewma_alpha <= 0.0 || config.ewma_alpha > 1.0) {
+    throw std::invalid_argument{"DriftMonitor: ewma_alpha must be in (0, 1]"};
+  }
+  if (config.cusum_threshold <= 0.0) {
+    throw std::invalid_argument{"DriftMonitor: cusum_threshold must be > 0"};
+  }
+}
+
+void DriftMonitor::observe(bool accepted) {
+  ++count_;
+  const double x = accepted ? 1.0 : 0.0;
+  ewma_ += config_.ewma_alpha * (x - ewma_);
+  // One-sided CUSUM on the shortfall below the expected rate.
+  const double shortfall = (config_.expected_rate - x) - config_.slack;
+  cusum_ = std::max(0.0, cusum_ + shortfall);
+  if (count_ >= config_.warmup && cusum_ >= config_.cusum_threshold) {
+    drifted_ = true;
+  }
+}
+
+void DriftMonitor::reset() {
+  ewma_ = config_.expected_rate;
+  cusum_ = 0.0;
+  count_ = 0;
+  drifted_ = false;
+}
+
+}  // namespace wtp::core

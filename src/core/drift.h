@@ -1,0 +1,59 @@
+// Profile drift detection (operationalizing the paper's future-work note on
+// seasonal behaviour, §VII).
+//
+// A deployed profile goes stale when the user's behaviour shifts: the
+// profile's self-acceptance rate sags below its training-time level.  The
+// DriftMonitor tracks the acceptance of the profiled user's own windows
+// with an exponentially-weighted moving average plus a CUSUM-style
+// accumulator, and signals when re-training is due.
+#pragma once
+
+#include <cstddef>
+
+namespace wtp::core {
+
+struct DriftConfig {
+  /// Expected self-acceptance rate (e.g. the validation ACC_self / 100).
+  double expected_rate = 0.9;
+  /// EWMA smoothing factor per observation.
+  double ewma_alpha = 0.05;
+  /// Slack subtracted from the shortfall before it accumulates (the CUSUM
+  /// reference value: half the acceptance-rate drop worth detecting, so
+  /// the default targets drops of ~0.4 and tolerates smaller wobble).
+  double slack = 0.2;
+  /// Accumulated shortfall (in acceptance-rate units) that triggers drift
+  /// (the CUSUM decision interval h).
+  double cusum_threshold = 5.0;
+  /// Minimum observations before drift may be signalled.
+  std::size_t warmup = 30;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftConfig config = {});
+
+  /// Feeds the outcome of one self-window classification (true = the
+  /// profile accepted its own user's window).
+  void observe(bool accepted);
+
+  /// Current smoothed acceptance estimate (starts at expected_rate).
+  [[nodiscard]] double acceptance_estimate() const noexcept { return ewma_; }
+  /// Accumulated CUSUM shortfall.
+  [[nodiscard]] double cusum() const noexcept { return cusum_; }
+  /// True once the accumulated shortfall crossed the threshold (sticky
+  /// until reset()).
+  [[nodiscard]] bool drift_detected() const noexcept { return drifted_; }
+  [[nodiscard]] std::size_t observations() const noexcept { return count_; }
+
+  /// Clears all state (call after retraining the profile).
+  void reset();
+
+ private:
+  DriftConfig config_;
+  double ewma_;
+  double cusum_ = 0.0;
+  std::size_t count_ = 0;
+  bool drifted_ = false;
+};
+
+}  // namespace wtp::core

@@ -1,0 +1,222 @@
+#include "core/grid_search.h"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+namespace wtp::core {
+
+std::vector<features::WindowConfig> paper_window_grid() {
+  // Column headers of Tab. II / Tab. IV: (D, S) pairs.
+  return {{60, 6}, {60, 30}, {300, 60}, {600, 60}, {1800, 300}, {3600, 300}};
+}
+
+std::vector<double> paper_regularizer_grid() {
+  return {0.999, 0.99, 0.95, 0.9, 0.8, 0.7, 0.6, 0.5,
+          0.4,   0.3,  0.2,  0.1, 0.05, 0.01, 0.001};
+}
+
+std::vector<svm::KernelParams> paper_kernel_grid(double gamma) {
+  std::vector<svm::KernelParams> kernels;
+  kernels.push_back({svm::KernelType::kLinear, gamma, 0.0, 3});
+  kernels.push_back({svm::KernelType::kPolynomial, gamma, 1.0, 3});
+  kernels.push_back({svm::KernelType::kRbf, gamma, 0.0, 3});
+  kernels.push_back({svm::KernelType::kSigmoid, gamma, 0.0, 3});
+  return kernels;
+}
+
+namespace {
+
+/// Trains a profile and scores it against every user's training windows;
+/// returns the paper's stage-1 ratios for one (user, config) cell.
+AcceptanceRatios training_set_ratios(
+    const std::string& user, const ProfileParams& params,
+    const WindowsByUser& train_windows, std::size_t dimension) {
+  const auto& own_windows = train_windows.at(user);
+  if (own_windows.empty()) return {.acc_self = 0.0, .acc_other = 100.0};
+  try {
+    const UserProfile profile =
+        UserProfile::train(user, own_windows, dimension, params);
+    return profile_acceptance(profile, train_windows);
+  } catch (const std::invalid_argument&) {
+    // Infeasible configuration (e.g. SVDD with C*l < 1 after clamping, or a
+    // degenerate training set): maximally bad score, keeps the sweep going.
+    return {.acc_self = 0.0, .acc_other = 100.0};
+  }
+}
+
+WindowsByUser all_train_windows(const ProfilingDataset& dataset,
+                                const features::WindowConfig& window,
+                                util::ThreadPool& pool) {
+  const auto& users = dataset.user_ids();
+  std::vector<std::vector<util::SparseVector>> per_user(users.size());
+  util::parallel_for(pool, users.size(), [&](std::size_t u) {
+    per_user[u] = dataset.train_windows(users[u], window);
+  });
+  WindowsByUser windows;
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    windows.emplace(users[u], std::move(per_user[u]));
+  }
+  return windows;
+}
+
+}  // namespace
+
+std::vector<WindowGridEntry> window_grid_search(
+    const ProfilingDataset& dataset,
+    std::span<const features::WindowConfig> window_grid,
+    const ProfileParams& base_params, util::ThreadPool& pool) {
+  std::vector<WindowGridEntry> entries;
+  entries.reserve(window_grid.size());
+  const auto& users = dataset.user_ids();
+  if (users.empty()) throw std::invalid_argument{"window_grid_search: no users"};
+  for (const auto& window : window_grid) {
+    const WindowsByUser train_windows = all_train_windows(dataset, window, pool);
+    std::vector<AcceptanceRatios> per_user(users.size());
+    util::parallel_for(pool, users.size(), [&](std::size_t u) {
+      per_user[u] = training_set_ratios(users[u], base_params, train_windows,
+                                        dataset.schema().dimension());
+    });
+    WindowGridEntry entry;
+    entry.window = window;
+    for (const auto& ratios : per_user) {
+      entry.ratios.acc_self += ratios.acc_self;
+      entry.ratios.acc_other += ratios.acc_other;
+    }
+    entry.ratios.acc_self /= static_cast<double>(users.size());
+    entry.ratios.acc_other /= static_cast<double>(users.size());
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+const WindowGridEntry& best_by_acc_self(std::span<const WindowGridEntry> entries) {
+  if (entries.empty()) throw std::invalid_argument{"best_by_acc_self: empty"};
+  return *std::max_element(entries.begin(), entries.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.ratios.acc_self < b.ratios.acc_self;
+                           });
+}
+
+const WindowGridEntry& best_by_acc(std::span<const WindowGridEntry> entries) {
+  if (entries.empty()) throw std::invalid_argument{"best_by_acc: empty"};
+  return *std::max_element(entries.begin(), entries.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.ratios.acc() < b.ratios.acc();
+                           });
+}
+
+std::vector<ParamGridEntry> param_grid_search(
+    const ProfilingDataset& dataset, const std::string& user,
+    const features::WindowConfig& window, ClassifierType type,
+    std::span<const svm::KernelParams> kernels,
+    std::span<const double> regularizers, util::ThreadPool& pool) {
+  const WindowsByUser train_windows = all_train_windows(dataset, window, pool);
+  std::vector<ParamGridEntry> entries(kernels.size() * regularizers.size());
+  util::parallel_for(pool, entries.size(), [&](std::size_t index) {
+    const std::size_t k = index / regularizers.size();
+    const std::size_t r = index % regularizers.size();
+    ParamGridEntry& entry = entries[index];
+    entry.params.type = type;
+    entry.params.kernel = kernels[k];
+    entry.params.regularizer = regularizers[r];
+    entry.ratios = training_set_ratios(user, entry.params, train_windows,
+                                       dataset.schema().dimension());
+    entry.trainable =
+        !(entry.ratios.acc_self == 0.0 && entry.ratios.acc_other == 100.0);
+  });
+  return entries;
+}
+
+const ParamGridEntry& best_params(std::span<const ParamGridEntry> entries) {
+  const ParamGridEntry* best = nullptr;
+  for (const auto& entry : entries) {
+    if (!entry.trainable) continue;
+    if (best == nullptr || entry.ratios.acc() > best->ratios.acc()) best = &entry;
+  }
+  if (best == nullptr) {
+    throw std::runtime_error{"best_params: no trainable grid entry"};
+  }
+  return *best;
+}
+
+std::vector<ProfileParams> optimize_all_users(
+    const ProfilingDataset& dataset, const features::WindowConfig& window,
+    ClassifierType type, std::span<const svm::KernelParams> kernels,
+    std::span<const double> regularizers, util::ThreadPool& pool) {
+  const WindowsByUser train_windows = all_train_windows(dataset, window, pool);
+  const auto& users = dataset.user_ids();
+  const std::size_t grid_size = kernels.size() * regularizers.size();
+  std::vector<std::vector<ParamGridEntry>> grids(
+      users.size(), std::vector<ParamGridEntry>(grid_size));
+  util::parallel_for(pool, users.size() * grid_size, [&](std::size_t index) {
+    const std::size_t u = index / grid_size;
+    const std::size_t g = index % grid_size;
+    const std::size_t k = g / regularizers.size();
+    const std::size_t r = g % regularizers.size();
+    ParamGridEntry& entry = grids[u][g];
+    entry.params.type = type;
+    entry.params.kernel = kernels[k];
+    entry.params.regularizer = regularizers[r];
+    entry.ratios = training_set_ratios(users[u], entry.params, train_windows,
+                                       dataset.schema().dimension());
+    entry.trainable =
+        !(entry.ratios.acc_self == 0.0 && entry.ratios.acc_other == 100.0);
+  });
+  std::vector<ProfileParams> chosen;
+  chosen.reserve(users.size());
+  for (const auto& grid : grids) chosen.push_back(best_params(grid).params);
+  return chosen;
+}
+
+std::vector<UserProfile> train_profiles(const ProfilingDataset& dataset,
+                                        const features::WindowConfig& window,
+                                        std::span<const ProfileParams> params,
+                                        util::ThreadPool& pool) {
+  const auto& users = dataset.user_ids();
+  if (params.size() != users.size()) {
+    throw std::invalid_argument{"train_profiles: params/users size mismatch"};
+  }
+  std::vector<std::optional<UserProfile>> slots(users.size());
+  std::mutex error_mutex;
+  std::string first_error;
+  util::parallel_for(pool, users.size(), [&](std::size_t u) {
+    try {
+      const auto windows = dataset.train_windows(users[u], window);
+      slots[u] = UserProfile::train(users[u], windows,
+                                    dataset.schema().dimension(), params[u]);
+    } catch (const std::exception& e) {
+      const std::lock_guard lock{error_mutex};
+      if (first_error.empty()) first_error = users[u] + ": " + e.what();
+    }
+  });
+  if (!first_error.empty()) {
+    throw std::runtime_error{"train_profiles: " + first_error};
+  }
+  std::vector<UserProfile> profiles;
+  profiles.reserve(users.size());
+  for (auto& slot : slots) profiles.push_back(std::move(*slot));
+  return profiles;
+}
+
+TestEvaluation evaluate_on_test(const ProfilingDataset& dataset,
+                                const features::WindowConfig& window,
+                                std::span<const UserProfile> profiles,
+                                util::ThreadPool& pool) {
+  const auto& users = dataset.user_ids();
+  std::vector<std::vector<util::SparseVector>> per_user(users.size());
+  util::parallel_for(pool, users.size(), [&](std::size_t u) {
+    per_user[u] = dataset.test_windows(users[u], window);
+  });
+  WindowsByUser test_windows;
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    test_windows.emplace(users[u], std::move(per_user[u]));
+  }
+  TestEvaluation evaluation;
+  evaluation.mean_ratios = mean_acceptance(profiles, test_windows);
+  evaluation.confusion = compute_confusion(profiles, test_windows);
+  return evaluation;
+}
+
+}  // namespace wtp::core

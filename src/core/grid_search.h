@@ -1,0 +1,98 @@
+// Learning-parameter optimization (paper §IV-C).
+//
+// Two stages, exactly as in the paper:
+//   1. Global window grid (Tab. II): window duration D and shift S are
+//      optimized once for all users, with a fixed classifier configuration
+//      (the paper uses SVDD, linear kernel, C = 0.5).  ACC_self is computed
+//      on the training windows themselves; ACC_other against the other
+//      users' training windows.
+//   2. Per-user parameter grid (Tab. III): with (D, S) fixed, each user's
+//      kernel and nu/C are chosen to maximize ACC = ACC_self - ACC_other.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/metrics.h"
+#include "core/profiler.h"
+#include "features/window.h"
+#include "util/thread_pool.h"
+
+namespace wtp::core {
+
+/// The paper's Tab. II / Tab. IV window grid.
+[[nodiscard]] std::vector<features::WindowConfig> paper_window_grid();
+
+/// The paper's Tab. III regularizer column (0.999 .. 0.001).
+[[nodiscard]] std::vector<double> paper_regularizer_grid();
+
+/// All four kernels of Tab. III.
+[[nodiscard]] std::vector<svm::KernelParams> paper_kernel_grid(double gamma = 0.0);
+
+struct WindowGridEntry {
+  features::WindowConfig window;
+  AcceptanceRatios ratios;  ///< averaged over all users
+};
+
+/// Stage 1 (Tab. II): evaluates each window configuration with fixed
+/// `base_params`, averaging ratios over all dataset users.  Parallel over
+/// (window, user) pairs.  Infeasible/failed trainings contribute 0/100 (a
+/// maximally bad score) rather than aborting the sweep.
+[[nodiscard]] std::vector<WindowGridEntry> window_grid_search(
+    const ProfilingDataset& dataset,
+    std::span<const features::WindowConfig> window_grid,
+    const ProfileParams& base_params, util::ThreadPool& pool);
+
+/// Best entry by ACC_self (the paper's Tab. II retention criterion: D=60s,
+/// S=30s wins on self-acceptance despite D=10m winning on ACC).
+[[nodiscard]] const WindowGridEntry& best_by_acc_self(
+    std::span<const WindowGridEntry> entries);
+/// Best entry by global ACC.
+[[nodiscard]] const WindowGridEntry& best_by_acc(
+    std::span<const WindowGridEntry> entries);
+
+struct ParamGridEntry {
+  ProfileParams params;
+  AcceptanceRatios ratios;
+  bool trainable = true;  ///< false when training failed (infeasible config)
+};
+
+/// Stage 2 (Tab. III): full kernel x regularizer grid for one user at a
+/// fixed window configuration.  Ratios are computed on training windows, as
+/// in stage 1.  Results are ordered kernel-major, regularizer-minor.
+[[nodiscard]] std::vector<ParamGridEntry> param_grid_search(
+    const ProfilingDataset& dataset, const std::string& user,
+    const features::WindowConfig& window, ClassifierType type,
+    std::span<const svm::KernelParams> kernels,
+    std::span<const double> regularizers, util::ThreadPool& pool);
+
+/// Best trainable entry by ACC (ties: first in grid order).  Throws
+/// std::runtime_error when nothing was trainable.
+[[nodiscard]] const ParamGridEntry& best_params(
+    std::span<const ParamGridEntry> entries);
+
+/// Runs stage 2 for every user and returns the chosen per-user parameters,
+/// aligned with dataset.user_ids().
+[[nodiscard]] std::vector<ProfileParams> optimize_all_users(
+    const ProfilingDataset& dataset, const features::WindowConfig& window,
+    ClassifierType type, std::span<const svm::KernelParams> kernels,
+    std::span<const double> regularizers, util::ThreadPool& pool);
+
+/// Trains final profiles for all users with their optimized parameters.
+[[nodiscard]] std::vector<UserProfile> train_profiles(
+    const ProfilingDataset& dataset, const features::WindowConfig& window,
+    std::span<const ProfileParams> params, util::ThreadPool& pool);
+
+/// Test-set evaluation (Tab. IV / Tab. V): feeds every user's *test*
+/// windows to every profile.
+struct TestEvaluation {
+  AcceptanceRatios mean_ratios;
+  ConfusionMatrix confusion;
+};
+[[nodiscard]] TestEvaluation evaluate_on_test(const ProfilingDataset& dataset,
+                                              const features::WindowConfig& window,
+                                              std::span<const UserProfile> profiles,
+                                              util::ThreadPool& pool);
+
+}  // namespace wtp::core

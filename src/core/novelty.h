@@ -1,0 +1,63 @@
+// Temporal-consistency analysis (paper §IV-B, Figs. 1-2).
+//
+// For an epoch delimiter t, a user's transactions split into "observed"
+// (before t) and "subsequent" (after t).  Two novelty measures:
+//   * feature novelty (Fig. 1): per feature category (category /
+//     application_type / media_type), the fraction of distinct values seen
+//     in the subsequent set that never occurred in the observed set;
+//   * window novelty (Fig. 2): the fraction of subsequent-set window
+//     feature vectors that are not exactly equal to any observed-set
+//     window vector.
+// Both are averaged (with variance) over all users for t = 1..N weeks.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "features/schema.h"
+#include "features/window.h"
+#include "log/transaction.h"
+#include "util/time.h"
+
+namespace wtp::core {
+
+/// Which transaction field a feature-novelty series tracks.
+enum class NoveltyField : std::uint8_t { kCategory, kApplicationType, kMediaType };
+
+[[nodiscard]] std::string_view to_string(NoveltyField field) noexcept;
+
+/// One point of a novelty curve: statistics over users at epoch week `week`.
+struct NoveltyPoint {
+  int week = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  std::size_t users = 0;  ///< users contributing (non-empty subsequent set)
+};
+
+/// Fig. 1: novelty-ratio curves for the three largest feature categories.
+/// `by_user` maps user id -> time-sorted transactions; weeks are measured
+/// from `epoch_base` (typically the trace start).
+[[nodiscard]] std::map<NoveltyField, std::vector<NoveltyPoint>> feature_novelty(
+    const std::map<std::string, std::vector<log::WebTransaction>>& by_user,
+    util::UnixSeconds epoch_base, int first_week, int last_week);
+
+/// Fig. 2: window-novelty curve under a window configuration.
+[[nodiscard]] std::vector<NoveltyPoint> window_novelty(
+    const std::map<std::string, std::vector<log::WebTransaction>>& by_user,
+    const features::FeatureSchema& schema, const features::WindowConfig& window,
+    util::UnixSeconds epoch_base, int first_week, int last_week);
+
+/// The paper's footprint statistic (§IV-B): average count of distinct
+/// values observed per user over their whole trace, per field.
+struct FootprintStats {
+  double mean_categories = 0.0;
+  double mean_sub_types = 0.0;
+  double mean_application_types = 0.0;
+};
+
+[[nodiscard]] FootprintStats user_footprints(
+    const std::map<std::string, std::vector<log::WebTransaction>>& by_user);
+
+}  // namespace wtp::core

@@ -1,0 +1,96 @@
+#include "core/profiler.h"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace wtp::core {
+
+std::string_view to_string(ClassifierType type) noexcept {
+  switch (type) {
+    case ClassifierType::kOcSvm: return "oc-svm";
+    case ClassifierType::kSvdd: return "svdd";
+  }
+  return "?";
+}
+
+UserProfile UserProfile::train(std::string user_id,
+                               std::span<const util::SparseVector> windows,
+                               std::size_t dimension, const ProfileParams& params) {
+  if (params.type == ClassifierType::kOcSvm) {
+    svm::OneClassSvmConfig config;
+    config.nu = params.regularizer;
+    config.kernel = params.kernel;
+    return UserProfile{std::move(user_id), params,
+                       svm::OneClassSvmModel::train(windows, config, dimension)};
+  }
+  svm::SvddConfig config;
+  config.c = params.regularizer;
+  config.kernel = params.kernel;
+  return UserProfile{std::move(user_id), params,
+                     svm::SvddModel::train(windows, config, dimension)};
+}
+
+double UserProfile::decision_value(const util::SparseVector& window) const {
+  return std::visit(
+      [&window](const auto& model) { return model.decision_value(window); },
+      model_);
+}
+
+double UserProfile::acceptance_ratio(
+    std::span<const util::SparseVector> windows) const {
+  if (windows.empty()) return 0.0;
+  std::size_t accepted = 0;
+  for (const auto& window : windows) {
+    if (accepts(window)) ++accepted;
+  }
+  return static_cast<double>(accepted) / static_cast<double>(windows.size());
+}
+
+std::size_t UserProfile::support_vector_count() const {
+  return std::visit(
+      [](const auto& model) { return model.support_vectors().size(); }, model_);
+}
+
+void UserProfile::save(std::ostream& out) const {
+  out << "user " << user_id_ << '\n';
+  out << "classifier " << to_string(params_.type) << '\n';
+  out.precision(17);
+  out << "regularizer " << params_.regularizer << '\n';
+  std::visit([&out](const auto& model) { svm::save_model(out, model); }, model_);
+}
+
+UserProfile UserProfile::load(std::istream& in) {
+  std::string key;
+  std::string user_id;
+  std::string classifier;
+  double regularizer = 0.0;
+  if (!(in >> key >> user_id) || key != "user") {
+    throw std::runtime_error{"UserProfile::load: expected 'user <id>' line"};
+  }
+  if (!(in >> key >> classifier) || key != "classifier") {
+    throw std::runtime_error{"UserProfile::load: expected 'classifier <type>' line"};
+  }
+  if (!(in >> key >> regularizer) || key != "regularizer") {
+    throw std::runtime_error{"UserProfile::load: expected 'regularizer <v>' line"};
+  }
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+
+  svm::AnySvmModel model = svm::load_model(in);
+  ProfileParams params;
+  if (classifier == "oc-svm") {
+    params.type = ClassifierType::kOcSvm;
+  } else if (classifier == "svdd") {
+    params.type = ClassifierType::kSvdd;
+  } else {
+    throw std::runtime_error{"UserProfile::load: unknown classifier '" + classifier + "'"};
+  }
+  params.regularizer = regularizer;
+  params.kernel = std::visit([](const auto& m) { return m.kernel(); }, model);
+  return UserProfile{std::move(user_id), params, std::move(model)};
+}
+
+}  // namespace wtp::core

@@ -1,0 +1,72 @@
+// UserProfiler: trains and applies per-user one-class profiles (the paper's
+// §III-D usage of feature vectors with OC-SVM / SVDD).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "svm/model_io.h"
+#include "svm/one_class_svm.h"
+#include "svm/svdd.h"
+#include "util/sparse_vector.h"
+
+namespace wtp::core {
+
+enum class ClassifierType : std::uint8_t { kOcSvm, kSvdd };
+
+[[nodiscard]] std::string_view to_string(ClassifierType type) noexcept;
+
+/// The learning parameters of one user profile (the per-user output of the
+/// paper's grid search): classifier family, kernel, and nu (OC-SVM) or C
+/// (SVDD).
+struct ProfileParams {
+  ClassifierType type = ClassifierType::kOcSvm;
+  svm::KernelParams kernel;
+  double regularizer = 0.5;  ///< nu for OC-SVM, C for SVDD
+
+  friend bool operator==(const ProfileParams&, const ProfileParams&) = default;
+};
+
+/// A trained user profile: the model plus its provenance.
+class UserProfile {
+ public:
+  /// Trains a profile for `user_id` on its training windows.  `dimension`
+  /// is the schema dimension.  Throws std::invalid_argument on empty
+  /// training data or out-of-range parameters.
+  [[nodiscard]] static UserProfile train(std::string user_id,
+                                         std::span<const util::SparseVector> windows,
+                                         std::size_t dimension,
+                                         const ProfileParams& params);
+
+  [[nodiscard]] double decision_value(const util::SparseVector& window) const;
+  [[nodiscard]] bool accepts(const util::SparseVector& window) const {
+    return decision_value(window) >= 0.0;
+  }
+
+  /// Fraction of `windows` accepted by the profile, in [0, 1].
+  [[nodiscard]] double acceptance_ratio(
+      std::span<const util::SparseVector> windows) const;
+
+  [[nodiscard]] const std::string& user_id() const noexcept { return user_id_; }
+  [[nodiscard]] const ProfileParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t support_vector_count() const;
+
+  /// Persistence: profile header (user id + params) followed by the model.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static UserProfile load(std::istream& in);
+
+  /// Access the underlying model (for timing benchmarks).
+  [[nodiscard]] const svm::AnySvmModel& model() const noexcept { return model_; }
+
+ private:
+  UserProfile(std::string user_id, ProfileParams params, svm::AnySvmModel model)
+      : user_id_{std::move(user_id)}, params_{params}, model_{std::move(model)} {}
+
+  std::string user_id_;
+  ProfileParams params_;
+  svm::AnySvmModel model_;
+};
+
+}  // namespace wtp::core

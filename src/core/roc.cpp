@@ -1,0 +1,116 @@
+#include "core/roc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wtp::core {
+
+const RocPoint& RocCurve::at_threshold(double threshold) const {
+  if (points.empty()) throw std::logic_error{"RocCurve: empty curve"};
+  const RocPoint* best = &points.front();
+  for (const auto& point : points) {
+    if (std::abs(point.threshold - threshold) <
+        std::abs(best->threshold - threshold)) {
+      best = &point;
+    }
+  }
+  return *best;
+}
+
+const RocPoint& RocCurve::best_youden() const {
+  if (points.empty()) throw std::logic_error{"RocCurve: empty curve"};
+  const RocPoint* best = &points.front();
+  for (const auto& point : points) {
+    if (point.tpr - point.fpr > best->tpr - best->fpr) best = &point;
+  }
+  return *best;
+}
+
+double RocCurve::fpr_at_tpr(double tpr_floor) const {
+  double best = 1.0;
+  for (const auto& point : points) {
+    if (point.tpr >= tpr_floor) best = std::min(best, point.fpr);
+  }
+  return best;
+}
+
+RocCurve roc_curve(std::span<const double> positive_scores,
+                   std::span<const double> negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) {
+    throw std::invalid_argument{"roc_curve: both classes must be non-empty"};
+  }
+  // Merge scores tagged by class, sort by descending score; sweeping the
+  // threshold down through every distinct score traces the curve.
+  struct Tagged {
+    double score;
+    bool positive;
+  };
+  std::vector<Tagged> all;
+  all.reserve(positive_scores.size() + negative_scores.size());
+  for (const double s : positive_scores) all.push_back({s, true});
+  for (const double s : negative_scores) all.push_back({s, false});
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& a, const Tagged& b) { return a.score > b.score; });
+
+  const double p = static_cast<double>(positive_scores.size());
+  const double n = static_cast<double>(negative_scores.size());
+  RocCurve curve;
+  curve.points.push_back({all.front().score + 1.0, 0.0, 0.0});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (std::size_t i = 0; i < all.size();) {
+    // Consume all entries tied at this score before emitting a point.
+    const double score = all[i].score;
+    while (i < all.size() && all[i].score == score) {
+      (all[i].positive ? tp : fp) += 1;
+      ++i;
+    }
+    curve.points.push_back(
+        {score, static_cast<double>(tp) / p, static_cast<double>(fp) / n});
+  }
+  // Trapezoidal AUC over the swept points.
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    const auto& a = curve.points[i - 1];
+    const auto& b = curve.points[i];
+    auc += (b.fpr - a.fpr) * (a.tpr + b.tpr) * 0.5;
+  }
+  curve.auc = auc;
+  return curve;
+}
+
+double roc_auc(std::span<const double> positive_scores,
+               std::span<const double> negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) {
+    throw std::invalid_argument{"roc_auc: both classes must be non-empty"};
+  }
+  // Rank-based estimator with midrank tie handling.
+  struct Tagged {
+    double score;
+    bool positive;
+  };
+  std::vector<Tagged> all;
+  all.reserve(positive_scores.size() + negative_scores.size());
+  for (const double s : positive_scores) all.push_back({s, true});
+  for (const double s : negative_scores) all.push_back({s, false});
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& a, const Tagged& b) { return a.score < b.score; });
+
+  double rank_sum = 0.0;  // sum of positive ranks (1-based, midrank ties)
+  std::size_t i = 0;
+  while (i < all.size()) {
+    std::size_t j = i;
+    while (j < all.size() && all[j].score == all[i].score) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j);  // (i+1 + j)/2
+    for (std::size_t k = i; k < j; ++k) {
+      if (all[k].positive) rank_sum += midrank;
+    }
+    i = j;
+  }
+  const double p = static_cast<double>(positive_scores.size());
+  const double n = static_cast<double>(negative_scores.size());
+  return (rank_sum - p * (p + 1.0) / 2.0) / (p * n);
+}
+
+}  // namespace wtp::core

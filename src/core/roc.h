@@ -1,0 +1,49 @@
+// ROC analysis over one-class decision scores.
+//
+// The paper reports a single operating point per model (TPR ~90%, FPR 7.3%
+// for OC-SVM): the point induced by the decision threshold 0.  Sweeping the
+// threshold over the continuous decision values exposes the whole
+// TPR/FPR trade-off, which is what an operator tuning a continuous-
+// authentication deployment actually needs.  Used by ablation A6.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wtp::core {
+
+/// One point of an ROC curve.
+struct RocPoint {
+  double threshold = 0.0;  ///< accept when score >= threshold
+  double tpr = 0.0;        ///< true positive rate (self windows accepted)
+  double fpr = 0.0;        ///< false positive rate (other windows accepted)
+};
+
+/// Full ROC curve plus summary statistics.
+struct RocCurve {
+  std::vector<RocPoint> points;  ///< sorted by descending threshold
+  double auc = 0.0;              ///< area under the curve (trapezoidal)
+
+  /// The point whose threshold is closest to `threshold` (e.g. 0 = the
+  /// models' natural operating point).
+  [[nodiscard]] const RocPoint& at_threshold(double threshold) const;
+  /// The point maximizing Youden's J = TPR - FPR.
+  [[nodiscard]] const RocPoint& best_youden() const;
+  /// Smallest FPR among points with TPR >= the given floor (1.0 when
+  /// unattainable).
+  [[nodiscard]] double fpr_at_tpr(double tpr_floor) const;
+};
+
+/// Builds the ROC curve from positive-class (profiled user) and negative-
+/// class (other users) decision scores.  Throws std::invalid_argument when
+/// either class is empty.
+[[nodiscard]] RocCurve roc_curve(std::span<const double> positive_scores,
+                                 std::span<const double> negative_scores);
+
+/// AUC via the rank statistic (equivalent to the Mann-Whitney U estimator);
+/// tolerates ties.  Same validity conditions as roc_curve.
+[[nodiscard]] double roc_auc(std::span<const double> positive_scores,
+                             std::span<const double> negative_scores);
+
+}  // namespace wtp::core

@@ -1,0 +1,94 @@
+#include "core/validation.h"
+
+#include <stdexcept>
+
+namespace wtp::core {
+
+std::vector<std::pair<std::size_t, std::size_t>> fold_ranges(std::size_t count,
+                                                             std::size_t folds) {
+  if (folds == 0 || folds > count) {
+    throw std::invalid_argument{"fold_ranges: need 1 <= folds <= count"};
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(folds);
+  const std::size_t base = count / folds;
+  const std::size_t extra = count % folds;
+  std::size_t begin = 0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    const std::size_t size = base + (f < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return ranges;
+}
+
+ValidationResult cross_validate(const std::string& user,
+                                std::span<const util::SparseVector> own_windows,
+                                const WindowsByUser& other_windows,
+                                std::size_t dimension,
+                                const ProfileParams& params, std::size_t folds) {
+  const auto ranges = fold_ranges(own_windows.size(), folds);
+  ValidationResult result;
+  for (const auto& [begin, end] : ranges) {
+    // Train on everything outside [begin, end).
+    std::vector<util::SparseVector> train;
+    train.reserve(own_windows.size() - (end - begin));
+    for (std::size_t i = 0; i < own_windows.size(); ++i) {
+      if (i < begin || i >= end) train.push_back(own_windows[i]);
+    }
+    if (train.empty()) continue;
+    const UserProfile profile =
+        UserProfile::train(user, train, dimension, params);
+    std::size_t accepted = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (profile.accepts(own_windows[i])) ++accepted;
+    }
+    result.fold_acc_self.push_back(100.0 * static_cast<double>(accepted) /
+                                   static_cast<double>(end - begin));
+  }
+  if (result.fold_acc_self.empty()) {
+    throw std::invalid_argument{"cross_validate: no evaluable fold"};
+  }
+  for (const double fold : result.fold_acc_self) result.acc_self += fold;
+  result.acc_self /= static_cast<double>(result.fold_acc_self.size());
+
+  // Other-acceptance: the deployable (full-data) model against other users.
+  const UserProfile full = UserProfile::train(user, own_windows, dimension, params);
+  double other_sum = 0.0;
+  std::size_t other_count = 0;
+  for (const auto& [other_user, windows] : other_windows) {
+    if (other_user == user || windows.empty()) continue;
+    other_sum += 100.0 * full.acceptance_ratio(windows);
+    ++other_count;
+  }
+  if (other_count > 0) {
+    result.acc_other = other_sum / static_cast<double>(other_count);
+  }
+  return result;
+}
+
+ProfileParams select_by_cross_validation(
+    const std::string& user, std::span<const util::SparseVector> own_windows,
+    const WindowsByUser& other_windows, std::size_t dimension,
+    std::span<const ProfileParams> candidates, std::size_t folds) {
+  const ProfileParams* best = nullptr;
+  double best_acc = 0.0;
+  for (const auto& params : candidates) {
+    try {
+      const ValidationResult result = cross_validate(
+          user, own_windows, other_windows, dimension, params, folds);
+      if (best == nullptr || result.acc() > best_acc) {
+        best = &params;
+        best_acc = result.acc();
+      }
+    } catch (const std::invalid_argument&) {
+      // Untrainable setting: skip.
+    }
+  }
+  if (best == nullptr) {
+    throw std::runtime_error{"select_by_cross_validation: no trainable candidate"};
+  }
+  return *best;
+}
+
+}  // namespace wtp::core

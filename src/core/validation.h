@@ -1,0 +1,61 @@
+// Chronological k-fold validation for one-class profile selection.
+//
+// The paper's grid search (§IV-C) scores ACC_self on the very windows the
+// model was trained on, which favours configurations that overfit (a model
+// accepting 100% of its training windows looks perfect on that axis).
+// This module offers the sounder alternative: split the profiled user's
+// training windows into k contiguous (chronological) folds, train on k-1,
+// score self-acceptance on the held-out fold, and average — while
+// other-acceptance is still scored against the other users' windows.
+// Because the folds are contiguous in time, no future window ever
+// influences the model that judges it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/profiler.h"
+#include "util/sparse_vector.h"
+
+namespace wtp::core {
+
+struct ValidationResult {
+  /// Mean held-out self-acceptance over folds, percent.
+  double acc_self = 0.0;
+  /// Other-acceptance of the final full-data model, percent (macro-averaged
+  /// over other users).
+  double acc_other = 0.0;
+  /// Per-fold held-out self-acceptance, percent (size = folds evaluated).
+  std::vector<double> fold_acc_self;
+
+  [[nodiscard]] double acc() const noexcept { return acc_self - acc_other; }
+};
+
+/// Contiguous index ranges [begin, end) of `count` items split into `folds`
+/// near-equal parts (the first `count % folds` parts get one extra item).
+/// Throws std::invalid_argument when folds == 0 or folds > count.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> fold_ranges(
+    std::size_t count, std::size_t folds);
+
+/// Runs the k-fold protocol for one user and one parameter setting.
+/// `own_windows` are the user's training windows in chronological order;
+/// `other_windows` maps every *other* user to their windows (the profiled
+/// user's own entry, if present, is ignored).  Folds whose training part
+/// would be empty are skipped; throws std::invalid_argument when no fold
+/// is evaluable.
+[[nodiscard]] ValidationResult cross_validate(
+    const std::string& user, std::span<const util::SparseVector> own_windows,
+    const WindowsByUser& other_windows, std::size_t dimension,
+    const ProfileParams& params, std::size_t folds = 5);
+
+/// Picks the parameter setting with the best cross-validated ACC.
+/// Untrainable settings are skipped; throws std::runtime_error when every
+/// setting fails.
+[[nodiscard]] ProfileParams select_by_cross_validation(
+    const std::string& user, std::span<const util::SparseVector> own_windows,
+    const WindowsByUser& other_windows, std::size_t dimension,
+    std::span<const ProfileParams> candidates, std::size_t folds = 5);
+
+}  // namespace wtp::core

@@ -1,0 +1,31 @@
+// Per-transaction feature encoding (paper §III-B).
+//
+// A single transaction maps to a sparse binary/numeric vector in the schema
+// layout; the window aggregator combines several of these into one training
+// sample.  Out-of-vocabulary categorical values contribute no column.
+#pragma once
+
+#include "features/schema.h"
+#include "log/transaction.h"
+#include "util/sparse_vector.h"
+
+namespace wtp::features {
+
+class TransactionEncoder {
+ public:
+  /// The schema must outlive the encoder.
+  explicit TransactionEncoder(const FeatureSchema& schema) : schema_{&schema} {}
+
+  /// Encodes one transaction.  Matches the paper's example: bag-of-words
+  /// presence for action/scheme/category/supertype/subtype/application, the
+  /// private-destination flag, the verified-reputation flag and the numeric
+  /// reputation risk.
+  [[nodiscard]] util::SparseVector encode(const log::WebTransaction& txn) const;
+
+  [[nodiscard]] const FeatureSchema& schema() const noexcept { return *schema_; }
+
+ private:
+  const FeatureSchema* schema_;
+};
+
+}  // namespace wtp::features

@@ -1,0 +1,33 @@
+// Feature-schema persistence.
+//
+// A trained profile is only meaningful together with the schema that laid
+// out its feature columns: new transactions must be encoded with the exact
+// same column assignment.  This text format stores the four vocabularies;
+// the fixed groups are implied by the layout rules in schema.h.
+//
+//   wtp_schema v1
+//   categories <n>
+//   <value>          (n lines)
+//   super_types <n>
+//   ...
+//   sub_types <n>
+//   ...
+//   application_types <n>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "features/schema.h"
+
+namespace wtp::features {
+
+void save_schema(std::ostream& out, const FeatureSchema& schema);
+void save_schema_file(const std::string& path, const FeatureSchema& schema);
+
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] FeatureSchema load_schema(std::istream& in);
+[[nodiscard]] FeatureSchema load_schema_file(const std::string& path);
+
+}  // namespace wtp::features

@@ -1,0 +1,52 @@
+// Dataset manipulation: grouping transactions per user/device and the two
+// chronological splits the paper uses (75/25 train/test, and the week-t
+// observed/subsequent epoch split of the novelty analysis).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "log/transaction.h"
+#include "util/time.h"
+
+namespace wtp::features {
+
+/// Groups by user_id, preserving time order within each group.
+[[nodiscard]] std::map<std::string, std::vector<log::WebTransaction>> group_by_user(
+    std::span<const log::WebTransaction> txns);
+
+/// Groups by device_id, preserving time order within each group.
+[[nodiscard]] std::map<std::string, std::vector<log::WebTransaction>> group_by_device(
+    std::span<const log::WebTransaction> txns);
+
+struct TrainTestSplit {
+  std::vector<log::WebTransaction> train;
+  std::vector<log::WebTransaction> test;
+};
+
+/// Splits a time-sorted sequence chronologically: the oldest
+/// `train_fraction` of transactions become the training set (paper §IV-B
+/// uses 0.75).  Throws std::invalid_argument for fractions outside [0,1].
+[[nodiscard]] TrainTestSplit chronological_split(
+    std::span<const log::WebTransaction> txns, double train_fraction);
+
+struct EpochSplit {
+  std::vector<log::WebTransaction> observed;    ///< before t
+  std::vector<log::WebTransaction> subsequent;  ///< at/after t
+};
+
+/// Splits a time-sorted sequence at an absolute epoch delimiter t.
+[[nodiscard]] EpochSplit epoch_split(std::span<const log::WebTransaction> txns,
+                                     util::UnixSeconds t);
+
+/// Users with at least `min_transactions` transactions (the paper filters
+/// out users with fewer than 1,500 as "not representative enough", keeping
+/// 25 of 36).  Returns user ids in ascending transaction-count order is NOT
+/// guaranteed; ids are returned sorted lexicographically.
+[[nodiscard]] std::vector<std::string> filter_users(
+    const std::map<std::string, std::vector<log::WebTransaction>>& by_user,
+    std::size_t min_transactions);
+
+}  // namespace wtp::features

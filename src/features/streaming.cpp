@@ -1,0 +1,106 @@
+#include "features/streaming.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wtp::features {
+
+StreamingWindowAggregator::StreamingWindowAggregator(const FeatureSchema& schema,
+                                                     WindowConfig config)
+    : schema_{&schema}, encoder_{schema}, config_{config} {
+  if (config.shift_s <= 0 || config.duration_s <= 0 ||
+      config.shift_s > config.duration_s) {
+    throw std::invalid_argument{
+        "StreamingWindowAggregator: require 0 < shift <= duration"};
+  }
+}
+
+void StreamingWindowAggregator::reset() {
+  buffer_.clear();
+  started_ = false;
+  origin_ = 0;
+  last_timestamp_ = 0;
+  next_k_ = 0;
+}
+
+Window StreamingWindowAggregator::build_window(util::UnixSeconds start,
+                                               util::UnixSeconds end) const {
+  Window window;
+  window.start = start;
+  window.end = end;
+  util::SparseAccumulator acc;
+  std::size_t count = 0;
+  for (const auto& item : buffer_) {
+    if (item.timestamp < start) continue;
+    if (item.timestamp >= end) break;
+    ++count;
+  }
+  window.transaction_count = count;
+  const double inverse_count = count ? 1.0 / static_cast<double>(count) : 0.0;
+  for (const auto& item : buffer_) {
+    if (item.timestamp < start) continue;
+    if (item.timestamp >= end) break;
+    for (const auto& entry : item.encoded.entries()) {
+      if (schema_->is_numeric_column(entry.index)) {
+        acc.add(entry.index, entry.value * inverse_count);
+      } else {
+        acc.max(entry.index, entry.value);
+      }
+    }
+  }
+  window.features = acc.build();
+  return window;
+}
+
+void StreamingWindowAggregator::emit_ready(util::UnixSeconds horizon,
+                                           bool flushing,
+                                           std::vector<Window>& out) {
+  while (!buffer_.empty()) {
+    const util::UnixSeconds start = origin_ + next_k_ * config_.shift_s;
+    const util::UnixSeconds end = start + config_.duration_s;
+    // A window is only final once no future transaction can land in it.
+    if (!flushing && end > horizon) break;
+    // Drop buffered transactions that precede every open window.
+    while (!buffer_.empty() && buffer_.front().timestamp < start) {
+      buffer_.pop_front();
+    }
+    if (buffer_.empty()) break;
+    const util::UnixSeconds next_txn = buffer_.front().timestamp;
+    if (next_txn >= end) {
+      // Empty window: jump to the first index whose window contains the
+      // next buffered transaction (mirrors the batch aggregator).
+      const std::int64_t jump =
+          (next_txn - config_.duration_s - origin_) / config_.shift_s + 1;
+      next_k_ = std::max(next_k_ + 1, jump);
+      continue;
+    }
+    out.push_back(build_window(start, end));
+    ++next_k_;
+  }
+}
+
+std::vector<Window> StreamingWindowAggregator::push(const log::WebTransaction& txn) {
+  if (started_ && txn.timestamp < last_timestamp_) {
+    throw std::invalid_argument{
+        "StreamingWindowAggregator::push: transactions must be time-ordered"};
+  }
+  if (!started_) {
+    started_ = true;
+    origin_ = txn.timestamp;
+  }
+  last_timestamp_ = txn.timestamp;
+  buffer_.push_back({txn.timestamp, encoder_.encode(txn)});
+
+  std::vector<Window> completed;
+  emit_ready(txn.timestamp, /*flushing=*/false, completed);
+  return completed;
+}
+
+std::vector<Window> StreamingWindowAggregator::flush() {
+  std::vector<Window> completed;
+  emit_ready(0, /*flushing=*/true, completed);
+  buffer_.clear();
+  return completed;
+}
+
+}  // namespace wtp::features

@@ -1,0 +1,65 @@
+// Incremental (online) window aggregation.
+//
+// The batch WindowAggregator needs the whole transaction sequence up front;
+// a monitoring deployment sees transactions one at a time and must emit each
+// window as soon as its period has elapsed (a new feature vector every S
+// seconds, paper §IV-C).  StreamingWindowAggregator produces *exactly* the
+// same windows as the batch aggregator over the same input (a property the
+// tests assert), but with O(window span) memory.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "features/encoder.h"
+#include "features/window.h"
+
+namespace wtp::features {
+
+class StreamingWindowAggregator {
+ public:
+  /// The schema must outlive the aggregator.
+  StreamingWindowAggregator(const FeatureSchema& schema, WindowConfig config);
+
+  /// Feeds the next transaction.  Transactions must arrive in
+  /// non-decreasing timestamp order (throws std::invalid_argument
+  /// otherwise).  Returns the windows completed by this arrival, i.e.
+  /// windows that can no longer receive transactions.
+  [[nodiscard]] std::vector<Window> push(const log::WebTransaction& txn);
+
+  /// Ends the stream: emits all remaining non-empty windows.
+  [[nodiscard]] std::vector<Window> flush();
+
+  /// Resets to the initial (empty) state.
+  void reset();
+
+  [[nodiscard]] const WindowConfig& config() const noexcept { return config_; }
+  /// Transactions currently buffered (still inside open windows).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  struct Buffered {
+    util::UnixSeconds timestamp;
+    util::SparseVector encoded;
+  };
+
+  /// Emits all windows with end <= horizon (or all remaining when
+  /// horizon-less flushing), appending to `out`.
+  void emit_ready(util::UnixSeconds horizon, bool flushing,
+                  std::vector<Window>& out);
+
+  /// Builds window k from the buffer (assumes non-empty intersection).
+  [[nodiscard]] Window build_window(util::UnixSeconds start,
+                                    util::UnixSeconds end) const;
+
+  const FeatureSchema* schema_;
+  TransactionEncoder encoder_;
+  WindowConfig config_;
+  std::deque<Buffered> buffer_;
+  bool started_ = false;
+  util::UnixSeconds origin_ = 0;
+  util::UnixSeconds last_timestamp_ = 0;
+  std::int64_t next_k_ = 0;  ///< next window index to consider emitting
+};
+
+}  // namespace wtp::features

@@ -1,0 +1,272 @@
+#include "hmm/discrete_hmm.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wtp::hmm {
+
+namespace {
+
+void normalize_row(std::vector<double>& data, std::size_t begin, std::size_t count) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count; ++i) sum += data[begin + i];
+  if (sum <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(count);
+    for (std::size_t i = 0; i < count; ++i) data[begin + i] = uniform;
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) data[begin + i] /= sum;
+}
+
+}  // namespace
+
+DiscreteHmm::DiscreteHmm(std::size_t states, std::size_t symbols)
+    : states_{states}, symbols_{symbols} {
+  if (states == 0 || symbols == 0) {
+    throw std::invalid_argument{"DiscreteHmm: states and symbols must be > 0"};
+  }
+  initial_.assign(states, 1.0 / static_cast<double>(states));
+  transition_.assign(states * states, 1.0 / static_cast<double>(states));
+  emission_.assign(states * symbols, 1.0 / static_cast<double>(symbols));
+}
+
+void DiscreteHmm::set_parameters(std::vector<double> initial,
+                                 std::vector<double> transition,
+                                 std::vector<double> emission) {
+  if (initial.size() != states_ || transition.size() != states_ * states_ ||
+      emission.size() != states_ * symbols_) {
+    throw std::invalid_argument{"DiscreteHmm::set_parameters: size mismatch"};
+  }
+  auto check_rows = [](const std::vector<double>& rows, std::size_t width,
+                       const char* what) {
+    for (std::size_t begin = 0; begin < rows.size(); begin += width) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < width; ++i) {
+        if (rows[begin + i] < 0.0) {
+          throw std::invalid_argument{std::string{"DiscreteHmm: negative probability in "} + what};
+        }
+        sum += rows[begin + i];
+      }
+      if (std::abs(sum - 1.0) > 1e-6) {
+        throw std::invalid_argument{std::string{"DiscreteHmm: row of "} + what +
+                                    " does not sum to 1"};
+      }
+    }
+  };
+  check_rows(initial, states_, "initial");
+  check_rows(transition, states_, "transition");
+  check_rows(emission, symbols_, "emission");
+  initial_ = std::move(initial);
+  transition_ = std::move(transition);
+  emission_ = std::move(emission);
+}
+
+double DiscreteHmm::log_likelihood(std::span<const std::size_t> sequence) const {
+  if (sequence.empty()) return 0.0;
+  std::vector<double> alpha(states_);
+  double log_prob = 0.0;
+
+  // t = 0
+  double scale = 0.0;
+  const std::size_t first = sequence[0];
+  if (first >= symbols_) throw std::out_of_range{"DiscreteHmm: symbol out of range"};
+  for (std::size_t s = 0; s < states_; ++s) {
+    alpha[s] = initial_[s] * emission_[s * symbols_ + first];
+    scale += alpha[s];
+  }
+  if (scale <= 0.0) return -std::numeric_limits<double>::infinity();
+  for (auto& a : alpha) a /= scale;
+  log_prob += std::log(scale);
+
+  std::vector<double> next(states_);
+  for (std::size_t t = 1; t < sequence.size(); ++t) {
+    const std::size_t symbol = sequence[t];
+    if (symbol >= symbols_) throw std::out_of_range{"DiscreteHmm: symbol out of range"};
+    scale = 0.0;
+    for (std::size_t j = 0; j < states_; ++j) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < states_; ++i) {
+        sum += alpha[i] * transition_[i * states_ + j];
+      }
+      next[j] = sum * emission_[j * symbols_ + symbol];
+      scale += next[j];
+    }
+    if (scale <= 0.0) return -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < states_; ++j) alpha[j] = next[j] / scale;
+    log_prob += std::log(scale);
+  }
+  return log_prob;
+}
+
+double DiscreteHmm::mean_log_likelihood(std::span<const std::size_t> sequence) const {
+  if (sequence.empty()) return 0.0;
+  return log_likelihood(sequence) / static_cast<double>(sequence.size());
+}
+
+std::vector<std::size_t> DiscreteHmm::viterbi(
+    std::span<const std::size_t> sequence) const {
+  if (sequence.empty()) return {};
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  auto safe_log = [neg_inf](double p) { return p > 0.0 ? std::log(p) : neg_inf; };
+
+  const std::size_t length = sequence.size();
+  std::vector<std::vector<double>> delta(length, std::vector<double>(states_));
+  std::vector<std::vector<std::size_t>> parent(
+      length, std::vector<std::size_t>(states_, 0));
+
+  if (sequence[0] >= symbols_) {
+    throw std::out_of_range{"DiscreteHmm::viterbi: symbol out of range"};
+  }
+  for (std::size_t s = 0; s < states_; ++s) {
+    delta[0][s] = safe_log(initial_[s]) + safe_log(emission_[s * symbols_ + sequence[0]]);
+  }
+  for (std::size_t t = 1; t < length; ++t) {
+    if (sequence[t] >= symbols_) {
+      throw std::out_of_range{"DiscreteHmm::viterbi: symbol out of range"};
+    }
+    for (std::size_t j = 0; j < states_; ++j) {
+      double best = neg_inf;
+      std::size_t best_parent = 0;
+      for (std::size_t i = 0; i < states_; ++i) {
+        const double candidate = delta[t - 1][i] + safe_log(transition_[i * states_ + j]);
+        if (candidate > best) {
+          best = candidate;
+          best_parent = i;
+        }
+      }
+      delta[t][j] = best + safe_log(emission_[j * symbols_ + sequence[t]]);
+      parent[t][j] = best_parent;
+    }
+  }
+  // Backtrack from the best final state.
+  std::size_t state = 0;
+  for (std::size_t s = 1; s < states_; ++s) {
+    if (delta[length - 1][s] > delta[length - 1][state]) state = s;
+  }
+  std::vector<std::size_t> path(length);
+  for (std::size_t t = length; t-- > 0;) {
+    path[t] = state;
+    if (t > 0) state = parent[t][state];
+  }
+  return path;
+}
+
+double DiscreteHmm::baum_welch_iteration(
+    std::span<const std::vector<std::size_t>> sequences, double smoothing) {
+  std::vector<double> initial_acc(states_, smoothing);
+  std::vector<double> transition_acc(states_ * states_, smoothing);
+  std::vector<double> emission_acc(states_ * symbols_, smoothing);
+  double total_log_likelihood = 0.0;
+
+  std::vector<std::vector<double>> alpha, beta;
+  std::vector<double> scales;
+  for (const auto& sequence : sequences) {
+    const std::size_t length = sequence.size();
+    if (length == 0) continue;
+    alpha.assign(length, std::vector<double>(states_, 0.0));
+    beta.assign(length, std::vector<double>(states_, 0.0));
+    scales.assign(length, 0.0);
+
+    // Scaled forward.
+    for (std::size_t s = 0; s < states_; ++s) {
+      alpha[0][s] = initial_[s] * emission_[s * symbols_ + sequence[0]];
+      scales[0] += alpha[0][s];
+    }
+    if (scales[0] <= 0.0) continue;  // impossible under current params
+    for (auto& a : alpha[0]) a /= scales[0];
+    bool impossible = false;
+    for (std::size_t t = 1; t < length; ++t) {
+      for (std::size_t j = 0; j < states_; ++j) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < states_; ++i) {
+          sum += alpha[t - 1][i] * transition_[i * states_ + j];
+        }
+        alpha[t][j] = sum * emission_[j * symbols_ + sequence[t]];
+        scales[t] += alpha[t][j];
+      }
+      if (scales[t] <= 0.0) {
+        impossible = true;
+        break;
+      }
+      for (auto& a : alpha[t]) a /= scales[t];
+    }
+    if (impossible) continue;
+    for (const double s : scales) total_log_likelihood += std::log(s);
+
+    // Scaled backward.
+    for (std::size_t s = 0; s < states_; ++s) beta[length - 1][s] = 1.0;
+    for (std::size_t t = length - 1; t-- > 0;) {
+      for (std::size_t i = 0; i < states_; ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < states_; ++j) {
+          sum += transition_[i * states_ + j] *
+                 emission_[j * symbols_ + sequence[t + 1]] * beta[t + 1][j];
+        }
+        beta[t][i] = sum / scales[t + 1];
+      }
+    }
+
+    // Accumulate expected counts.
+    for (std::size_t s = 0; s < states_; ++s) {
+      initial_acc[s] += alpha[0][s] * beta[0][s];
+    }
+    for (std::size_t t = 0; t < length; ++t) {
+      for (std::size_t s = 0; s < states_; ++s) {
+        emission_acc[s * symbols_ + sequence[t]] += alpha[t][s] * beta[t][s];
+      }
+    }
+    for (std::size_t t = 0; t + 1 < length; ++t) {
+      for (std::size_t i = 0; i < states_; ++i) {
+        for (std::size_t j = 0; j < states_; ++j) {
+          transition_acc[i * states_ + j] +=
+              alpha[t][i] * transition_[i * states_ + j] *
+              emission_[j * symbols_ + sequence[t + 1]] * beta[t + 1][j] /
+              scales[t + 1];
+        }
+      }
+    }
+  }
+
+  normalize_row(initial_acc, 0, states_);
+  for (std::size_t s = 0; s < states_; ++s) {
+    normalize_row(transition_acc, s * states_, states_);
+    normalize_row(emission_acc, s * symbols_, symbols_);
+  }
+  initial_ = std::move(initial_acc);
+  transition_ = std::move(transition_acc);
+  emission_ = std::move(emission_acc);
+  return total_log_likelihood;
+}
+
+DiscreteHmm DiscreteHmm::train(std::span<const std::vector<std::size_t>> sequences,
+                               std::size_t states, std::size_t symbols,
+                               const HmmTrainConfig& config) {
+  DiscreteHmm model{states, symbols};
+  // Randomized (deterministic) initialization to break symmetry.
+  util::Rng rng{config.seed};
+  for (auto& p : model.initial_) p = 0.5 + rng.uniform();
+  for (auto& p : model.transition_) p = 0.5 + rng.uniform();
+  for (auto& p : model.emission_) p = 0.5 + rng.uniform();
+  normalize_row(model.initial_, 0, states);
+  for (std::size_t s = 0; s < states; ++s) {
+    normalize_row(model.transition_, s * states, states);
+    normalize_row(model.emission_, s * symbols, symbols);
+  }
+
+  std::size_t total_symbols = 0;
+  for (const auto& sequence : sequences) total_symbols += sequence.size();
+  if (total_symbols == 0) return model;
+
+  double previous = -std::numeric_limits<double>::infinity();
+  for (std::size_t iteration = 0; iteration < config.max_iterations; ++iteration) {
+    const double ll = model.baum_welch_iteration(sequences, config.smoothing);
+    const double per_symbol = ll / static_cast<double>(total_symbols);
+    const double prev_per_symbol = previous / static_cast<double>(total_symbols);
+    if (iteration > 0 && per_symbol - prev_per_symbol < config.tolerance) break;
+    previous = ll;
+  }
+  return model;
+}
+
+}  // namespace wtp::hmm

@@ -1,0 +1,73 @@
+// Discrete-emission hidden Markov model with scaled forward/backward and
+// Baum-Welch training.
+//
+// Substrate for the Verde-style NetFlow user-fingerprinting baseline the
+// paper compares against qualitatively (§VI): per-user HMMs over quantized
+// flow-record symbols.  Log-domain scaling keeps long sequences stable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wtp::hmm {
+
+struct HmmTrainConfig {
+  std::size_t max_iterations = 50;
+  double tolerance = 1e-4;      ///< stop when per-symbol LL improves less
+  double smoothing = 1e-3;      ///< Laplace smoothing of re-estimated rows
+  std::uint64_t seed = 1;       ///< random initialization seed
+};
+
+class DiscreteHmm {
+ public:
+  /// Uniform model with `states` hidden states over `symbols` observation
+  /// symbols.  Throws std::invalid_argument on zero sizes.
+  DiscreteHmm(std::size_t states, std::size_t symbols);
+
+  /// Baum-Welch over a set of observation sequences (empty sequences are
+  /// ignored).  Returns the trained model.  Deterministic given the seed.
+  [[nodiscard]] static DiscreteHmm train(
+      std::span<const std::vector<std::size_t>> sequences, std::size_t states,
+      std::size_t symbols, const HmmTrainConfig& config = {});
+
+  /// Log-likelihood of a sequence under the model (scaled forward pass).
+  /// Returns -inf for impossible sequences; 0 for empty sequences.
+  [[nodiscard]] double log_likelihood(std::span<const std::size_t> sequence) const;
+
+  /// log_likelihood / length: comparable across sequences of different
+  /// lengths (used to rank candidate users).
+  [[nodiscard]] double mean_log_likelihood(std::span<const std::size_t> sequence) const;
+
+  /// Most probable hidden-state path (Viterbi, log domain).  Empty for an
+  /// empty sequence; throws std::out_of_range on invalid symbols.
+  [[nodiscard]] std::vector<std::size_t> viterbi(
+      std::span<const std::size_t> sequence) const;
+
+  [[nodiscard]] std::size_t num_states() const noexcept { return states_; }
+  [[nodiscard]] std::size_t num_symbols() const noexcept { return symbols_; }
+
+  /// Row-stochastic parameter access (row-major).
+  [[nodiscard]] const std::vector<double>& initial() const noexcept { return initial_; }
+  [[nodiscard]] const std::vector<double>& transition() const noexcept { return transition_; }
+  [[nodiscard]] const std::vector<double>& emission() const noexcept { return emission_; }
+
+  /// Replaces parameters (validated: correct sizes, rows sum to ~1).
+  void set_parameters(std::vector<double> initial, std::vector<double> transition,
+                      std::vector<double> emission);
+
+ private:
+  /// One Baum-Welch pass over the sequences; returns total log-likelihood.
+  double baum_welch_iteration(std::span<const std::vector<std::size_t>> sequences,
+                              double smoothing);
+
+  std::size_t states_;
+  std::size_t symbols_;
+  std::vector<double> initial_;     // [states]
+  std::vector<double> transition_;  // [states x states]
+  std::vector<double> emission_;    // [states x symbols]
+};
+
+}  // namespace wtp::hmm

@@ -1,0 +1,106 @@
+#include "log/log_io.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace wtp::log {
+
+namespace {
+
+constexpr std::size_t kFieldCount = 11;
+
+}  // namespace
+
+std::vector<std::string> log_header() {
+  return {"timestamp",  "url",        "scheme",           "action",
+          "user_id",    "device_id",  "category",         "media_type",
+          "application_type", "reputation", "private_flag"};
+}
+
+std::vector<std::string> to_fields(const WebTransaction& txn) {
+  return {util::format_timestamp(txn.timestamp),
+          txn.url,
+          std::string{to_string(txn.scheme)},
+          std::string{to_string(txn.action)},
+          txn.user_id,
+          txn.device_id,
+          txn.category,
+          txn.media_type,
+          txn.application_type,
+          std::string{to_string(txn.reputation)},
+          txn.private_destination ? "1" : "0"};
+}
+
+WebTransaction from_fields(const std::vector<std::string>& fields) {
+  if (fields.size() != kFieldCount) {
+    throw std::runtime_error{"log::from_fields: expected " +
+                             std::to_string(kFieldCount) + " fields, got " +
+                             std::to_string(fields.size())};
+  }
+  WebTransaction txn;
+  txn.timestamp = util::parse_timestamp(fields[0]);
+  txn.url = fields[1];
+  txn.scheme = parse_uri_scheme(fields[2]);
+  txn.action = parse_http_action(fields[3]);
+  txn.user_id = fields[4];
+  txn.device_id = fields[5];
+  txn.category = fields[6];
+  txn.media_type = fields[7];
+  txn.application_type = fields[8];
+  txn.reputation = parse_reputation(fields[9]);
+  if (fields[10] == "1") {
+    txn.private_destination = true;
+  } else if (fields[10] == "0") {
+    txn.private_destination = false;
+  } else {
+    throw std::runtime_error{"log::from_fields: private_flag must be 0/1, got '" +
+                             fields[10] + "'"};
+  }
+  return txn;
+}
+
+void write_log(std::ostream& out, const std::vector<WebTransaction>& txns) {
+  util::CsvWriter writer{out};
+  writer.write_row(log_header());
+  for (const auto& txn : txns) writer.write_row(to_fields(txn));
+}
+
+void write_log_file(const std::string& path, const std::vector<WebTransaction>& txns) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"write_log_file: cannot open '" + path + "'"};
+  write_log(out, txns);
+}
+
+std::vector<WebTransaction> read_log(std::istream& in) {
+  std::vector<WebTransaction> txns;
+  LogReader reader{in};
+  WebTransaction txn;
+  while (reader.next(txn)) txns.push_back(txn);
+  return txns;
+}
+
+std::vector<WebTransaction> read_log_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"read_log_file: cannot open '" + path + "'"};
+  return read_log(in);
+}
+
+LogReader::LogReader(std::istream& in) : in_{in} {}
+
+bool LogReader::next(WebTransaction& txn) {
+  util::CsvReader reader{in_};
+  std::vector<std::string> fields;
+  while (reader.read_row(fields)) {
+    if (!checked_header_) {
+      checked_header_ = true;
+      if (!fields.empty() && fields[0] == "timestamp") continue;  // skip header
+    }
+    txn = from_fields(fields);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace wtp::log

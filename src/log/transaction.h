@@ -1,0 +1,83 @@
+// The augmented web-transaction record produced by the secure proxy.
+//
+// A web transaction (paper §I) is one HTTP request/response to a single URL.
+// The proxy augments it with proprietary service knowledge: website category,
+// media type, application type, and URL reputation.  The paper's example log
+// line:
+//   2015-05-29 05:05:04, www.inlinegames.com, HTTP/1.0, GET, user_9,
+//   Games, text/html, ...
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace wtp::log {
+
+/// HTTP methods the paper's feature space covers (Tab. I: 4 columns).
+enum class HttpAction : std::uint8_t { kGet, kPost, kConnect, kHead };
+inline constexpr int kHttpActionCount = 4;
+
+/// Request scheme (Tab. I: 2 columns).
+enum class UriScheme : std::uint8_t { kHttp, kHttps };
+inline constexpr int kUriSchemeCount = 2;
+
+/// URL reputation assigned by the logging service (paper §III-A):
+/// Minimal/Medium/High risk when verified, or Unverified.
+enum class Reputation : std::uint8_t {
+  kUnverified,
+  kMinimalRisk,
+  kMediumRisk,
+  kHighRisk,
+};
+
+[[nodiscard]] std::string_view to_string(HttpAction action) noexcept;
+[[nodiscard]] std::string_view to_string(UriScheme scheme) noexcept;
+[[nodiscard]] std::string_view to_string(Reputation reputation) noexcept;
+
+/// Parsers throw std::runtime_error on unknown values (a malformed log line
+/// must be surfaced, not silently coerced).
+[[nodiscard]] HttpAction parse_http_action(std::string_view text);
+[[nodiscard]] UriScheme parse_uri_scheme(std::string_view text);
+[[nodiscard]] Reputation parse_reputation(std::string_view text);
+
+/// Numeric risk used as the reputation feature value (paper §III-B):
+/// Minimal = 0, Medium = 0.5, High = 1; Unverified defaults to 0.
+[[nodiscard]] double reputation_risk(Reputation reputation) noexcept;
+
+/// True when the reputation has been verified by the logging service.
+[[nodiscard]] bool reputation_verified(Reputation reputation) noexcept;
+
+/// One augmented web transaction.
+///
+/// String-valued fields (category/media type/application type/host) are open
+/// vocabularies: the feature schema assigns them bag-of-words columns at
+/// training time (paper §III-B).  user_id and device_id drive user-specific
+/// and host-specific windowing respectively (paper §III-C).
+struct WebTransaction {
+  util::UnixSeconds timestamp = 0;   ///< request time (Unix seconds, UTC)
+  std::string url;                   ///< requested host/URL
+  UriScheme scheme = UriScheme::kHttp;
+  HttpAction action = HttpAction::kGet;
+  std::string user_id;               ///< authenticated user ("user_9")
+  std::string device_id;             ///< source device/IP ("device_3")
+  std::string category;              ///< website category ("Games")
+  std::string media_type;            ///< MIME type ("text/html")
+  std::string application_type;      ///< service application ("CloudFlare")
+  Reputation reputation = Reputation::kUnverified;
+  bool private_destination = false;  ///< internal-network request
+
+  friend bool operator==(const WebTransaction&, const WebTransaction&) = default;
+};
+
+/// Splits "video/mp4" into {"video", "mp4"}.  A missing '/' yields the whole
+/// string as super-type and an empty sub-type (paper §III-B's split).
+struct MediaTypeParts {
+  std::string super_type;
+  std::string sub_type;
+};
+[[nodiscard]] MediaTypeParts split_media_type(std::string_view media_type);
+
+}  // namespace wtp::log

@@ -1,0 +1,72 @@
+#include "oneclass/centroid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace wtp::oneclass {
+
+double quantile_threshold(std::span<const double> scores, double outlier_fraction) {
+  if (scores.empty()) {
+    throw std::invalid_argument{"quantile_threshold: empty scores"};
+  }
+  const double q = std::clamp(outlier_fraction, 0.0, 1.0);
+  return util::quantile(scores, q);
+}
+
+CentroidModel::CentroidModel(double outlier_fraction)
+    : outlier_fraction_{outlier_fraction} {
+  if (outlier_fraction < 0.0 || outlier_fraction >= 1.0) {
+    throw std::invalid_argument{"CentroidModel: outlier_fraction must be in [0, 1)"};
+  }
+}
+
+void CentroidModel::fit(std::span<const util::SparseVector> data,
+                        std::size_t dimension) {
+  if (data.empty()) throw std::invalid_argument{"CentroidModel::fit: empty data"};
+  mean_.assign(dimension, 0.0);
+  for (const auto& x : data) {
+    for (const auto& entry : x.entries()) {
+      if (entry.index >= dimension) {
+        throw std::out_of_range{"CentroidModel::fit: feature index out of range"};
+      }
+      mean_[entry.index] += entry.value;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(data.size());
+  mean_sqnorm_ = 0.0;
+  for (auto& value : mean_) {
+    value *= inv;
+    mean_sqnorm_ += value * value;
+  }
+  fitted_ = true;
+
+  std::vector<double> distances;
+  distances.reserve(data.size());
+  for (const auto& x : data) distances.push_back(distance_to_mean(x));
+  // Radius covering all but the outlier fraction: negate so that "higher is
+  // better" for the shared quantile helper.
+  std::vector<double> scores;
+  scores.reserve(distances.size());
+  for (const double d : distances) scores.push_back(-d);
+  radius_ = -quantile_threshold(scores, outlier_fraction_);
+}
+
+double CentroidModel::distance_to_mean(const util::SparseVector& x) const {
+  // ||x - m||^2 = ||x||^2 - 2 x.m + ||m||^2, exploiting x's sparsity.
+  double cross = 0.0;
+  for (const auto& entry : x.entries()) {
+    if (entry.index < mean_.size()) cross += entry.value * mean_[entry.index];
+  }
+  const double sq = x.squared_norm() - 2.0 * cross + mean_sqnorm_;
+  return std::sqrt(std::max(0.0, sq));
+}
+
+double CentroidModel::decision_value(const util::SparseVector& x) const {
+  if (!fitted_) throw std::logic_error{"CentroidModel: decision before fit"};
+  return radius_ - distance_to_mean(x);
+}
+
+}  // namespace wtp::oneclass

@@ -1,0 +1,33 @@
+// Mean-centroid baseline: accept x when its Euclidean distance to the
+// training mean is within the radius covering (1 - outlier_fraction) of the
+// training data.  The simplest possible profile; used as the sanity floor in
+// the alternative-models ablation.
+#pragma once
+
+#include <vector>
+
+#include "oneclass/model.h"
+
+namespace wtp::oneclass {
+
+class CentroidModel final : public OneClassModel {
+ public:
+  explicit CentroidModel(double outlier_fraction = 0.1);
+
+  void fit(std::span<const util::SparseVector> data, std::size_t dimension) override;
+  [[nodiscard]] double decision_value(const util::SparseVector& x) const override;
+  [[nodiscard]] std::string name() const override { return "centroid"; }
+
+  [[nodiscard]] double radius() const noexcept { return radius_; }
+
+ private:
+  [[nodiscard]] double distance_to_mean(const util::SparseVector& x) const;
+
+  double outlier_fraction_;
+  std::vector<double> mean_;
+  double mean_sqnorm_ = 0.0;
+  double radius_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace wtp::oneclass

@@ -1,0 +1,69 @@
+#include "oneclass/gaussian.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wtp::oneclass {
+
+GaussianModel::GaussianModel(double outlier_fraction, double variance_floor)
+    : outlier_fraction_{outlier_fraction}, variance_floor_{variance_floor} {
+  if (outlier_fraction < 0.0 || outlier_fraction >= 1.0) {
+    throw std::invalid_argument{"GaussianModel: outlier_fraction must be in [0, 1)"};
+  }
+  if (variance_floor <= 0.0) {
+    throw std::invalid_argument{"GaussianModel: variance_floor must be > 0"};
+  }
+}
+
+void GaussianModel::fit(std::span<const util::SparseVector> data,
+                        std::size_t dimension) {
+  if (data.empty()) throw std::invalid_argument{"GaussianModel::fit: empty data"};
+  const double n = static_cast<double>(data.size());
+  mean_.assign(dimension, 0.0);
+  std::vector<double> sq_sum(dimension, 0.0);
+  for (const auto& x : data) {
+    for (const auto& entry : x.entries()) {
+      if (entry.index >= dimension) {
+        throw std::out_of_range{"GaussianModel::fit: feature index out of range"};
+      }
+      mean_[entry.index] += entry.value;
+      sq_sum[entry.index] += entry.value * entry.value;
+    }
+  }
+  inv_variance_.assign(dimension, 0.0);
+  base_distance_ = 0.0;
+  for (std::size_t d = 0; d < dimension; ++d) {
+    mean_[d] /= n;
+    const double variance =
+        std::max(variance_floor_, sq_sum[d] / n - mean_[d] * mean_[d]);
+    inv_variance_[d] = 1.0 / variance;
+    base_distance_ += mean_[d] * mean_[d] * inv_variance_[d];
+  }
+  fitted_ = true;
+
+  std::vector<double> scores;
+  scores.reserve(data.size());
+  for (const auto& x : data) scores.push_back(-mahalanobis(x));
+  threshold_ = -quantile_threshold(scores, outlier_fraction_);
+}
+
+double GaussianModel::mahalanobis(const util::SparseVector& x) const {
+  // sum_d (x_d - m_d)^2 / v_d computed sparsely: start from the zero-vector
+  // distance and correct the coordinates where x is non-zero.
+  double sq = base_distance_;
+  for (const auto& entry : x.entries()) {
+    if (entry.index >= mean_.size()) continue;  // out-of-schema: ignore
+    const double m = mean_[entry.index];
+    const double iv = inv_variance_[entry.index];
+    const double diff = entry.value - m;
+    sq += diff * diff * iv - m * m * iv;
+  }
+  return std::sqrt(std::max(0.0, sq));
+}
+
+double GaussianModel::decision_value(const util::SparseVector& x) const {
+  if (!fitted_) throw std::logic_error{"GaussianModel: decision before fit"};
+  return threshold_ - mahalanobis(x);
+}
+
+}  // namespace wtp::oneclass

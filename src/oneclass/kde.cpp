@@ -1,0 +1,51 @@
+#include "oneclass/kde.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wtp::oneclass {
+
+KdeModel::KdeModel(double outlier_fraction, double bandwidth_gamma)
+    : outlier_fraction_{outlier_fraction}, gamma_{bandwidth_gamma} {
+  if (outlier_fraction < 0.0 || outlier_fraction >= 1.0) {
+    throw std::invalid_argument{"KdeModel: outlier_fraction must be in [0, 1)"};
+  }
+}
+
+void KdeModel::fit(std::span<const util::SparseVector> data, std::size_t dimension) {
+  if (data.empty()) throw std::invalid_argument{"KdeModel::fit: empty data"};
+  if (gamma_ <= 0.0) {
+    gamma_ = 1.0 / static_cast<double>(std::max<std::size_t>(1, dimension));
+  }
+  points_.assign(data.begin(), data.end());
+  sq_norms_.resize(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    sq_norms_[i] = points_[i].squared_norm();
+  }
+  fitted_ = true;
+
+  // Leave-one-out densities would be ideal; plain densities shift every
+  // training score up by 1/n uniformly, which the quantile absorbs.
+  std::vector<double> scores;
+  scores.reserve(points_.size());
+  for (const auto& x : points_) scores.push_back(density(x));
+  threshold_ = quantile_threshold(scores, outlier_fraction_);
+}
+
+double KdeModel::density(const util::SparseVector& x) const {
+  if (!fitted_) throw std::logic_error{"KdeModel: density before fit"};
+  const double x_sqnorm = x.squared_norm();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const double sq_dist =
+        std::max(0.0, sq_norms_[i] + x_sqnorm - 2.0 * points_[i].dot(x));
+    sum += std::exp(-gamma_ * sq_dist);
+  }
+  return sum / static_cast<double>(points_.size());
+}
+
+double KdeModel::decision_value(const util::SparseVector& x) const {
+  return density(x) - threshold_;
+}
+
+}  // namespace wtp::oneclass

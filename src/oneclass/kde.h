@@ -1,0 +1,34 @@
+// Parzen-window (kernel density) profile: the acceptance score of x is the
+// mean RBF kernel to the training windows; the threshold is the training
+// quantile at the configured outlier fraction.  Another "probabilistic
+// model" candidate from the paper's future work.
+#pragma once
+
+#include <vector>
+
+#include "oneclass/model.h"
+
+namespace wtp::oneclass {
+
+class KdeModel final : public OneClassModel {
+ public:
+  /// bandwidth_gamma <= 0 resolves to 1/dimension at fit time.
+  explicit KdeModel(double outlier_fraction = 0.1, double bandwidth_gamma = 0.0);
+
+  void fit(std::span<const util::SparseVector> data, std::size_t dimension) override;
+  [[nodiscard]] double decision_value(const util::SparseVector& x) const override;
+  [[nodiscard]] std::string name() const override { return "kde"; }
+
+  [[nodiscard]] double density(const util::SparseVector& x) const;
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+ private:
+  double outlier_fraction_;
+  double gamma_;
+  std::vector<util::SparseVector> points_;
+  std::vector<double> sq_norms_;
+  double threshold_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace wtp::oneclass

@@ -1,0 +1,67 @@
+#include "oneclass/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace wtp::oneclass {
+
+KnnModel::KnnModel(std::size_t k, double outlier_fraction)
+    : k_{k}, outlier_fraction_{outlier_fraction} {
+  if (k == 0) throw std::invalid_argument{"KnnModel: k must be > 0"};
+  if (outlier_fraction < 0.0 || outlier_fraction >= 1.0) {
+    throw std::invalid_argument{"KnnModel: outlier_fraction must be in [0, 1)"};
+  }
+}
+
+void KnnModel::fit(std::span<const util::SparseVector> data, std::size_t dimension) {
+  (void)dimension;  // metric model: no dense expansion needed
+  if (data.empty()) throw std::invalid_argument{"KnnModel::fit: empty data"};
+  points_.assign(data.begin(), data.end());
+  sq_norms_.resize(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    sq_norms_[i] = points_[i].squared_norm();
+  }
+  fitted_ = true;
+
+  // Leave-one-out calibration: each training point's k-th neighbour among
+  // the *other* points.
+  std::vector<double> scores;
+  scores.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    scores.push_back(-kth_distance_internal(points_[i], i));
+  }
+  threshold_ = -quantile_threshold(scores, outlier_fraction_);
+}
+
+double KnnModel::kth_distance_internal(const util::SparseVector& x,
+                                       std::size_t skip_index) const {
+  // Max-heap of the k smallest squared distances seen so far.
+  std::priority_queue<double> heap;
+  const double x_sqnorm = x.squared_norm();
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (i == skip_index) continue;
+    const double sq =
+        std::max(0.0, sq_norms_[i] + x_sqnorm - 2.0 * points_[i].dot(x));
+    if (heap.size() < k_) {
+      heap.push(sq);
+    } else if (sq < heap.top()) {
+      heap.pop();
+      heap.push(sq);
+    }
+  }
+  if (heap.empty()) return 0.0;  // single-point training set
+  return std::sqrt(heap.top());
+}
+
+double KnnModel::kth_distance(const util::SparseVector& x) const {
+  if (!fitted_) throw std::logic_error{"KnnModel: distance before fit"};
+  return kth_distance_internal(x, points_.size());
+}
+
+double KnnModel::decision_value(const util::SparseVector& x) const {
+  return threshold_ - kth_distance(x);
+}
+
+}  // namespace wtp::oneclass

@@ -1,0 +1,38 @@
+// k-nearest-neighbour distance model: the acceptance score of x is the
+// (negated) Euclidean distance to its k-th nearest training window; the
+// threshold is calibrated on leave-one-out training distances.  A strong
+// classical one-class baseline for the A3 ablation.
+#pragma once
+
+#include <vector>
+
+#include "oneclass/model.h"
+
+namespace wtp::oneclass {
+
+class KnnModel final : public OneClassModel {
+ public:
+  explicit KnnModel(std::size_t k = 5, double outlier_fraction = 0.1);
+
+  void fit(std::span<const util::SparseVector> data, std::size_t dimension) override;
+  [[nodiscard]] double decision_value(const util::SparseVector& x) const override;
+  [[nodiscard]] std::string name() const override { return "knn"; }
+
+  /// Distance to the k-th nearest training point (excluding exact self
+  /// matches only via the extra-neighbour trick during calibration).
+  [[nodiscard]] double kth_distance(const util::SparseVector& x) const;
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+ private:
+  [[nodiscard]] double kth_distance_internal(const util::SparseVector& x,
+                                             std::size_t skip_index) const;
+
+  std::size_t k_;
+  double outlier_fraction_;
+  std::vector<util::SparseVector> points_;
+  std::vector<double> sq_norms_;
+  double threshold_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace wtp::oneclass

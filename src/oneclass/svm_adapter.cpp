@@ -1,0 +1,102 @@
+#include "oneclass/svm_adapter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "oneclass/centroid.h"
+#include "oneclass/gaussian.h"
+#include "oneclass/isolation_forest.h"
+#include "oneclass/kde.h"
+#include "oneclass/knn.h"
+
+namespace wtp::oneclass {
+
+void OcSvmAdapter::fit(std::span<const util::SparseVector> data,
+                       std::size_t dimension) {
+  model_ = svm::OneClassSvmModel::train(data, config_, dimension);
+}
+
+double OcSvmAdapter::decision_value(const util::SparseVector& x) const {
+  return model().decision_value(x);
+}
+
+const svm::OneClassSvmModel& OcSvmAdapter::model() const {
+  if (!model_) throw std::logic_error{"OcSvmAdapter: decision before fit"};
+  return *model_;
+}
+
+SvddAdapter SvddAdapter::with_nu(double nu, svm::KernelParams kernel) {
+  if (nu <= 0.0 || nu > 1.0) {
+    throw std::invalid_argument{"SvddAdapter::with_nu: nu must be in (0, 1]"};
+  }
+  svm::SvddConfig config;
+  config.kernel = kernel;
+  SvddAdapter adapter{config};
+  adapter.nu_coupling_ = nu;
+  return adapter;
+}
+
+void SvddAdapter::fit(std::span<const util::SparseVector> data,
+                      std::size_t dimension) {
+  if (nu_coupling_) {
+    const double l = static_cast<double>(std::max<std::size_t>(1, data.size()));
+    config_.c = std::clamp(1.0 / (*nu_coupling_ * l), 1.0 / l, 1.0);
+  }
+  model_ = svm::SvddModel::train(data, config_, dimension);
+}
+
+double SvddAdapter::decision_value(const util::SparseVector& x) const {
+  return model().decision_value(x);
+}
+
+const svm::SvddModel& SvddAdapter::model() const {
+  if (!model_) throw std::logic_error{"SvddAdapter: decision before fit"};
+  return *model_;
+}
+
+std::string_view to_string(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::kOcSvm: return "oc-svm";
+    case ModelKind::kSvdd: return "svdd";
+    case ModelKind::kCentroid: return "centroid";
+    case ModelKind::kGaussian: return "gaussian";
+    case ModelKind::kKde: return "kde";
+    case ModelKind::kAutoencoder: return "autoencoder";
+    case ModelKind::kIsolationForest: return "isolation-forest";
+    case ModelKind::kKnn: return "knn";
+  }
+  return "?";
+}
+
+OneClassModelPtr make_model(ModelKind kind, double nu) {
+  switch (kind) {
+    case ModelKind::kOcSvm: {
+      svm::OneClassSvmConfig config;
+      config.nu = nu;
+      return std::make_unique<OcSvmAdapter>(config);
+    }
+    case ModelKind::kSvdd:
+      return std::make_unique<SvddAdapter>(SvddAdapter::with_nu(nu));
+    case ModelKind::kCentroid:
+      return std::make_unique<CentroidModel>(nu);
+    case ModelKind::kGaussian:
+      return std::make_unique<GaussianModel>(nu);
+    case ModelKind::kKde:
+      return std::make_unique<KdeModel>(nu);
+    case ModelKind::kAutoencoder: {
+      AutoencoderConfig config;
+      config.outlier_fraction = nu;
+      return std::make_unique<AutoencoderModel>(config);
+    }
+    case ModelKind::kIsolationForest: {
+      IsolationForestConfig config;
+      config.outlier_fraction = nu;
+      return std::make_unique<IsolationForestModel>(config);
+    }
+    case ModelKind::kKnn:
+      return std::make_unique<KnnModel>(5, nu);
+  }
+  throw std::invalid_argument{"make_model: unknown model kind"};
+}
+
+}  // namespace wtp::oneclass

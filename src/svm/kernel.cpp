@@ -1,0 +1,96 @@
+#include "svm/kernel.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace wtp::svm {
+
+std::string_view to_string(KernelType type) noexcept {
+  switch (type) {
+    case KernelType::kLinear: return "linear";
+    case KernelType::kPolynomial: return "polynomial";
+    case KernelType::kRbf: return "rbf";
+    case KernelType::kSigmoid: return "sigmoid";
+  }
+  return "linear";
+}
+
+KernelType parse_kernel_type(std::string_view text) {
+  const std::string lowered = util::to_lower(text);
+  if (lowered == "linear") return KernelType::kLinear;
+  if (lowered == "polynomial" || lowered == "poly") return KernelType::kPolynomial;
+  if (lowered == "rbf") return KernelType::kRbf;
+  if (lowered == "sigmoid") return KernelType::kSigmoid;
+  throw std::runtime_error{"parse_kernel_type: unknown kernel '" + std::string{text} + "'"};
+}
+
+namespace {
+
+double powi(double base, int exponent) {
+  double result = 1.0;
+  double factor = base;
+  for (int e = exponent; e > 0; e /= 2) {
+    if (e % 2 == 1) result *= factor;
+    factor *= factor;
+  }
+  return result;
+}
+
+}  // namespace
+
+double kernel_eval(const KernelParams& params, const util::SparseVector& x,
+                   const util::SparseVector& y, double x_sqnorm,
+                   double y_sqnorm) {
+  switch (params.type) {
+    case KernelType::kLinear:
+      return x.dot(y);
+    case KernelType::kPolynomial:
+      return powi(params.gamma * x.dot(y) + params.coef0, params.degree);
+    case KernelType::kRbf: {
+      const double sq_dist = x_sqnorm + y_sqnorm - 2.0 * x.dot(y);
+      return std::exp(-params.gamma * (sq_dist > 0.0 ? sq_dist : 0.0));
+    }
+    case KernelType::kSigmoid:
+      return std::tanh(params.gamma * x.dot(y) + params.coef0);
+  }
+  throw std::logic_error{"kernel_eval: invalid kernel type"};
+}
+
+double kernel_eval(const KernelParams& params, const util::SparseVector& x,
+                   const util::SparseVector& y) {
+  if (params.type == KernelType::kRbf) {
+    return kernel_eval(params, x, y, x.squared_norm(), y.squared_norm());
+  }
+  return kernel_eval(params, x, y, 0.0, 0.0);
+}
+
+double kernel_self(const KernelParams& params, const util::SparseVector& x) {
+  switch (params.type) {
+    case KernelType::kRbf:
+      return 1.0;
+    case KernelType::kLinear:
+      return x.squared_norm();
+    case KernelType::kPolynomial:
+      return powi(params.gamma * x.squared_norm() + params.coef0, params.degree);
+    case KernelType::kSigmoid:
+      return std::tanh(params.gamma * x.squared_norm() + params.coef0);
+  }
+  throw std::logic_error{"kernel_self: invalid kernel type"};
+}
+
+std::string describe(const KernelParams& params) {
+  std::string out{to_string(params.type)};
+  out += "(gamma=" + util::format_double(params.gamma, 4);
+  if (params.type == KernelType::kPolynomial) {
+    out += ", degree=" + std::to_string(params.degree) +
+           ", coef0=" + util::format_double(params.coef0, 2);
+  } else if (params.type == KernelType::kSigmoid) {
+    out += ", coef0=" + util::format_double(params.coef0, 2);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace wtp::svm

@@ -1,0 +1,50 @@
+// Kernel functions over sparse feature vectors (paper §II, eq. 2).
+//
+// The four kernels of the paper's grid search (Tab. III):
+//   linear      k(x,y) = x.y
+//   polynomial  k(x,y) = (gamma x.y + coef0)^degree
+//   rbf         k(x,y) = exp(-gamma ||x-y||^2)      [paper: gamma = 1/C]
+//   sigmoid     k(x,y) = tanh(gamma x.y + coef0)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/sparse_vector.h"
+
+namespace wtp::svm {
+
+enum class KernelType : std::uint8_t { kLinear, kPolynomial, kRbf, kSigmoid };
+
+[[nodiscard]] std::string_view to_string(KernelType type) noexcept;
+/// Throws std::runtime_error on unknown names.
+[[nodiscard]] KernelType parse_kernel_type(std::string_view text);
+
+struct KernelParams {
+  KernelType type = KernelType::kRbf;
+  /// gamma <= 0 means "auto": replaced by 1/dimension at training time.
+  double gamma = 0.0;
+  double coef0 = 0.0;
+  int degree = 3;
+
+  friend bool operator==(const KernelParams&, const KernelParams&) = default;
+};
+
+/// Evaluates k(x, y).  For RBF, the squared norms of x and y may be passed
+/// to avoid recomputation (the solver precomputes them for all rows).
+[[nodiscard]] double kernel_eval(const KernelParams& params,
+                                 const util::SparseVector& x,
+                                 const util::SparseVector& y);
+[[nodiscard]] double kernel_eval(const KernelParams& params,
+                                 const util::SparseVector& x,
+                                 const util::SparseVector& y, double x_sqnorm,
+                                 double y_sqnorm);
+
+/// k(x, x): 1 for RBF, ||x||-dependent otherwise.
+[[nodiscard]] double kernel_self(const KernelParams& params,
+                                 const util::SparseVector& x);
+
+/// Human-readable "rbf(gamma=0.25)" form for reports.
+[[nodiscard]] std::string describe(const KernelParams& params);
+
+}  // namespace wtp::svm

@@ -1,0 +1,50 @@
+#include "svm/kernel_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wtp::svm {
+
+KernelCache::KernelCache(std::size_t rows, std::size_t budget_bytes)
+    : rows_{rows}, slots_(rows) {
+  if (rows == 0) throw std::invalid_argument{"KernelCache: rows must be > 0"};
+  const std::size_t row_bytes = rows * sizeof(float);
+  max_cached_rows_ = std::max<std::size_t>(2, budget_bytes / std::max<std::size_t>(1, row_bytes));
+  max_cached_rows_ = std::min(max_cached_rows_, rows);
+}
+
+std::span<const float> KernelCache::get(
+    std::size_t i,
+    const std::function<void(std::size_t, std::span<float>)>& fill) {
+  if (i >= rows_) throw std::out_of_range{"KernelCache::get: row out of range"};
+  Slot& slot = slots_[i];
+  if (slot.cached) {
+    ++hits_;
+    lru_.erase(slot.lru_pos);
+    lru_.push_front(i);
+    slot.lru_pos = lru_.begin();
+    return slot.data;
+  }
+  ++misses_;
+  if (cached_count_ >= max_cached_rows_) evict_one();
+  slot.data.resize(rows_);
+  fill(i, slot.data);
+  slot.cached = true;
+  ++cached_count_;
+  lru_.push_front(i);
+  slot.lru_pos = lru_.begin();
+  return slot.data;
+}
+
+void KernelCache::evict_one() {
+  if (lru_.empty()) return;
+  const std::size_t victim = lru_.back();
+  lru_.pop_back();
+  Slot& slot = slots_[victim];
+  slot.cached = false;
+  slot.data.clear();
+  slot.data.shrink_to_fit();
+  --cached_count_;
+}
+
+}  // namespace wtp::svm

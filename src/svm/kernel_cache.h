@@ -1,0 +1,49 @@
+// LRU cache of kernel-matrix rows for the SMO solver (LibSVM-style).
+//
+// The solver touches two Q rows per iteration; with a working set that
+// revisits the same points, caching rows bounds the kernel-evaluation cost.
+// Rows are stored as float (as in LibSVM) to double the effective cache.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <span>
+#include <vector>
+
+namespace wtp::svm {
+
+class KernelCache {
+ public:
+  /// `rows` is the matrix order l; `budget_bytes` bounds total row storage
+  /// (at least one row is always cached).
+  KernelCache(std::size_t rows, std::size_t budget_bytes);
+
+  /// Returns row `i`, computing it via `fill(i, out)` on a miss.  The span
+  /// is valid until the next get() call (which may evict it).
+  std::span<const float> get(
+      std::size_t i,
+      const std::function<void(std::size_t, std::span<float>)>& fill);
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Slot {
+    std::vector<float> data;
+    std::list<std::size_t>::iterator lru_pos;
+    bool cached = false;
+  };
+
+  void evict_one();
+
+  std::size_t rows_;
+  std::size_t max_cached_rows_;
+  std::vector<Slot> slots_;
+  std::list<std::size_t> lru_;  // front = most recent
+  std::size_t cached_count_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace wtp::svm

@@ -1,0 +1,184 @@
+#include "svm/model_io.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace wtp::svm {
+
+namespace {
+
+constexpr const char* kMagic = "wtp_svm_model v1";
+
+void write_kernel(std::ostream& out, const KernelParams& kernel) {
+  out << "kernel " << to_string(kernel.type) << '\n';
+  // max_digits10 round-trips doubles exactly through text.
+  out.precision(17);
+  out << "gamma " << kernel.gamma << '\n';
+  out << "coef0 " << kernel.coef0 << '\n';
+  out << "degree " << kernel.degree << '\n';
+}
+
+void write_svs(std::ostream& out, const std::vector<util::SparseVector>& svs,
+               const std::vector<double>& coefficients) {
+  out << "nr_sv " << svs.size() << '\n';
+  out << "SV\n";
+  for (std::size_t i = 0; i < svs.size(); ++i) {
+    out << coefficients[i];
+    for (const auto& entry : svs[i].entries()) {
+      out << ' ' << entry.index << ':' << entry.value;
+    }
+    out << '\n';
+  }
+}
+
+struct Header {
+  std::string type;
+  KernelParams kernel;
+  std::map<std::string, double> scalars;
+  std::size_t nr_sv = 0;
+};
+
+Header read_header(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || util::trim(line) != kMagic) {
+    throw std::runtime_error{"load_model: missing magic line '" + std::string{kMagic} + "'"};
+  }
+  Header header;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed == "SV") return header;
+    std::istringstream fields{std::string{trimmed}};
+    std::string key;
+    fields >> key;
+    if (key == "type") {
+      fields >> header.type;
+    } else if (key == "kernel") {
+      std::string name;
+      fields >> name;
+      header.kernel.type = parse_kernel_type(name);
+    } else if (key == "gamma") {
+      fields >> header.kernel.gamma;
+    } else if (key == "coef0") {
+      fields >> header.kernel.coef0;
+    } else if (key == "degree") {
+      fields >> header.kernel.degree;
+    } else if (key == "nr_sv") {
+      fields >> header.nr_sv;
+    } else {
+      double value = 0.0;
+      fields >> value;
+      header.scalars[key] = value;
+    }
+    if (fields.fail()) {
+      throw std::runtime_error{"load_model: malformed header line '" + line + "'"};
+    }
+  }
+  throw std::runtime_error{"load_model: missing SV section"};
+}
+
+void read_svs(std::istream& in, std::size_t count,
+              std::vector<util::SparseVector>& svs, std::vector<double>& coefficients) {
+  std::string line;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error{"load_model: expected " + std::to_string(count) +
+                               " SV lines, got " + std::to_string(i)};
+    }
+    std::istringstream fields{line};
+    double alpha = 0.0;
+    if (!(fields >> alpha)) {
+      throw std::runtime_error{"load_model: malformed SV line '" + line + "'"};
+    }
+    std::vector<util::SparseVector::Entry> entries;
+    std::string pair;
+    while (fields >> pair) {
+      const std::size_t colon = pair.find(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error{"load_model: malformed index:value pair '" + pair + "'"};
+      }
+      entries.push_back({std::stoul(pair.substr(0, colon)),
+                         std::stod(pair.substr(colon + 1))});
+    }
+    coefficients.push_back(alpha);
+    svs.emplace_back(std::move(entries));
+  }
+}
+
+double require_scalar(const Header& header, const std::string& key) {
+  const auto it = header.scalars.find(key);
+  if (it == header.scalars.end()) {
+    throw std::runtime_error{"load_model: missing '" + key + "' field"};
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void save_model(std::ostream& out, const OneClassSvmModel& model) {
+  out << kMagic << '\n';
+  out << "type one_class_svm\n";
+  write_kernel(out, model.kernel());
+  out.precision(17);
+  out << "rho " << model.rho() << '\n';
+  write_svs(out, model.support_vectors(), model.coefficients());
+}
+
+void save_model(std::ostream& out, const SvddModel& model) {
+  out << kMagic << '\n';
+  out << "type svdd\n";
+  write_kernel(out, model.kernel());
+  out.precision(17);
+  out << "r_squared " << model.r_squared() << '\n';
+  out << "alpha_k_alpha " << model.alpha_k_alpha() << '\n';
+  write_svs(out, model.support_vectors(), model.coefficients());
+}
+
+void save_model_file(const std::string& path, const AnySvmModel& model) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"save_model_file: cannot open '" + path + "'"};
+  std::visit([&out](const auto& m) { save_model(out, m); }, model);
+}
+
+AnySvmModel load_model(std::istream& in) {
+  const Header header = read_header(in);
+  std::vector<util::SparseVector> svs;
+  std::vector<double> coefficients;
+  read_svs(in, header.nr_sv, svs, coefficients);
+  if (header.type == "one_class_svm") {
+    return OneClassSvmModel::from_parts(header.kernel, std::move(svs),
+                                        std::move(coefficients),
+                                        require_scalar(header, "rho"));
+  }
+  if (header.type == "svdd") {
+    return SvddModel::from_parts(header.kernel, std::move(svs),
+                                 std::move(coefficients),
+                                 require_scalar(header, "r_squared"),
+                                 require_scalar(header, "alpha_k_alpha"));
+  }
+  throw std::runtime_error{"load_model: unknown model type '" + header.type + "'"};
+}
+
+AnySvmModel load_model_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"load_model_file: cannot open '" + path + "'"};
+  return load_model(in);
+}
+
+OneClassSvmModel load_one_class_model(std::istream& in) {
+  AnySvmModel model = load_model(in);
+  if (auto* typed = std::get_if<OneClassSvmModel>(&model)) return std::move(*typed);
+  throw std::runtime_error{"load_one_class_model: stored model is not one_class_svm"};
+}
+
+SvddModel load_svdd_model(std::istream& in) {
+  AnySvmModel model = load_model(in);
+  if (auto* typed = std::get_if<SvddModel>(&model)) return std::move(*typed);
+  throw std::runtime_error{"load_svdd_model: stored model is not svdd"};
+}
+
+}  // namespace wtp::svm

@@ -1,0 +1,41 @@
+// Persistence for trained one-class models (text format, libsvm-inspired).
+//
+// Layout:
+//   wtp_svm_model v1
+//   type one_class_svm | svdd
+//   kernel <linear|polynomial|rbf|sigmoid>
+//   gamma <g>
+//   coef0 <c>
+//   degree <d>
+//   rho <r>                      (one_class_svm)
+//   r_squared <r2>               (svdd)
+//   alpha_k_alpha <aka>          (svdd)
+//   nr_sv <n>
+//   SV
+//   <alpha> <index>:<value> <index>:<value> ...     (n lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+#include "svm/one_class_svm.h"
+#include "svm/svdd.h"
+
+namespace wtp::svm {
+
+using AnySvmModel = std::variant<OneClassSvmModel, SvddModel>;
+
+void save_model(std::ostream& out, const OneClassSvmModel& model);
+void save_model(std::ostream& out, const SvddModel& model);
+void save_model_file(const std::string& path, const AnySvmModel& model);
+
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] AnySvmModel load_model(std::istream& in);
+[[nodiscard]] AnySvmModel load_model_file(const std::string& path);
+
+/// Typed loads; throw std::runtime_error when the stored type differs.
+[[nodiscard]] OneClassSvmModel load_one_class_model(std::istream& in);
+[[nodiscard]] SvddModel load_svdd_model(std::istream& in);
+
+}  // namespace wtp::svm

@@ -1,0 +1,107 @@
+#include "svm/one_class_svm.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "svm/smo_solver.h"
+
+namespace wtp::svm {
+
+double compute_rho(std::span<const double> alpha, std::span<const double> gradient,
+                   double upper_bound) {
+  const double bound_eps = upper_bound * 1e-12;
+  double free_sum = 0.0;
+  std::size_t free_count = 0;
+  // KKT: alpha_i = 0 -> G_i >= rho; alpha_i = U -> G_i <= rho; free -> G_i = rho.
+  double upper_limit = std::numeric_limits<double>::infinity();   // min G over alpha=0
+  double lower_limit = -std::numeric_limits<double>::infinity();  // max G over alpha=U
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    if (alpha[i] <= bound_eps) {
+      upper_limit = std::min(upper_limit, gradient[i]);
+    } else if (alpha[i] >= upper_bound - bound_eps) {
+      lower_limit = std::max(lower_limit, gradient[i]);
+    } else {
+      free_sum += gradient[i];
+      ++free_count;
+    }
+  }
+  if (free_count > 0) return free_sum / static_cast<double>(free_count);
+  if (std::isinf(upper_limit) && std::isinf(lower_limit)) return 0.0;
+  if (std::isinf(upper_limit)) return lower_limit;
+  if (std::isinf(lower_limit)) return upper_limit;
+  return 0.5 * (upper_limit + lower_limit);
+}
+
+OneClassSvmModel OneClassSvmModel::train(std::span<const util::SparseVector> data,
+                                         const OneClassSvmConfig& config,
+                                         std::size_t dimension) {
+  if (data.empty()) {
+    throw std::invalid_argument{"OneClassSvmModel::train: empty training set"};
+  }
+  if (config.nu <= 0.0 || config.nu > 1.0) {
+    throw std::invalid_argument{"OneClassSvmModel::train: nu must be in (0, 1]"};
+  }
+  KernelParams kernel = config.kernel;
+  if (kernel.gamma <= 0.0) {
+    kernel.gamma = 1.0 / static_cast<double>(std::max<std::size_t>(1, dimension));
+  }
+
+  const std::size_t l = data.size();
+  QMatrix q{data, kernel, /*scale=*/1.0, config.cache_bytes};
+  const std::vector<double> p(l, 0.0);
+  SolverConfig solver_config;
+  solver_config.eps = config.eps;
+  const SolverResult solved =
+      solve_smo(q, p, /*upper_bound=*/1.0, /*alpha_sum=*/config.nu * static_cast<double>(l),
+                solver_config);
+
+  OneClassSvmModel model;
+  model.kernel_ = kernel;
+  model.rho_ = compute_rho(solved.alpha, solved.gradient, 1.0);
+  std::size_t bounded = 0;
+  for (std::size_t i = 0; i < l; ++i) {
+    if (solved.alpha[i] > 1e-12) {
+      model.support_vectors_.push_back(data[i]);
+      model.coefficients_.push_back(solved.alpha[i]);
+      if (solved.alpha[i] >= 1.0 - 1e-12) ++bounded;
+    }
+  }
+  model.bounded_fraction_ = static_cast<double>(bounded) / static_cast<double>(l);
+  model.precompute_norms();
+  return model;
+}
+
+void OneClassSvmModel::precompute_norms() {
+  sv_sqnorms_.resize(support_vectors_.size());
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
+    sv_sqnorms_[i] = support_vectors_[i].squared_norm();
+  }
+}
+
+OneClassSvmModel OneClassSvmModel::from_parts(
+    KernelParams kernel, std::vector<util::SparseVector> support_vectors,
+    std::vector<double> coefficients, double rho) {
+  if (support_vectors.size() != coefficients.size()) {
+    throw std::invalid_argument{"OneClassSvmModel::from_parts: SV/coefficient size mismatch"};
+  }
+  OneClassSvmModel model;
+  model.kernel_ = kernel;
+  model.support_vectors_ = std::move(support_vectors);
+  model.coefficients_ = std::move(coefficients);
+  model.rho_ = rho;
+  model.precompute_norms();
+  return model;
+}
+
+double OneClassSvmModel::decision_value(const util::SparseVector& x) const {
+  double sum = 0.0;
+  const double x_sqnorm = x.squared_norm();
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
+    sum += coefficients_[i] * kernel_eval(kernel_, support_vectors_[i], x,
+                                          sv_sqnorms_[i], x_sqnorm);
+  }
+  return sum - rho_;
+}
+
+}  // namespace wtp::svm

@@ -1,0 +1,82 @@
+// nu-One-Class SVM (Schölkopf et al. 2001; paper §II-A).
+//
+// Separates the training data from the origin by a maximum-margin
+// hyperplane in feature space.  nu upper-bounds the fraction of training
+// outliers and lower-bounds the fraction of support vectors.  The dual
+// (paper eq. 5) is solved by the generic SMO solver with Q = K, p = 0,
+// bounds [0, 1] after rescaling alpha by nu*l, sum(alpha) = nu*l.
+//
+// (LibSVM scales the same dual so that sum(alpha) = 1, U = 1/(nu l); the
+// decision function is identical up to that constant factor.  We keep the
+// paper's normalization.)
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "svm/kernel.h"
+#include "util/sparse_vector.h"
+
+namespace wtp::svm {
+
+struct OneClassSvmConfig {
+  double nu = 0.5;            ///< in (0, 1]
+  KernelParams kernel;        ///< gamma <= 0 resolves to 1/dimension
+  double eps = 1e-3;          ///< SMO stopping tolerance
+  std::size_t cache_bytes = std::size_t{32} << 20;
+};
+
+/// Trained model: decision f(x) = sum_i alpha_i k(sv_i, x) - rho  (eq. 6);
+/// x is accepted when f(x) >= 0.
+class OneClassSvmModel {
+ public:
+  /// Trains on the user's window vectors.  `dimension` is the feature-space
+  /// dimension (used only to resolve gamma="auto").  Throws
+  /// std::invalid_argument on empty data or nu outside (0, 1].
+  [[nodiscard]] static OneClassSvmModel train(
+      std::span<const util::SparseVector> data, const OneClassSvmConfig& config,
+      std::size_t dimension);
+
+  /// Reconstructs a model from persisted parts (model_io).
+  [[nodiscard]] static OneClassSvmModel from_parts(
+      KernelParams kernel, std::vector<util::SparseVector> support_vectors,
+      std::vector<double> coefficients, double rho);
+
+  [[nodiscard]] double decision_value(const util::SparseVector& x) const;
+  [[nodiscard]] bool accepts(const util::SparseVector& x) const {
+    return decision_value(x) >= 0.0;
+  }
+
+  [[nodiscard]] const std::vector<util::SparseVector>& support_vectors() const noexcept {
+    return support_vectors_;
+  }
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coefficients_;
+  }
+  [[nodiscard]] double rho() const noexcept { return rho_; }
+  [[nodiscard]] const KernelParams& kernel() const noexcept { return kernel_; }
+  /// Fraction of training points with alpha at the upper bound (outliers);
+  /// bounded above by nu.
+  [[nodiscard]] double bounded_fraction() const noexcept { return bounded_fraction_; }
+
+ private:
+  OneClassSvmModel() = default;
+  void precompute_norms();
+
+  KernelParams kernel_;
+  std::vector<util::SparseVector> support_vectors_;
+  std::vector<double> coefficients_;  ///< alpha_i > 0, aligned with SVs
+  std::vector<double> sv_sqnorms_;    ///< cached ||sv_i||^2 for RBF decisions
+  double rho_ = 0.0;
+  double bounded_fraction_ = 0.0;
+};
+
+/// Shared helper: rho such that free SVs sit on the boundary.  `gradient`
+/// and `alpha` are solver outputs; rho = mean gradient over free vectors,
+/// or the midpoint of the KKT bounds when none are free.
+[[nodiscard]] double compute_rho(std::span<const double> alpha,
+                                 std::span<const double> gradient,
+                                 double upper_bound);
+
+}  // namespace wtp::svm

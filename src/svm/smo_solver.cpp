@@ -1,0 +1,171 @@
+#include "svm/smo_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wtp::svm {
+
+namespace {
+
+constexpr double kTau = 1e-12;  // curvature floor for non-PSD kernels
+
+}  // namespace
+
+QMatrix::QMatrix(std::span<const util::SparseVector> data, KernelParams params,
+                 double scale, std::size_t cache_bytes)
+    : data_{data},
+      params_{params},
+      scale_{scale},
+      cache_{std::max<std::size_t>(1, data.size()), cache_bytes} {
+  if (data.empty()) throw std::invalid_argument{"QMatrix: empty training set"};
+  sq_norms_.resize(data.size());
+  kernel_diag_.resize(data.size());
+  diag_.resize(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    sq_norms_[i] = data[i].squared_norm();
+    kernel_diag_[i] = kernel_self(params_, data[i]);
+    diag_[i] = scale_ * kernel_diag_[i];
+  }
+}
+
+std::span<const float> QMatrix::row(std::size_t i) {
+  return cache_.get(i, [this](std::size_t r, std::span<float> out) {
+    const auto& xi = data_[r];
+    const double ni = sq_norms_[r];
+    for (std::size_t j = 0; j < data_.size(); ++j) {
+      out[j] = static_cast<float>(
+          scale_ * kernel_eval(params_, xi, data_[j], ni, sq_norms_[j]));
+    }
+  });
+}
+
+SolverResult solve_smo(QMatrix& q, std::span<const double> p,
+                       double upper_bound, double alpha_sum,
+                       const SolverConfig& config) {
+  const std::size_t l = q.size();
+  if (p.size() != l) {
+    throw std::invalid_argument{"solve_smo: p size mismatch"};
+  }
+  if (upper_bound <= 0.0) {
+    throw std::invalid_argument{"solve_smo: upper_bound must be > 0"};
+  }
+  if (alpha_sum < 0.0 || alpha_sum > upper_bound * static_cast<double>(l) * (1.0 + 1e-12)) {
+    throw std::invalid_argument{
+        "solve_smo: infeasible constraints (sum=" + std::to_string(alpha_sum) +
+        ", U*l=" + std::to_string(upper_bound * static_cast<double>(l)) + ")"};
+  }
+
+  SolverResult result;
+  result.alpha.assign(l, 0.0);
+  auto& alpha = result.alpha;
+
+  // Feasible start: fill greedily up to the bound (LibSVM's one-class init).
+  double remaining = alpha_sum;
+  for (std::size_t i = 0; i < l && remaining > 0.0; ++i) {
+    const double take = std::min(upper_bound, remaining);
+    alpha[i] = take;
+    remaining -= take;
+  }
+
+  // Initial gradient G = Q*alpha + p.
+  result.gradient.assign(p.begin(), p.end());
+  auto& grad = result.gradient;
+  for (std::size_t i = 0; i < l; ++i) {
+    if (alpha[i] > 0.0) {
+      const auto qi = q.row(i);
+      for (std::size_t j = 0; j < l; ++j) {
+        grad[j] += alpha[i] * static_cast<double>(qi[j]);
+      }
+    }
+  }
+
+  const std::size_t max_iter =
+      config.max_iter > 0
+          ? config.max_iter
+          : std::max<std::size_t>(10'000'000, 100 * l);
+
+  const double bound_eps = upper_bound * 1e-12;
+  auto is_upper = [&](std::size_t i) { return alpha[i] >= upper_bound - bound_eps; };
+  auto is_lower = [&](std::size_t i) { return alpha[i] <= bound_eps; };
+
+  std::size_t iter = 0;
+  for (; iter < max_iter; ++iter) {
+    // ---- working set selection (all labels +1) -------------------------
+    // i = argmax_{alpha_i < U} -G_i  (the "up" direction)
+    double g_max = -std::numeric_limits<double>::infinity();
+    std::ptrdiff_t i_sel = -1;
+    for (std::size_t t = 0; t < l; ++t) {
+      if (!is_upper(t) && -grad[t] > g_max) {
+        g_max = -grad[t];
+        i_sel = static_cast<std::ptrdiff_t>(t);
+      }
+    }
+    // M = min_{alpha_j > 0} -G_j  (the "down" direction)
+    double g_min = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < l; ++t) {
+      if (!is_lower(t)) g_min = std::min(g_min, -grad[t]);
+    }
+    if (i_sel < 0 || g_max - g_min < config.eps) {
+      result.converged = true;
+      break;
+    }
+    const auto i = static_cast<std::size_t>(i_sel);
+    const auto qi = q.row(i);
+
+    // Second-order choice of j among the violating "down" candidates:
+    // maximize b^2 / a with b = G_j - G_i > 0, a = Qii + Qjj - 2 Qij.
+    std::ptrdiff_t j_sel = -1;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < l; ++t) {
+      if (is_lower(t)) continue;
+      const double b = g_max + grad[t];  // = (-G_i) - (-G_t)
+      if (b <= 0.0) continue;
+      double a = q.diag(i) + q.diag(t) - 2.0 * static_cast<double>(qi[t]);
+      if (a <= 0.0) a = kTau;
+      const double gain = (b * b) / a;
+      if (gain > best_gain) {
+        best_gain = gain;
+        j_sel = static_cast<std::ptrdiff_t>(t);
+      }
+    }
+    if (j_sel < 0) {
+      result.converged = true;  // numerical corner: no admissible pair
+      break;
+    }
+    const auto j = static_cast<std::size_t>(j_sel);
+    const auto qj = q.row(j);
+
+    // ---- analytic two-variable update ----------------------------------
+    double a = q.diag(i) + q.diag(j) - 2.0 * static_cast<double>(qi[j]);
+    if (a <= 0.0) a = kTau;
+    const double b = -grad[i] + grad[j];
+    double delta = b / a;  // move alpha_i up, alpha_j down
+    delta = std::min(delta, upper_bound - alpha[i]);
+    delta = std::min(delta, alpha[j]);
+    if (delta <= 0.0) {
+      // Degenerate (bounds already tight): nothing to move; the pair will
+      // not be selected again because gradients are unchanged, so bail out
+      // rather than loop forever.
+      result.converged = true;
+      break;
+    }
+    alpha[i] += delta;
+    alpha[j] -= delta;
+    for (std::size_t t = 0; t < l; ++t) {
+      grad[t] += delta * (static_cast<double>(qi[t]) - static_cast<double>(qj[t]));
+    }
+  }
+  result.iterations = iter;
+
+  // Objective 0.5 a^T Q a + p^T a = 0.5 * sum_i a_i (G_i + p_i).
+  double objective = 0.0;
+  for (std::size_t i = 0; i < l; ++i) {
+    objective += alpha[i] * (grad[i] + p[i]);
+  }
+  result.objective = 0.5 * objective;
+  return result;
+}
+
+}  // namespace wtp::svm

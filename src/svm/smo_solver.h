@@ -1,0 +1,77 @@
+// Generic SMO solver for the one-class quadratic programs (paper §II).
+//
+// Solves
+//     min_alpha  0.5 alpha^T Q alpha + p^T alpha
+//     s.t.       0 <= alpha_i <= U,   sum_i alpha_i = Delta
+//
+// which covers both duals used by the paper:
+//   * nu-OC-SVM (eq. 5):  Q = K,  p = 0,      U = 1,   Delta = nu * l
+//   * SVDD      (eq. 10): Q = 2K, p_i = -K_ii, U = C,  Delta = 1
+//     (the max problem negated into min form)
+//
+// The working-set selection is the second-order "maximal violating pair"
+// rule of LibSVM (WSS2, Fan et al. 2005), specialized to all-positive
+// labels.  Kernel rows are float and LRU-cached.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "svm/kernel.h"
+#include "svm/kernel_cache.h"
+#include "util/sparse_vector.h"
+
+namespace wtp::svm {
+
+/// Lazily evaluated, cached kernel/Q matrix over a training set.
+/// `scale` multiplies every entry (1 for OC-SVM's K, 2 for SVDD's 2K).
+class QMatrix {
+ public:
+  QMatrix(std::span<const util::SparseVector> data, KernelParams params,
+          double scale, std::size_t cache_bytes);
+
+  /// Row i of Q (length l), cached.
+  [[nodiscard]] std::span<const float> row(std::size_t i);
+
+  /// Diagonal entry Q_ii (precomputed, exact double).
+  [[nodiscard]] double diag(std::size_t i) const noexcept { return diag_[i]; }
+
+  /// Raw kernel k(x_i, x_i) (before scaling); SVDD needs it for p.
+  [[nodiscard]] double kernel_diag(std::size_t i) const noexcept {
+    return kernel_diag_[i];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] const KernelParams& params() const noexcept { return params_; }
+
+ private:
+  std::span<const util::SparseVector> data_;
+  KernelParams params_;
+  double scale_;
+  std::vector<double> sq_norms_;     // for RBF
+  std::vector<double> kernel_diag_;  // k(x_i, x_i)
+  std::vector<double> diag_;         // scale * k(x_i, x_i)
+  KernelCache cache_;
+};
+
+struct SolverConfig {
+  double eps = 1e-3;          ///< KKT violation tolerance (LibSVM default)
+  std::size_t max_iter = 0;   ///< 0 = auto: max(10^7, 100*l)
+};
+
+struct SolverResult {
+  std::vector<double> alpha;
+  std::vector<double> gradient;  ///< G_i = (Q alpha)_i + p_i at the solution
+  double objective = 0.0;        ///< 0.5 a^T Q a + p^T a
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Runs SMO.  Throws std::invalid_argument when the constraint set is empty
+/// (Delta < 0 or Delta > U*l) or sizes mismatch.
+[[nodiscard]] SolverResult solve_smo(QMatrix& q, std::span<const double> p,
+                                     double upper_bound, double alpha_sum,
+                                     const SolverConfig& config = {});
+
+}  // namespace wtp::svm

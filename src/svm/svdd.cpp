@@ -1,0 +1,130 @@
+#include "svm/svdd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "svm/smo_solver.h"
+
+namespace wtp::svm {
+
+SvddModel SvddModel::train(std::span<const util::SparseVector> data,
+                           const SvddConfig& config, std::size_t dimension) {
+  if (data.empty()) {
+    throw std::invalid_argument{"SvddModel::train: empty training set"};
+  }
+  if (config.c <= 0.0 || config.c > 1.0) {
+    throw std::invalid_argument{"SvddModel::train: c must be in (0, 1]"};
+  }
+  KernelParams kernel = config.kernel;
+  if (kernel.gamma <= 0.0) {
+    kernel.gamma = 1.0 / static_cast<double>(std::max<std::size_t>(1, dimension));
+  }
+  const std::size_t l = data.size();
+  // sum(alpha) = 1 with alpha_i <= C requires C*l >= 1.
+  const double effective_c = std::max(config.c, 1.0 / static_cast<double>(l));
+
+  QMatrix q{data, kernel, /*scale=*/2.0, config.cache_bytes};
+  std::vector<double> p(l);
+  for (std::size_t i = 0; i < l; ++i) p[i] = -q.kernel_diag(i);
+
+  SolverConfig solver_config;
+  solver_config.eps = config.eps;
+  const SolverResult solved =
+      solve_smo(q, p, effective_c, /*alpha_sum=*/1.0, solver_config);
+
+  // Geometry terms.  With G_i = 2 (K alpha)_i - K_ii:
+  //   alpha^T K alpha = sum_i alpha_i (G_i + K_ii) / 2
+  //   squared distance of x_i to center: r_i = K_ii - 2 (K alpha)_i + aKa
+  //                                          = -G_i + aKa
+  // Free SVs sit on the sphere, so R^2 = aKa - mean(G_free); with no free
+  // SVs, R^2 is the KKT midpoint (inside points have r_i <= R^2 <= outside).
+  double alpha_k_alpha = 0.0;
+  for (std::size_t i = 0; i < l; ++i) {
+    alpha_k_alpha += solved.alpha[i] * (solved.gradient[i] + q.kernel_diag(i)) / 2.0;
+  }
+  const double bound_eps = effective_c * 1e-12;
+  double free_sum = 0.0;
+  std::size_t free_count = 0;
+  double inside_max = -std::numeric_limits<double>::infinity();  // r_i, alpha=0
+  double outside_min = std::numeric_limits<double>::infinity();  // r_i, alpha=C
+  for (std::size_t i = 0; i < l; ++i) {
+    const double r_i = -solved.gradient[i] + alpha_k_alpha;
+    if (solved.alpha[i] <= bound_eps) {
+      inside_max = std::max(inside_max, r_i);
+    } else if (solved.alpha[i] >= effective_c - bound_eps) {
+      outside_min = std::min(outside_min, r_i);
+    } else {
+      free_sum += r_i;
+      ++free_count;
+    }
+  }
+  double r_squared = 0.0;
+  if (free_count > 0) {
+    r_squared = free_sum / static_cast<double>(free_count);
+  } else if (std::isinf(inside_max) && std::isinf(outside_min)) {
+    r_squared = 0.0;
+  } else if (std::isinf(inside_max)) {
+    r_squared = outside_min;
+  } else if (std::isinf(outside_min)) {
+    r_squared = inside_max;
+  } else {
+    r_squared = 0.5 * (inside_max + outside_min);
+  }
+
+  SvddModel model;
+  model.kernel_ = kernel;
+  model.effective_c_ = effective_c;
+  model.r_squared_ = r_squared;
+  model.alpha_k_alpha_ = alpha_k_alpha;
+  for (std::size_t i = 0; i < l; ++i) {
+    if (solved.alpha[i] > 1e-12) {
+      model.support_vectors_.push_back(data[i]);
+      model.coefficients_.push_back(solved.alpha[i]);
+    }
+  }
+  model.precompute_norms();
+  return model;
+}
+
+SvddModel SvddModel::from_parts(KernelParams kernel,
+                                std::vector<util::SparseVector> support_vectors,
+                                std::vector<double> coefficients,
+                                double r_squared, double alpha_k_alpha) {
+  if (support_vectors.size() != coefficients.size()) {
+    throw std::invalid_argument{"SvddModel::from_parts: SV/coefficient size mismatch"};
+  }
+  SvddModel model;
+  model.kernel_ = kernel;
+  model.support_vectors_ = std::move(support_vectors);
+  model.coefficients_ = std::move(coefficients);
+  model.r_squared_ = r_squared;
+  model.alpha_k_alpha_ = alpha_k_alpha;
+  model.precompute_norms();
+  return model;
+}
+
+void SvddModel::precompute_norms() {
+  sv_sqnorms_.resize(support_vectors_.size());
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
+    sv_sqnorms_[i] = support_vectors_[i].squared_norm();
+  }
+}
+
+double SvddModel::squared_distance_to_center(const util::SparseVector& x) const {
+  const double x_sqnorm = x.squared_norm();
+  double cross = 0.0;
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
+    cross += coefficients_[i] * kernel_eval(kernel_, support_vectors_[i], x,
+                                            sv_sqnorms_[i], x_sqnorm);
+  }
+  const double k_xx = kernel_self(kernel_, x);
+  return k_xx - 2.0 * cross + alpha_k_alpha_;
+}
+
+double SvddModel::decision_value(const util::SparseVector& x) const {
+  return r_squared_ - squared_distance_to_center(x);
+}
+
+}  // namespace wtp::svm

@@ -1,0 +1,81 @@
+// Support Vector Data Description (Tax & Duin 2004; paper §II-B).
+//
+// Encloses the training data in a minimum-volume hypersphere (center a,
+// radius R) in feature space; slack weight C controls how many points may
+// fall outside, with C related to the OC-SVM nu by C = 1/(nu l).  The dual
+// (paper eq. 10) is solved by the generic SMO solver with Q = 2K,
+// p_i = -K_ii, bounds [0, C], sum(alpha) = 1.
+//
+// Decision (paper eqs. 11-12): x is accepted when
+//   f(x) = R^2 - ||Phi(x) - a||^2
+//        = (R^2 - alpha^T K alpha) + 2 sum_i alpha_i k(x_i, x) - k(x, x) >= 0.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "svm/kernel.h"
+#include "util/sparse_vector.h"
+
+namespace wtp::svm {
+
+struct SvddConfig {
+  /// Slack weight C in (0, 1].  Feasibility requires C >= 1/l; smaller
+  /// values are clamped up to 1/l at training time (and reported via
+  /// effective_c()), matching the usual SVDD implementation behaviour.
+  double c = 0.5;
+  KernelParams kernel;  ///< gamma <= 0 resolves to 1/dimension
+  double eps = 1e-3;
+  std::size_t cache_bytes = std::size_t{32} << 20;
+};
+
+class SvddModel {
+ public:
+  /// Trains on the user's window vectors.  Throws std::invalid_argument on
+  /// empty data or c outside (0, 1].
+  [[nodiscard]] static SvddModel train(std::span<const util::SparseVector> data,
+                                       const SvddConfig& config,
+                                       std::size_t dimension);
+
+  /// Reconstructs a model from persisted parts (model_io).  `r_squared` and
+  /// `alpha_k_alpha` are the stored geometry terms.
+  [[nodiscard]] static SvddModel from_parts(
+      KernelParams kernel, std::vector<util::SparseVector> support_vectors,
+      std::vector<double> coefficients, double r_squared, double alpha_k_alpha);
+
+  /// f(x) = R^2 - squared distance of Phi(x) to the center.
+  [[nodiscard]] double decision_value(const util::SparseVector& x) const;
+  [[nodiscard]] bool accepts(const util::SparseVector& x) const {
+    return decision_value(x) >= 0.0;
+  }
+
+  /// Squared distance ||Phi(x) - a||^2 (for diagnostics).
+  [[nodiscard]] double squared_distance_to_center(const util::SparseVector& x) const;
+
+  [[nodiscard]] const std::vector<util::SparseVector>& support_vectors() const noexcept {
+    return support_vectors_;
+  }
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coefficients_;
+  }
+  [[nodiscard]] double r_squared() const noexcept { return r_squared_; }
+  [[nodiscard]] double alpha_k_alpha() const noexcept { return alpha_k_alpha_; }
+  [[nodiscard]] const KernelParams& kernel() const noexcept { return kernel_; }
+  /// C after feasibility clamping (max(c, 1/l)).
+  [[nodiscard]] double effective_c() const noexcept { return effective_c_; }
+
+ private:
+  SvddModel() = default;
+  void precompute_norms();
+
+  KernelParams kernel_;
+  std::vector<util::SparseVector> support_vectors_;
+  std::vector<double> coefficients_;
+  std::vector<double> sv_sqnorms_;
+  double r_squared_ = 0.0;
+  double alpha_k_alpha_ = 0.0;
+  double effective_c_ = 0.0;
+};
+
+}  // namespace wtp::svm

@@ -1,0 +1,76 @@
+#include "synthetic/enterprise.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace wtp::synthetic {
+
+std::size_t DeviceTopology::sample_device(std::size_t user_index,
+                                          util::Rng& rng) const {
+  const auto& devices = user_devices.at(user_index);
+  if (devices.empty()) {
+    throw std::logic_error{"DeviceTopology: user has no devices"};
+  }
+  if (devices.size() == 1 || rng.bernoulli(primary_device_affinity)) {
+    return devices.front();
+  }
+  return devices[1 + rng.uniform_index(devices.size() - 1)];
+}
+
+std::vector<std::size_t> DeviceTopology::device_users(std::size_t device_index) const {
+  std::vector<std::size_t> users;
+  for (std::size_t u = 0; u < user_devices.size(); ++u) {
+    const auto& devices = user_devices[u];
+    if (std::find(devices.begin(), devices.end(), device_index) != devices.end()) {
+      users.push_back(u);
+    }
+  }
+  return users;
+}
+
+double DeviceTopology::mean_users_per_device() const {
+  std::size_t memberships = 0;
+  std::set<std::size_t> used;
+  for (const auto& devices : user_devices) {
+    memberships += devices.size();
+    used.insert(devices.begin(), devices.end());
+  }
+  if (used.empty()) return 0.0;
+  return static_cast<double>(memberships) / static_cast<double>(used.size());
+}
+
+DeviceTopology build_device_topology(const EnterpriseConfig& config,
+                                     util::Rng& rng) {
+  if (config.num_users == 0 || config.num_devices == 0) {
+    throw std::invalid_argument{"build_device_topology: users and devices must be > 0"};
+  }
+  DeviceTopology topology;
+  topology.primary_device_affinity = config.primary_device_affinity;
+  topology.device_ids.reserve(config.num_devices);
+  for (std::size_t d = 0; d < config.num_devices; ++d) {
+    topology.device_ids.push_back("device_" + std::to_string(d + 1));
+  }
+  topology.user_devices.resize(config.num_users);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    // Primary device round-robin: covers all devices, and with more users
+    // than devices some primaries are shared.
+    const std::size_t primary = u % config.num_devices;
+    std::vector<std::size_t> devices{primary};
+    std::set<std::size_t> seen{primary};
+    // Geometric number of extra shared devices.
+    std::size_t extras = 0;
+    const double continue_p =
+        config.mean_extra_devices / (1.0 + config.mean_extra_devices);
+    while (extras < config.max_extra_devices && rng.bernoulli(continue_p)) ++extras;
+    extras = std::min(extras, config.num_devices - 1);
+    while (seen.size() < 1 + extras) {
+      const std::size_t device = rng.uniform_index(config.num_devices);
+      if (seen.insert(device).second) devices.push_back(device);
+    }
+    topology.user_devices[u] = std::move(devices);
+  }
+  return topology;
+}
+
+}  // namespace wtp::synthetic

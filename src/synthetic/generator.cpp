@@ -1,0 +1,178 @@
+#include "synthetic/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wtp::synthetic {
+
+namespace {
+
+/// Relative session intensity for a user at a given time: high inside the
+/// user's work window on weekdays, damped on weekends and off hours.
+double diurnal_multiplier(const UserBehaviorProfile& user, util::UnixSeconds ts) {
+  const double hour = util::fractional_hour(ts);
+  const int dow = util::day_of_week(ts);  // 0 = Monday
+  const bool weekend = dow >= 5;
+  const bool working_hours = hour >= user.work_start_hour && hour < user.work_end_hour;
+  double multiplier = working_hours ? 1.0 : user.off_hours_activity;
+  if (weekend) multiplier *= user.weekend_activity;
+  return multiplier;
+}
+
+/// Samples a session start second within [day_start, day_start + 1 day) by
+/// rejection against the diurnal profile.
+util::UnixSeconds sample_session_start(const UserBehaviorProfile& user,
+                                       util::UnixSeconds day_start,
+                                       util::Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto offset = static_cast<util::UnixSeconds>(
+        rng.uniform() * static_cast<double>(util::kSecondsPerDay));
+    const util::UnixSeconds candidate = day_start + offset;
+    if (rng.uniform() < diurnal_multiplier(user, candidate)) return candidate;
+  }
+  // Extremely inactive profile: fall back to the middle of the work window.
+  const auto work_mid = static_cast<util::UnixSeconds>(
+      (user.work_start_hour + user.work_end_hour) * 0.5 * util::kSecondsPerHour);
+  return day_start + work_mid;
+}
+
+/// Picks one of the user's favourite sites that has been adopted by
+/// `current_week`.  Returns the site index into the global pool, or the
+/// user's top site if nothing has been adopted yet (week 0 always has
+/// adopted sites by construction).
+std::size_t pick_site(const EnterpriseTrace& trace, std::size_t user_index,
+                      int current_week, util::Rng& rng) {
+  const auto& user = trace.users[user_index];
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const std::size_t pick = rng.weighted_index(user.site_weights);
+    if (user.adoption_week[pick] <= current_week) return user.site_indices[pick];
+  }
+  // Fall back to the first adopted favourite.
+  for (std::size_t i = 0; i < user.site_indices.size(); ++i) {
+    if (user.adoption_week[i] <= current_week) return user.site_indices[i];
+  }
+  return user.site_indices.front();
+}
+
+log::HttpAction sample_action(const Site& site, util::Rng& rng) {
+  switch (rng.weighted_index(site.action_weights)) {
+    case 0: return log::HttpAction::kGet;
+    case 1: return log::HttpAction::kPost;
+    case 2: return log::HttpAction::kConnect;
+    default: return log::HttpAction::kHead;
+  }
+}
+
+/// Emits the 1 + resources transactions of a single page view.
+void emit_page_view(const EnterpriseTrace& trace, std::size_t user_index,
+                    std::size_t device_index, std::size_t site_index,
+                    util::UnixSeconds when, util::Rng& rng,
+                    std::vector<log::WebTransaction>& out) {
+  const Site& site = trace.sites[site_index];
+  const auto& user = trace.users[user_index];
+  const bool https = rng.bernoulli(site.https_probability);
+
+  const std::uint64_t resources = rng.poisson(site.resources_per_page);
+  util::UnixSeconds ts = when;
+  for (std::uint64_t r = 0; r <= resources; ++r) {
+    log::WebTransaction txn;
+    txn.timestamp = ts;
+    txn.url = site.url;
+    txn.scheme = https ? log::UriScheme::kHttps : log::UriScheme::kHttp;
+    // The first transaction of a page view fetches the page itself; follow-up
+    // resource fetches are GETs (or CONNECT tunnels under HTTPS).
+    if (r == 0) {
+      txn.action = sample_action(site, rng);
+    } else {
+      txn.action = https && rng.bernoulli(0.2) ? log::HttpAction::kConnect
+                                               : log::HttpAction::kGet;
+    }
+    txn.user_id = user.user_id;
+    txn.device_id = trace.topology.device_ids[device_index];
+    txn.category = site.category;
+    txn.media_type = site.media_types[rng.weighted_index(site.media_weights)];
+    txn.application_type = site.application_type;
+    txn.reputation = site.reputation;
+    txn.private_destination = site.is_private;
+    out.push_back(std::move(txn));
+    // Resources arrive in a sub-second to few-second burst.
+    ts += static_cast<util::UnixSeconds>(rng.exponential(1.5));
+  }
+}
+
+}  // namespace
+
+void generate_session(const EnterpriseTrace& trace, const SessionSpec& spec,
+                      util::Rng& rng, std::vector<log::WebTransaction>& out) {
+  const auto& user = trace.users.at(spec.user_index);
+  const auto session_end = spec.start + static_cast<util::UnixSeconds>(
+                                            spec.duration_minutes * 60.0);
+  const int week = static_cast<int>((spec.start - trace.config.start_time) /
+                                    util::kSecondsPerWeek);
+  util::UnixSeconds now = spec.start;
+  while (now < session_end) {
+    const std::size_t site = pick_site(trace, spec.user_index, week, rng);
+    emit_page_view(trace, spec.user_index, spec.device_index, site, now, rng, out);
+    now += 1 + static_cast<util::UnixSeconds>(
+                   rng.exponential(1.0 / user.mean_page_gap_seconds));
+  }
+}
+
+EnterpriseTrace generate_trace(const GeneratorConfig& config) {
+  if (config.duration_weeks <= 0) {
+    throw std::invalid_argument{"generate_trace: duration_weeks must be > 0"};
+  }
+  if (config.activity_scale <= 0.0) {
+    throw std::invalid_argument{"generate_trace: activity_scale must be > 0"};
+  }
+  EnterpriseTrace trace;
+  trace.config = config;
+
+  util::Rng master{config.seed};
+  util::Rng pool_rng = master.fork();
+  util::Rng population_rng = master.fork();
+  util::Rng topology_rng = master.fork();
+
+  trace.sites = build_site_pool(config.site_pool, pool_rng);
+  trace.users = build_user_population(config.population, trace.sites, population_rng);
+  trace.topology = build_device_topology(config.enterprise, topology_rng);
+  if (trace.users.size() != trace.topology.user_devices.size()) {
+    throw std::invalid_argument{
+        "generate_trace: population.num_users must equal enterprise.num_users"};
+  }
+
+  const int days = config.duration_weeks * 7;
+  for (std::size_t u = 0; u < trace.users.size(); ++u) {
+    util::Rng user_rng = master.fork();
+    const auto& user = trace.users[u];
+    for (int day = 0; day < days; ++day) {
+      const util::UnixSeconds day_start =
+          config.start_time + static_cast<util::UnixSeconds>(day) * util::kSecondsPerDay;
+      // Expected sessions today, modulated by the weekday/weekend pattern.
+      const int dow = util::day_of_week(day_start);
+      const double day_rate = user.sessions_per_day * config.activity_scale *
+                              (dow >= 5 ? user.weekend_activity : 1.0);
+      const std::uint64_t sessions = user_rng.poisson(day_rate);
+      for (std::uint64_t s = 0; s < sessions; ++s) {
+        SessionSpec spec;
+        spec.user_index = u;
+        spec.device_index = trace.topology.sample_device(u, user_rng);
+        spec.start = sample_session_start(user, day_start, user_rng);
+        spec.duration_minutes =
+            std::max(1.0, user_rng.normal(user.mean_session_minutes,
+                                          user.mean_session_minutes * 0.4));
+        generate_session(trace, spec, user_rng, trace.transactions);
+      }
+    }
+  }
+
+  std::sort(trace.transactions.begin(), trace.transactions.end(),
+            [](const log::WebTransaction& a, const log::WebTransaction& b) {
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              return a.user_id < b.user_id;
+            });
+  return trace;
+}
+
+}  // namespace wtp::synthetic

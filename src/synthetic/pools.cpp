@@ -1,0 +1,187 @@
+#include "synthetic/pools.h"
+
+#include <array>
+#include <set>
+#include <stdexcept>
+
+namespace wtp::synthetic {
+
+namespace {
+
+// 105 curated website categories, modeled on commercial URL-filtering
+// taxonomies (the paper's examples: Restaurants, Phishing, Messaging, Games).
+constexpr std::array<const char*, 105> kCategories = {
+    "Search Engines",      "Social Networking",  "News",
+    "Messaging",           "Email",              "Games",
+    "Streaming Media",     "Music",              "Video Sharing",
+    "Restaurants",         "Travel",             "Shopping",
+    "Auctions",            "Banking",            "Finance",
+    "Insurance",           "Real Estate",        "Job Search",
+    "Education",           "Reference",          "Science",
+    "Technology",          "Software Downloads", "File Sharing",
+    "Cloud Storage",       "Web Hosting",        "Content Delivery",
+    "Advertising",         "Analytics",          "Marketing",
+    "Business",            "Government",         "Military",
+    "Politics",            "Law",                "Health",
+    "Medicine",            "Fitness",            "Nutrition",
+    "Sports",              "Outdoor Recreation", "Automotive",
+    "Motorcycles",         "Boating",            "Aviation",
+    "Pets",                "Gardening",          "Home Improvement",
+    "Cooking",             "Fashion",            "Beauty",
+    "Jewelry",             "Art",                "Photography",
+    "Design",              "Architecture",       "Museums",
+    "History",             "Literature",         "Comics",
+    "Humor",               "Entertainment",      "Celebrities",
+    "Movies",              "Television",         "Radio",
+    "Podcasts",            "Blogs",              "Forums",
+    "Dating",              "Kids",               "Parenting",
+    "Weddings",            "Religion",           "Astrology",
+    "Gambling",            "Lottery",            "Alcohol",
+    "Tobacco",             "Weapons",            "Adult Content",
+    "Nudity",              "Violence",           "Hate Speech",
+    "Illegal Drugs",       "Hacking",            "Phishing",
+    "Malware Sites",       "Spyware",            "Botnets",
+    "Spam URLs",           "Proxy Avoidance",    "Anonymizers",
+    "Peer-to-Peer",        "Remote Access",      "Web Conferencing",
+    "VoIP",                "Translation",        "Maps",
+    "Weather",             "Classifieds",        "Coupons",
+    "Stock Trading",       "Cryptocurrency",     "Uncategorized",
+};
+
+// Curated media types across the 8 MIME super-types.
+constexpr std::array<const char*, 60> kMediaTypes = {
+    "text/html",                  "text/plain",
+    "text/css",                   "text/javascript",
+    "text/xml",                   "text/csv",
+    "text/calendar",              "text/markdown",
+    "image/jpeg",                 "image/png",
+    "image/gif",                  "image/svg+xml",
+    "image/webp",                 "image/bmp",
+    "image/tiff",                 "image/x-icon",
+    "video/mp4",                  "video/webm",
+    "video/ogg",                  "video/mpeg",
+    "video/quicktime",            "video/x-flv",
+    "video/x-msvideo",            "video/3gpp",
+    "audio/mpeg",                 "audio/wav",
+    "audio/ogg",                  "audio/aac",
+    "audio/flac",                 "audio/midi",
+    "audio/webm",                 "audio/x-ms-wma",
+    "application/json",           "application/xml",
+    "application/javascript",     "application/pdf",
+    "application/zip",            "application/gzip",
+    "application/x-tar",          "application/msword",
+    "application/vnd.ms-excel",   "application/vnd.ms-powerpoint",
+    "application/octet-stream",   "application/x-shockwave-flash",
+    "application/x-www-form-urlencoded", "application/wasm",
+    "application/rtf",            "application/postscript",
+    "font/woff",                  "font/woff2",
+    "font/ttf",                   "font/otf",
+    "message/rfc822",             "message/http",
+    "message/partial",            "model/obj",
+    "model/stl",                  "model/gltf+json",
+    "model/vrml",                 "model/mesh",
+};
+
+// Curated application/service names (the paper's examples: Rhapsody,
+// CloudFlare, Speedyshare).
+constexpr std::array<const char*, 64> kApplications = {
+    "Rhapsody",     "CloudFlare",  "Speedyshare",  "Dropbox",
+    "GoogleDrive",  "OneDrive",    "Box",          "iCloud",
+    "YouTube",      "Netflix",     "Spotify",      "Pandora",
+    "Hulu",         "Vimeo",       "Twitch",       "SoundCloud",
+    "Facebook",     "Twitter",     "LinkedIn",     "Instagram",
+    "Pinterest",    "Reddit",      "Tumblr",       "Snapchat",
+    "WhatsApp",     "Telegram",    "Skype",        "Slack",
+    "HipChat",      "Hangouts",    "Zoom",         "WebEx",
+    "Gmail",        "Outlook",     "YahooMail",    "ProtonMail",
+    "Salesforce",   "SAP",         "Oracle",       "Workday",
+    "Jira",         "Confluence",  "GitHub",       "GitLab",
+    "Bitbucket",    "StackOverflow", "Wikipedia",  "WordPress",
+    "Blogger",      "Medium",      "Akamai",       "Fastly",
+    "AmazonAWS",    "Azure",       "GoogleCloud",  "Heroku",
+    "DoubleClick",  "GoogleAds",   "Criteo",       "Taboola",
+    "PayPal",       "Stripe",      "Steam",        "BattleNet",
+};
+
+// Syllables for deterministic pronounceable name synthesis.
+constexpr std::array<const char*, 20> kOnsets = {
+    "Ba", "Ce", "Di", "Fo", "Gu", "Ha", "Ji", "Ko", "Lu", "Ma",
+    "Ne", "Pi", "Qua", "Ro", "Su", "Ta", "Ve", "Wi", "Xo", "Zy"};
+constexpr std::array<const char*, 16> kMiddles = {
+    "ran", "lex", "vim", "dor", "net", "bly", "gor", "mix",
+    "pal", "tek", "zen", "cor", "fin", "lab", "nim", "sys"};
+constexpr std::array<const char*, 12> kSuffixes = {
+    "ify", "ly", "hub", "box", "cast", "flow", "share", "sync",
+    "desk", "base", "ware", "app"};
+
+}  // namespace
+
+std::vector<std::string> category_pool(std::size_t count) {
+  std::vector<std::string> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count && i < kCategories.size(); ++i) {
+    pool.emplace_back(kCategories[i]);
+  }
+  for (std::size_t i = kCategories.size(); i < count; ++i) {
+    pool.push_back("Category_" + std::to_string(i + 1));
+  }
+  return pool;
+}
+
+std::vector<std::string> media_super_type_pool() {
+  return {"application", "audio", "font", "image",
+          "message",     "model", "text", "video"};
+}
+
+std::vector<std::string> media_type_pool(std::size_t count) {
+  std::vector<std::string> pool;
+  pool.reserve(count);
+  // The sub-type strings must be pairwise distinct so that `count` media
+  // types yield `count` sub-type feature columns (Tab. I counts 257
+  // distinct sub-types); curated entries sharing a sub-type across
+  // super-types (e.g. audio/ogg vs video/ogg) are skipped after the first.
+  std::set<std::string> seen_subtypes;
+  for (std::size_t i = 0; i < kMediaTypes.size() && pool.size() < count; ++i) {
+    const std::string media = kMediaTypes[i];
+    const std::string sub_type = media.substr(media.find('/') + 1);
+    if (seen_subtypes.insert(sub_type).second) pool.push_back(media);
+  }
+  // Synthesize additional sub-types round-robin across super-types so each
+  // super-type keeps a rich sub-type population, as in the paper's data
+  // (8 super-types vs 257 sub-types).
+  const auto supers = media_super_type_pool();
+  for (std::size_t i = kMediaTypes.size(); pool.size() < count; ++i) {
+    const std::size_t super_index = i % supers.size();
+    pool.push_back(supers[super_index] + "/x-ext-" + std::to_string(i));
+  }
+  return pool;
+}
+
+std::vector<std::string> application_type_pool(std::size_t count) {
+  std::vector<std::string> pool;
+  pool.reserve(count);
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < count && i < kApplications.size(); ++i) {
+    pool.emplace_back(kApplications[i]);
+    seen.insert(pool.back());
+  }
+  // Deterministic syllable products: 20*16*12 = 3840 unique names available.
+  std::size_t serial = 0;
+  while (pool.size() < count) {
+    if (serial >= kOnsets.size() * kMiddles.size() * kSuffixes.size()) {
+      // Exhausted the syllable space; fall back to numbered names.
+      pool.push_back("Service_" + std::to_string(pool.size() + 1));
+      continue;
+    }
+    const std::size_t onset = serial % kOnsets.size();
+    const std::size_t middle = (serial / kOnsets.size()) % kMiddles.size();
+    const std::size_t suffix = serial / (kOnsets.size() * kMiddles.size());
+    ++serial;
+    std::string name =
+        std::string{kOnsets[onset]} + kMiddles[middle] + kSuffixes[suffix];
+    if (seen.insert(name).second) pool.push_back(std::move(name));
+  }
+  return pool;
+}
+
+}  // namespace wtp::synthetic

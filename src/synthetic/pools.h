@@ -1,0 +1,40 @@
+// Value pools for the synthetic enterprise trace generator.
+//
+// The paper's (proprietary) benchmark dataset exposes three large categorical
+// vocabularies (Tab. I): website category (105 values), media sub-type (257)
+// and application type (464).  These pools reproduce vocabularies of the same
+// sizes: a core of realistic literal values extended deterministically with
+// synthesized names.  Pool sizes are parameters so tests can use small pools
+// and benchmarks can reproduce the paper-scale 843-column feature vector.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wtp::synthetic {
+
+/// `count` website category names ("Games", "Restaurants", "Phishing", ...).
+/// The first min(count, 105) entries are curated; beyond that, names are
+/// synthesized ("Category_106", ...).  Deterministic.
+[[nodiscard]] std::vector<std::string> category_pool(std::size_t count);
+
+/// The 8 MIME super-types used by the paper's super-type feature group.
+[[nodiscard]] std::vector<std::string> media_super_type_pool();
+
+/// `count` full media types ("video/mp4", "text/html", ...), spread across
+/// the 8 super-types.  Curated values first, then synthesized
+/// ("application/x-ext-17").  Deterministic.
+[[nodiscard]] std::vector<std::string> media_type_pool(std::size_t count);
+
+/// `count` application/service names ("Rhapsody", "CloudFlare", ...).
+/// Curated values first, then syllable-synthesized pronounceable names.
+/// Deterministic; all names unique.
+[[nodiscard]] std::vector<std::string> application_type_pool(std::size_t count);
+
+/// Paper-scale pool sizes (Tab. I).
+inline constexpr std::size_t kPaperCategoryCount = 105;
+inline constexpr std::size_t kPaperSubTypeCount = 257;
+inline constexpr std::size_t kPaperApplicationTypeCount = 464;
+
+}  // namespace wtp::synthetic

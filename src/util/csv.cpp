@@ -1,0 +1,91 @@
+#include "util/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace wtp::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string csv_format_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out.append(csv_escape(fields[i]));
+  }
+  return out;
+}
+
+std::vector<std::string> csv_parse_row(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) throw std::runtime_error{"csv_parse_row: unterminated quote"};
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  out_ << csv_format_row(fields) << '\n';
+}
+
+bool CsvReader::read_row(std::vector<std::string>& fields) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty() || line == "\r") continue;
+    // A quoted field may span physical lines; keep appending lines while
+    // the row's quotes are unbalanced.
+    for (;;) {
+      try {
+        fields = csv_parse_row(line);
+        return true;
+      } catch (const std::runtime_error&) {
+        std::string continuation;
+        if (!std::getline(in_, continuation)) throw;  // truly unterminated
+        line.push_back('\n');
+        line.append(continuation);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace wtp::util

@@ -1,0 +1,46 @@
+// Minimal CSV reading/writing with quoting support.  Used for persisting
+// experiment outputs and for the proxy-log on-disk format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wtp::util {
+
+/// Escapes a field per RFC 4180 (quotes fields containing , " or newline).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Formats one CSV row (no trailing newline).
+[[nodiscard]] std::string csv_format_row(const std::vector<std::string>& fields);
+
+/// Parses one CSV row, honouring quoted fields with embedded commas/quotes.
+/// Throws std::runtime_error on unterminated quotes.
+[[nodiscard]] std::vector<std::string> csv_parse_row(std::string_view line);
+
+/// Streaming CSV writer bound to an ostream owned by the caller.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_{out} {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Streaming CSV reader bound to an istream owned by the caller.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_{in} {}
+
+  /// Reads the next row into `fields`; returns false at end of stream.
+  /// Blank lines are skipped.
+  bool read_row(std::vector<std::string>& fields);
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace wtp::util

@@ -1,0 +1,214 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All randomness in the library flows through wtp::util::Rng so that a single
+// 64-bit seed reproduces an entire synthetic trace, grid search, or benchmark
+// run bit-for-bit across platforms.  The generator is xoshiro256** seeded via
+// splitmix64 (the initialization recommended by the xoshiro authors); it is
+// not cryptographic and must never be used for security purposes.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace wtp::util {
+
+/// splitmix64 step: used to expand a single seed into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be plugged into
+/// <random> distributions, though the built-in helpers below are preferred
+/// for cross-platform determinism (libstdc++/libc++ distributions differ).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words from a single seed via splitmix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x5eedu) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output (xoshiro256**).
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent child generator; used to give each synthetic user
+  /// / worker thread its own stream without correlation.
+  [[nodiscard]] constexpr Rng fork() noexcept { return Rng{(*this)()}; }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] constexpr double uniform() noexcept {
+    // 53 high-quality bits -> mantissa of a double.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument{"Rng::uniform_index: n must be > 0"};
+    // Lemire-style rejection for unbiased bounded integers.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument{"Rng::uniform_int: lo > hi"};
+    return lo + static_cast<std::int64_t>(
+                    uniform_index(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (no state caching -> deterministic).
+  [[nodiscard]] double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();  // avoid log(0)
+    const double u2 = uniform();
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with given rate (mean 1/rate). Models inter-arrival gaps.
+  [[nodiscard]] double exponential(double rate) {
+    if (rate <= 0.0) throw std::invalid_argument{"Rng::exponential: rate <= 0"};
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx beyond).
+  [[nodiscard]] std::uint64_t poisson(double mean) {
+    if (mean < 0.0) throw std::invalid_argument{"Rng::poisson: mean < 0"};
+    if (mean == 0.0) return 0;
+    if (mean > 60.0) {
+      const double x = std::round(normal(mean, std::sqrt(mean)));
+      return x < 0.0 ? 0 : static_cast<std::uint64_t>(x);
+    }
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++k;
+      product *= uniform();
+    }
+    return k;
+  }
+
+  /// Draws an index from an explicit (unnormalized) weight vector.
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights) {
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (weights.empty() || total <= 0.0) {
+      throw std::invalid_argument{"Rng::weighted_index: weights must be non-empty with positive sum"};
+    }
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0.0) return i;
+    }
+    return weights.size() - 1;  // floating point slack
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[uniform_index(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf(s) sampler over ranks {0, .., n-1}: precomputes the CDF once so draws
+/// are O(log n).  Synthetic users pick favourite sites/categories with Zipf
+/// weights, matching the heavy-tailed popularity seen in real web traffic.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent) : cdf_(n) {
+    if (n == 0) throw std::invalid_argument{"ZipfDistribution: n must be > 0"};
+    if (exponent < 0.0) throw std::invalid_argument{"ZipfDistribution: exponent must be >= 0"};
+    double cumulative = 0.0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      cumulative += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+      cdf_[rank] = cumulative;
+    }
+    for (auto& value : cdf_) value /= cumulative;
+  }
+
+  [[nodiscard]] std::size_t operator()(Rng& rng) const {
+    const double u = rng.uniform();
+    // Binary search the first CDF entry >= u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace wtp::util

@@ -1,0 +1,140 @@
+#include "util/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wtp::util {
+
+namespace {
+
+/// Sorts, merges duplicates (by sum), and drops zeros.
+std::vector<SparseVector::Entry> normalize(std::vector<SparseVector::Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.index < b.index; });
+  std::vector<SparseVector::Entry> out;
+  out.reserve(entries.size());
+  for (const auto& entry : entries) {
+    if (!out.empty() && out.back().index == entry.index) {
+      out.back().value += entry.value;
+    } else {
+      out.push_back(entry);
+    }
+  }
+  std::erase_if(out, [](const auto& e) { return e.value == 0.0; });
+  return out;
+}
+
+}  // namespace
+
+SparseVector::SparseVector(std::vector<Entry> entries)
+    : entries_{normalize(std::move(entries))} {}
+
+SparseVector::SparseVector(std::initializer_list<Entry> entries)
+    : SparseVector{std::vector<Entry>{entries}} {}
+
+SparseVector SparseVector::from_dense(std::span<const double> dense) {
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != 0.0) entries.push_back({i, dense[i]});
+  }
+  SparseVector vec;
+  vec.entries_ = std::move(entries);  // already sorted & unique
+  return vec;
+}
+
+double SparseVector::at(std::size_t index) const noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), index,
+      [](const Entry& e, std::size_t target) { return e.index < target; });
+  if (it != entries_.end() && it->index == index) return it->value;
+  return 0.0;
+}
+
+std::vector<double> SparseVector::to_dense(std::size_t dimension) const {
+  std::vector<double> dense(dimension, 0.0);
+  for (const auto& entry : entries_) {
+    if (entry.index >= dimension) {
+      throw std::out_of_range{"SparseVector::to_dense: index " +
+                              std::to_string(entry.index) + " >= dimension " +
+                              std::to_string(dimension)};
+    }
+    dense[entry.index] = entry.value;
+  }
+  return dense;
+}
+
+double SparseVector::dot(const SparseVector& other) const noexcept {
+  double sum = 0.0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->index < b->index) {
+      ++a;
+    } else if (b->index < a->index) {
+      ++b;
+    } else {
+      sum += a->value * b->value;
+      ++a;
+      ++b;
+    }
+  }
+  return sum;
+}
+
+double SparseVector::squared_norm() const noexcept {
+  double sum = 0.0;
+  for (const auto& entry : entries_) sum += entry.value * entry.value;
+  return sum;
+}
+
+double SparseVector::squared_distance(const SparseVector& other) const noexcept {
+  double sum = 0.0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() || b != other.entries_.end()) {
+    if (b == other.entries_.end() || (a != entries_.end() && a->index < b->index)) {
+      sum += a->value * a->value;
+      ++a;
+    } else if (a == entries_.end() || b->index < a->index) {
+      sum += b->value * b->value;
+      ++b;
+    } else {
+      const double diff = a->value - b->value;
+      sum += diff * diff;
+      ++a;
+      ++b;
+    }
+  }
+  return sum;
+}
+
+void SparseAccumulator::add(std::size_t index, double value) {
+  entries_.push_back({index, value});
+}
+
+void SparseAccumulator::max(std::size_t index, double value) {
+  maxed_.push_back({index, value});
+}
+
+SparseVector SparseAccumulator::build() {
+  // Summed entries go through the normal constructor; maxed entries are
+  // deduplicated by maximum first, then merged in.
+  std::sort(maxed_.begin(), maxed_.end(),
+            [](const auto& a, const auto& b) { return a.index < b.index; });
+  std::vector<SparseVector::Entry> max_merged;
+  for (const auto& entry : maxed_) {
+    if (!max_merged.empty() && max_merged.back().index == entry.index) {
+      max_merged.back().value = std::max(max_merged.back().value, entry.value);
+    } else {
+      max_merged.push_back(entry);
+    }
+  }
+  for (const auto& entry : max_merged) entries_.push_back(entry);
+  SparseVector result{std::move(entries_)};
+  entries_ = {};
+  maxed_ = {};
+  return result;
+}
+
+}  // namespace wtp::util

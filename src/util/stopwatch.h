@@ -1,0 +1,32 @@
+// Monotonic wall-clock stopwatch for the performance experiments (Figs. 4-5).
+#pragma once
+
+#include <chrono>
+
+namespace wtp::util {
+
+/// Thin wrapper over steady_clock with microsecond helpers.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_{clock::now()} {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_micros() const noexcept {
+    return elapsed_seconds() * 1e6;
+  }
+
+  [[nodiscard]] double elapsed_millis() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace wtp::util

@@ -1,0 +1,28 @@
+// Small string helpers shared by log parsing and report formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wtp::util {
+
+/// Splits on a single delimiter; empty fields are preserved ("a,,b" -> 3).
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Joins pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view separator);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Fixed-precision formatting ("%.1f" style) without iostream state leakage.
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+}  // namespace wtp::util

@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace wtp::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render(const std::string& title) const {
+  // Compute column widths across header + all rows.
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : std::string{};
+      line += cell;
+      if (i + 1 < widths.size()) {
+        line.append(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    // strip trailing spaces
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out;
+  if (!title.empty()) out += title + '\n';
+  if (!header_.empty()) {
+    out += render_row(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w + 2;
+    out += std::string(total > 2 ? total - 2 : total, '-') + '\n';
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace wtp::util

@@ -1,0 +1,30 @@
+// Fixed-width text table rendering for the benchmark binaries, which print
+// the same rows the paper's tables report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wtp::util {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Sets the header row (optional).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; rows may be ragged (short rows are padded).
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment, a rule under the header, and a leading
+  /// title line when `title` is non-empty.
+  [[nodiscard]] std::string render(const std::string& title = {}) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wtp::util

@@ -1,0 +1,110 @@
+#include "baseline/flow_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace wtp::baseline {
+namespace {
+
+/// Synthesizes a user whose flow rhythm is characteristic: `burst_size`
+/// transactions per page, pages every `page_gap` seconds.
+std::vector<log::WebTransaction> rhythm_user(const std::string& user,
+                                             std::size_t pages,
+                                             std::size_t burst_size,
+                                             util::UnixSeconds page_gap,
+                                             util::Rng& rng) {
+  std::vector<log::WebTransaction> txns;
+  util::UnixSeconds now = 0;
+  for (std::size_t p = 0; p < pages; ++p) {
+    const std::string url = "site-" + std::to_string(rng.uniform_index(5)) + ".com";
+    for (std::size_t b = 0; b < burst_size; ++b) {
+      log::WebTransaction txn;
+      txn.timestamp = now + static_cast<util::UnixSeconds>(b);
+      txn.url = url;
+      txn.user_id = user;
+      txns.push_back(txn);
+    }
+    now += page_gap;
+  }
+  return txns;
+}
+
+TEST(FlowProfiler, TrainsOneModelPerUser) {
+  util::Rng rng{1};
+  std::map<std::string, std::vector<log::WebTransaction>> by_user;
+  by_user["fast"] = rhythm_user("fast", 200, 2, 8, rng);
+  by_user["slow"] = rhythm_user("slow", 200, 12, 300, rng);
+  FlowProfiler profiler;
+  profiler.train(by_user);
+  EXPECT_TRUE(profiler.trained());
+  EXPECT_EQ(profiler.users(), (std::vector<std::string>{"fast", "slow"}));
+}
+
+TEST(FlowProfiler, IdentifiesUsersByFlowRhythm) {
+  util::Rng rng{2};
+  std::map<std::string, std::vector<log::WebTransaction>> by_user;
+  by_user["fast"] = rhythm_user("fast", 400, 2, 8, rng);
+  by_user["slow"] = rhythm_user("slow", 400, 12, 300, rng);
+  FlowProfiler profiler;
+  profiler.train(by_user);
+
+  const auto fast_probe = rhythm_user("fast", 120, 2, 8, rng);
+  const auto slow_probe = rhythm_user("slow", 120, 12, 300, rng);
+  EXPECT_EQ(profiler.identify(fast_probe), "fast");
+  EXPECT_EQ(profiler.identify(slow_probe), "slow");
+}
+
+TEST(FlowProfiler, ScoreHigherForOwnTraffic) {
+  util::Rng rng{3};
+  std::map<std::string, std::vector<log::WebTransaction>> by_user;
+  by_user["fast"] = rhythm_user("fast", 300, 2, 8, rng);
+  by_user["slow"] = rhythm_user("slow", 300, 12, 300, rng);
+  FlowProfiler profiler;
+  profiler.train(by_user);
+  const auto probe = rhythm_user("fast", 150, 2, 8, rng);
+  const auto own = profiler.score("fast", probe);
+  const auto other = profiler.score("slow", probe);
+  ASSERT_TRUE(own.has_value());
+  ASSERT_TRUE(other.has_value());
+  EXPECT_GT(*own, *other);
+}
+
+TEST(FlowProfiler, UnknownUserScoreIsNullopt) {
+  util::Rng rng{4};
+  std::map<std::string, std::vector<log::WebTransaction>> by_user;
+  by_user["u"] = rhythm_user("u", 100, 3, 20, rng);
+  FlowProfiler profiler;
+  profiler.train(by_user);
+  EXPECT_FALSE(profiler.score("stranger", by_user["u"]).has_value());
+}
+
+TEST(FlowProfiler, EmptyObservationYieldsNulloptAndEmptyIdentity) {
+  util::Rng rng{5};
+  std::map<std::string, std::vector<log::WebTransaction>> by_user;
+  by_user["u"] = rhythm_user("u", 100, 3, 20, rng);
+  FlowProfiler profiler;
+  profiler.train(by_user);
+  EXPECT_FALSE(profiler.score("u", {}).has_value());
+  EXPECT_TRUE(profiler.identify({}).empty());
+}
+
+TEST(FlowProfiler, UntrainedProfilerIsInert) {
+  const FlowProfiler profiler;
+  EXPECT_FALSE(profiler.trained());
+  EXPECT_TRUE(profiler.users().empty());
+  EXPECT_TRUE(profiler.identify({}).empty());
+}
+
+TEST(FlowProfiler, UsersWithoutFlowsAreSkipped) {
+  std::map<std::string, std::vector<log::WebTransaction>> by_user;
+  by_user["empty"] = {};
+  util::Rng rng{6};
+  by_user["real"] = rhythm_user("real", 50, 2, 20, rng);
+  FlowProfiler profiler;
+  profiler.train(by_user);
+  EXPECT_EQ(profiler.users(), (std::vector<std::string>{"real"}));
+}
+
+}  // namespace
+}  // namespace wtp::baseline

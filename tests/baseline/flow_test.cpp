@@ -1,0 +1,141 @@
+#include "baseline/flow.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wtp::baseline {
+namespace {
+
+log::WebTransaction txn(util::UnixSeconds ts, const std::string& url,
+                        log::UriScheme scheme = log::UriScheme::kHttp) {
+  log::WebTransaction t;
+  t.timestamp = ts;
+  t.url = url;
+  t.scheme = scheme;
+  return t;
+}
+
+TEST(FlowReduction, ConsecutiveSameDestinationCollapses) {
+  const std::vector<log::WebTransaction> txns{
+      txn(0, "a.com"), txn(5, "a.com"), txn(12, "a.com")};
+  const auto flows = transactions_to_flows(txns, 30);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].transaction_count, 3u);
+  EXPECT_EQ(flows[0].start, 0);
+  EXPECT_EQ(flows[0].end, 12);
+  EXPECT_EQ(flows[0].duration(), 12);
+}
+
+TEST(FlowReduction, DestinationChangeStartsNewFlow) {
+  const std::vector<log::WebTransaction> txns{
+      txn(0, "a.com"), txn(2, "b.com"), txn(4, "a.com")};
+  const auto flows = transactions_to_flows(txns, 30);
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_EQ(flows[0].destination, "a.com");
+  EXPECT_EQ(flows[1].destination, "b.com");
+  EXPECT_EQ(flows[2].destination, "a.com");
+}
+
+TEST(FlowReduction, TimeoutSplitsFlows) {
+  const std::vector<log::WebTransaction> txns{
+      txn(0, "a.com"), txn(100, "a.com")};
+  const auto flows = transactions_to_flows(txns, 30);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[1].gap_before, 100);
+}
+
+TEST(FlowReduction, GapBeforeTracksPreviousFlowEnd) {
+  const std::vector<log::WebTransaction> txns{
+      txn(0, "a.com"), txn(10, "a.com"), txn(50, "b.com")};
+  const auto flows = transactions_to_flows(txns, 30);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].gap_before, 0);
+  EXPECT_EQ(flows[1].gap_before, 40);  // 50 - 10
+}
+
+TEST(FlowReduction, SchemeIsTakenFromFirstTransaction) {
+  const std::vector<log::WebTransaction> txns{
+      txn(0, "a.com", log::UriScheme::kHttps), txn(1, "a.com")};
+  const auto flows = transactions_to_flows(txns, 30);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_TRUE(flows[0].https);
+}
+
+TEST(FlowReduction, EmptyInput) {
+  EXPECT_TRUE(transactions_to_flows({}, 30).empty());
+}
+
+TEST(FlowQuantizer, SymbolCountMatchesBucketProduct) {
+  const FlowQuantizer quantizer;  // 4 x 4 x 4 x 2 = 128
+  EXPECT_EQ(quantizer.num_symbols(), 128u);
+  const FlowQuantizer custom{{10}, {5}, {60}};  // 2 x 2 x 2 x 2 = 16
+  EXPECT_EQ(custom.num_symbols(), 16u);
+}
+
+TEST(FlowQuantizer, SymbolsAreInRange) {
+  const FlowQuantizer quantizer;
+  FlowRecord flow;
+  for (const util::UnixSeconds duration : {0, 1, 5, 100, 10000}) {
+    for (const std::size_t count : {1u, 4u, 50u, 1000u}) {
+      for (const util::UnixSeconds gap : {0, 10, 500, 100000}) {
+        for (const bool https : {false, true}) {
+          flow.start = 0;
+          flow.end = duration;
+          flow.transaction_count = count;
+          flow.gap_before = gap;
+          flow.https = https;
+          ASSERT_LT(quantizer.symbol(flow), quantizer.num_symbols());
+        }
+      }
+    }
+  }
+}
+
+TEST(FlowQuantizer, DistinctFeaturesYieldDistinctSymbols) {
+  const FlowQuantizer quantizer;
+  FlowRecord small;
+  small.start = 0;
+  small.end = 1;
+  small.transaction_count = 1;
+  small.gap_before = 1;
+  FlowRecord large;
+  large.start = 0;
+  large.end = 500;
+  large.transaction_count = 100;
+  large.gap_before = 10000;
+  EXPECT_NE(quantizer.symbol(small), quantizer.symbol(large));
+
+  FlowRecord https_flow = small;
+  https_flow.https = true;
+  EXPECT_NE(quantizer.symbol(small), quantizer.symbol(https_flow));
+}
+
+TEST(FlowQuantizer, BucketBoundariesAreInclusive) {
+  const FlowQuantizer quantizer{{10}, {5}, {60}};
+  FlowRecord at_bound;
+  at_bound.start = 0;
+  at_bound.end = 10;  // duration exactly 10 -> bucket 0
+  at_bound.transaction_count = 5;
+  at_bound.gap_before = 60;
+  FlowRecord above;
+  above.start = 0;
+  above.end = 11;
+  above.transaction_count = 6;
+  above.gap_before = 61;
+  EXPECT_NE(quantizer.symbol(at_bound), quantizer.symbol(above));
+  // at_bound lands in the all-zero buckets (plus scheme 0) -> symbol 0.
+  EXPECT_EQ(quantizer.symbol(at_bound), 0u);
+}
+
+TEST(FlowQuantizer, SymbolizeMapsEveryFlow) {
+  const FlowQuantizer quantizer;
+  const std::vector<log::WebTransaction> txns{
+      txn(0, "a.com"), txn(5, "a.com"), txn(100, "b.com")};
+  const auto flows = transactions_to_flows(txns, 30);
+  const auto symbols = quantizer.symbolize(flows);
+  EXPECT_EQ(symbols.size(), flows.size());
+}
+
+}  // namespace
+}  // namespace wtp::baseline

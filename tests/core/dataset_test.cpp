@@ -1,0 +1,137 @@
+#include "core/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_trace.h"
+
+namespace wtp::core {
+namespace {
+
+log::WebTransaction make_txn(util::UnixSeconds ts, const std::string& user) {
+  log::WebTransaction txn;
+  txn.timestamp = ts;
+  txn.user_id = user;
+  txn.device_id = "d1";
+  txn.category = "Games";
+  txn.media_type = "text/html";
+  txn.application_type = "Steam";
+  return txn;
+}
+
+TEST(ProfilingDataset, FiltersUsersBelowThreshold) {
+  std::vector<log::WebTransaction> txns;
+  for (int i = 0; i < 50; ++i) txns.push_back(make_txn(i, "busy"));
+  for (int i = 0; i < 3; ++i) txns.push_back(make_txn(i, "idle"));
+  DatasetConfig config;
+  config.min_transactions = 10;
+  const ProfilingDataset dataset{txns, config};
+  EXPECT_EQ(dataset.user_ids(), (std::vector<std::string>{"busy"}));
+}
+
+TEST(ProfilingDataset, KeepsMostActiveUsersUpToMaxUsers) {
+  std::vector<log::WebTransaction> txns;
+  for (int u = 0; u < 5; ++u) {
+    const std::string user = "user_" + std::to_string(u);
+    for (int i = 0; i < 10 + u * 10; ++i) txns.push_back(make_txn(i, user));
+  }
+  DatasetConfig config;
+  config.min_transactions = 1;
+  config.max_users = 2;
+  const ProfilingDataset dataset{txns, config};
+  // user_4 (50 txns) and user_3 (40 txns) survive.
+  EXPECT_EQ(dataset.user_count(), 2u);
+  EXPECT_EQ(dataset.user_ids(), (std::vector<std::string>{"user_3", "user_4"}));
+}
+
+TEST(ProfilingDataset, ChronologicalSplitUsesOldestForTraining) {
+  std::vector<log::WebTransaction> txns;
+  for (int i = 0; i < 100; ++i) txns.push_back(make_txn(i, "u"));
+  DatasetConfig config;
+  config.min_transactions = 1;
+  config.train_fraction = 0.75;
+  const ProfilingDataset dataset{txns, config};
+  const auto train = dataset.train_transactions("u");
+  const auto test = dataset.test_transactions("u");
+  ASSERT_EQ(train.size(), 75u);
+  ASSERT_EQ(test.size(), 25u);
+  EXPECT_LT(train.back().timestamp, test.front().timestamp);
+  EXPECT_EQ(dataset.all_transactions("u").size(), 100u);
+}
+
+TEST(ProfilingDataset, UnknownUserThrows) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  EXPECT_THROW((void)dataset.train_transactions("nobody"), std::out_of_range);
+}
+
+TEST(ProfilingDataset, InvalidTrainFractionThrows) {
+  DatasetConfig config;
+  config.train_fraction = 1.0;
+  EXPECT_THROW((ProfilingDataset{{}, config}), std::invalid_argument);
+}
+
+TEST(ProfilingDataset, SchemaCoversAllObservedValues) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  EXPECT_GT(dataset.schema().dimension(), 9u);
+  // Every transaction's category resolves to a column (schema built over
+  // the full dataset).
+  for (const auto& user : dataset.user_ids()) {
+    for (const auto& txn : dataset.all_transactions(user).first(50)) {
+      EXPECT_TRUE(dataset.schema().category_column(txn.category).has_value());
+    }
+  }
+}
+
+TEST(ProfilingDataset, WindowsAreNonEmptyAndCapAtConfiguredMax) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const features::WindowConfig window{60, 30};
+  for (const auto& user : dataset.user_ids()) {
+    const auto train = dataset.train_windows(user, window);
+    EXPECT_FALSE(train.empty());
+    EXPECT_LE(train.size(), testing::tiny_dataset_config().max_training_windows);
+    const auto test = dataset.test_windows(user, window);
+    EXPECT_FALSE(test.empty());
+  }
+}
+
+TEST(ProfilingDataset, SubsampleKeepsOrderAndBounds) {
+  std::vector<util::SparseVector> vectors;
+  for (std::size_t i = 0; i < 100; ++i) {
+    vectors.push_back(util::SparseVector{{i, 1.0}});
+  }
+  const auto sampled = ProfilingDataset::subsample(vectors, 10);
+  ASSERT_EQ(sampled.size(), 10u);
+  std::size_t previous = 0;
+  for (const auto& v : sampled) {
+    const std::size_t index = v.entries()[0].index;
+    EXPECT_GE(index, previous);
+    previous = index;
+  }
+  EXPECT_EQ(sampled.front().entries()[0].index, 0u);
+}
+
+TEST(ProfilingDataset, SubsampleNoopWhenUnderCap) {
+  std::vector<util::SparseVector> vectors{util::SparseVector{{0, 1.0}}};
+  EXPECT_EQ(ProfilingDataset::subsample(vectors, 10).size(), 1u);
+  EXPECT_EQ(ProfilingDataset::subsample(vectors, 0).size(), 1u);  // 0 = no cap
+}
+
+TEST(ProfilingDataset, DeviceGroupingCoversAllTransactions) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  std::size_t device_total = 0;
+  for (const auto& [device, txns] : dataset.by_device()) {
+    EXPECT_FALSE(device.empty());
+    device_total += txns.size();
+  }
+  EXPECT_EQ(device_total, testing::tiny_trace().transactions.size());
+}
+
+TEST(ProfilingDataset, TransactionCountsMatchSpans) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  for (const auto& [user, count] : dataset.transaction_counts()) {
+    EXPECT_EQ(count, dataset.all_transactions(user).size());
+    EXPECT_GE(count, testing::tiny_dataset_config().min_transactions);
+  }
+}
+
+}  // namespace
+}  // namespace wtp::core

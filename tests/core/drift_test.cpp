@@ -1,0 +1,107 @@
+#include "core/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace wtp::core {
+namespace {
+
+TEST(DriftMonitor, StaysQuietAtExpectedRate) {
+  DriftConfig config;
+  config.expected_rate = 0.9;
+  DriftMonitor monitor{config};
+  util::Rng rng{1};
+  for (int i = 0; i < 2000; ++i) monitor.observe(rng.bernoulli(0.9));
+  EXPECT_FALSE(monitor.drift_detected());
+  EXPECT_NEAR(monitor.acceptance_estimate(), 0.9, 0.08);
+}
+
+TEST(DriftMonitor, DetectsCollapseQuickly) {
+  DriftConfig config;
+  config.expected_rate = 0.9;
+  DriftMonitor monitor{config};
+  util::Rng rng{2};
+  // Healthy phase.
+  for (int i = 0; i < 200; ++i) monitor.observe(rng.bernoulli(0.9));
+  ASSERT_FALSE(monitor.drift_detected());
+  // Behaviour change: acceptance collapses to 20%.
+  int steps_to_detect = 0;
+  while (!monitor.drift_detected() && steps_to_detect < 1000) {
+    monitor.observe(rng.bernoulli(0.2));
+    ++steps_to_detect;
+  }
+  EXPECT_TRUE(monitor.drift_detected());
+  // CUSUM with slack 0.05 accumulates ~0.65/rejection: threshold 2.0 is
+  // crossed within a handful of windows.
+  EXPECT_LT(steps_to_detect, 20);
+}
+
+TEST(DriftMonitor, ToleratesMildDegradation) {
+  // The default slack (CUSUM reference value 0.2) targets collapses of
+  // ~0.4; a mild 5-point degradation must not trip it.
+  DriftConfig config;
+  config.expected_rate = 0.9;
+  DriftMonitor monitor{config};
+  util::Rng rng{3};
+  for (int i = 0; i < 3000; ++i) monitor.observe(rng.bernoulli(0.85));
+  EXPECT_FALSE(monitor.drift_detected());
+}
+
+TEST(DriftMonitor, WarmupSuppressesEarlyAlarms) {
+  DriftConfig config;
+  config.warmup = 50;
+  DriftMonitor monitor{config};
+  for (int i = 0; i < 49; ++i) monitor.observe(false);  // catastrophic input
+  EXPECT_FALSE(monitor.drift_detected());
+  monitor.observe(false);
+  EXPECT_TRUE(monitor.drift_detected());
+}
+
+TEST(DriftMonitor, DetectionIsSticky) {
+  DriftConfig config;
+  config.warmup = 1;
+  DriftMonitor monitor{config};
+  for (int i = 0; i < 10; ++i) monitor.observe(false);
+  ASSERT_TRUE(monitor.drift_detected());
+  for (int i = 0; i < 100; ++i) monitor.observe(true);
+  EXPECT_TRUE(monitor.drift_detected());  // stays latched until reset
+}
+
+TEST(DriftMonitor, ResetClearsState) {
+  DriftConfig config;
+  config.warmup = 1;
+  DriftMonitor monitor{config};
+  for (int i = 0; i < 10; ++i) monitor.observe(false);
+  ASSERT_TRUE(monitor.drift_detected());
+  monitor.reset();
+  EXPECT_FALSE(monitor.drift_detected());
+  EXPECT_EQ(monitor.observations(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.cusum(), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.acceptance_estimate(), config.expected_rate);
+}
+
+TEST(DriftMonitor, EwmaTracksRecentRate) {
+  DriftConfig config;
+  config.ewma_alpha = 0.1;
+  DriftMonitor monitor{config};
+  for (int i = 0; i < 200; ++i) monitor.observe(true);
+  EXPECT_NEAR(monitor.acceptance_estimate(), 1.0, 0.01);
+  for (int i = 0; i < 200; ++i) monitor.observe(false);
+  EXPECT_NEAR(monitor.acceptance_estimate(), 0.0, 0.01);
+}
+
+TEST(DriftMonitor, RejectsInvalidConfig) {
+  DriftConfig config;
+  config.expected_rate = 0.0;
+  EXPECT_THROW((DriftMonitor{config}), std::invalid_argument);
+  config = {};
+  config.ewma_alpha = 0.0;
+  EXPECT_THROW((DriftMonitor{config}), std::invalid_argument);
+  config = {};
+  config.cusum_threshold = 0.0;
+  EXPECT_THROW((DriftMonitor{config}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtp::core

@@ -1,0 +1,146 @@
+#include "core/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_trace.h"
+
+namespace wtp::core {
+namespace {
+
+util::ThreadPool& pool() {
+  static util::ThreadPool instance{2};
+  return instance;
+}
+
+TEST(PaperGrids, WindowGridMatchesTabII) {
+  const auto grid = paper_window_grid();
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0], (features::WindowConfig{60, 6}));
+  EXPECT_EQ(grid[1], (features::WindowConfig{60, 30}));  // retained values
+  EXPECT_EQ(grid[5], (features::WindowConfig{3600, 300}));
+}
+
+TEST(PaperGrids, RegularizerGridMatchesTabIII) {
+  const auto grid = paper_regularizer_grid();
+  ASSERT_EQ(grid.size(), 15u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.999);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.001);
+}
+
+TEST(PaperGrids, KernelGridHasAllFourKernels) {
+  const auto kernels = paper_kernel_grid();
+  ASSERT_EQ(kernels.size(), 4u);
+  EXPECT_EQ(kernels[0].type, svm::KernelType::kLinear);
+  EXPECT_EQ(kernels[1].type, svm::KernelType::kPolynomial);
+  EXPECT_EQ(kernels[2].type, svm::KernelType::kRbf);
+  EXPECT_EQ(kernels[3].type, svm::KernelType::kSigmoid);
+}
+
+ProfileParams base_params() {
+  ProfileParams params;
+  params.type = ClassifierType::kSvdd;
+  params.kernel = {svm::KernelType::kLinear, 0.0, 0.0, 3};
+  params.regularizer = 0.5;
+  return params;
+}
+
+TEST(WindowGridSearch, EvaluatesEveryConfiguration) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const std::vector<features::WindowConfig> grid{{60, 30}, {300, 60}};
+  const auto entries = window_grid_search(dataset, grid, base_params(), pool());
+  ASSERT_EQ(entries.size(), 2u);
+  for (const auto& entry : entries) {
+    EXPECT_GT(entry.ratios.acc_self, 0.0);
+    EXPECT_GE(entry.ratios.acc_other, 0.0);
+    EXPECT_LE(entry.ratios.acc_self, 100.0);
+  }
+}
+
+TEST(WindowGridSearch, BestSelectorsPickCorrectEntries) {
+  std::vector<WindowGridEntry> entries(3);
+  entries[0].window = {60, 30};
+  entries[0].ratios = {.acc_self = 95.0, .acc_other = 40.0};  // acc 55
+  entries[1].window = {300, 60};
+  entries[1].ratios = {.acc_self = 90.0, .acc_other = 5.0};   // acc 85
+  entries[2].window = {600, 60};
+  entries[2].ratios = {.acc_self = 85.0, .acc_other = 2.0};   // acc 83
+  EXPECT_EQ(best_by_acc_self(entries).window, (features::WindowConfig{60, 30}));
+  EXPECT_EQ(best_by_acc(entries).window, (features::WindowConfig{300, 60}));
+  EXPECT_THROW((void)best_by_acc_self(std::vector<WindowGridEntry>{}),
+               std::invalid_argument);
+}
+
+TEST(ParamGridSearch, ProducesKernelMajorOrder) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const auto kernels = paper_kernel_grid();
+  const std::vector<double> regs{0.5, 0.1};
+  const auto entries =
+      param_grid_search(dataset, dataset.user_ids().front(), {60, 30},
+                        ClassifierType::kSvdd, kernels, regs, pool());
+  ASSERT_EQ(entries.size(), kernels.size() * regs.size());
+  EXPECT_EQ(entries[0].params.kernel.type, svm::KernelType::kLinear);
+  EXPECT_DOUBLE_EQ(entries[0].params.regularizer, 0.5);
+  EXPECT_EQ(entries[1].params.kernel.type, svm::KernelType::kLinear);
+  EXPECT_DOUBLE_EQ(entries[1].params.regularizer, 0.1);
+  EXPECT_EQ(entries[2].params.kernel.type, svm::KernelType::kPolynomial);
+}
+
+TEST(ParamGridSearch, BestParamsPicksHighestAcc) {
+  std::vector<ParamGridEntry> entries(3);
+  entries[0].ratios = {.acc_self = 90.0, .acc_other = 50.0};
+  entries[1].ratios = {.acc_self = 85.0, .acc_other = 10.0};
+  entries[2].ratios = {.acc_self = 99.0, .acc_other = 90.0};
+  entries[2].trainable = false;  // excluded despite ordering
+  entries[0].params.regularizer = 0.1;
+  entries[1].params.regularizer = 0.2;
+  const auto& best = best_params(entries);
+  EXPECT_DOUBLE_EQ(best.params.regularizer, 0.2);
+}
+
+TEST(ParamGridSearch, BestParamsThrowsWhenNothingTrainable) {
+  std::vector<ParamGridEntry> entries(2);
+  entries[0].trainable = false;
+  entries[1].trainable = false;
+  EXPECT_THROW((void)best_params(entries), std::runtime_error);
+}
+
+TEST(OptimizeAllUsers, ReturnsParamsPerUser) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const std::vector<svm::KernelParams> kernels{
+      {svm::KernelType::kLinear, 0.0, 0.0, 3},
+      {svm::KernelType::kRbf, 0.0, 0.0, 3}};
+  const std::vector<double> regs{0.5, 0.1};
+  const auto params = optimize_all_users(dataset, {60, 30}, ClassifierType::kOcSvm,
+                                         kernels, regs, pool());
+  ASSERT_EQ(params.size(), dataset.user_count());
+  for (const auto& p : params) {
+    EXPECT_EQ(p.type, ClassifierType::kOcSvm);
+    EXPECT_TRUE(p.regularizer == 0.5 || p.regularizer == 0.1);
+  }
+}
+
+TEST(TrainProfilesAndEvaluate, TestEvaluationHasSaneShape) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const features::WindowConfig window{60, 30};
+  const std::vector<ProfileParams> params(dataset.user_count(), base_params());
+  const auto profiles = train_profiles(dataset, window, params, pool());
+  ASSERT_EQ(profiles.size(), dataset.user_count());
+
+  const TestEvaluation evaluation =
+      evaluate_on_test(dataset, window, profiles, pool());
+  EXPECT_GT(evaluation.mean_ratios.acc_self, 30.0);
+  EXPECT_LT(evaluation.mean_ratios.acc_other, evaluation.mean_ratios.acc_self);
+  EXPECT_EQ(evaluation.confusion.users.size(), dataset.user_count());
+  EXPECT_GT(evaluation.confusion.diagonal_mean(),
+            evaluation.confusion.off_diagonal_mean());
+}
+
+TEST(TrainProfiles, RejectsSizeMismatch) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const std::vector<ProfileParams> params(dataset.user_count() + 1, base_params());
+  EXPECT_THROW((void)train_profiles(dataset, {60, 30}, params, pool()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtp::core

@@ -1,0 +1,125 @@
+#include "core/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/test_trace.h"
+
+namespace wtp::core {
+namespace {
+
+const features::WindowConfig kWindow{60, 30};
+
+ProfileParams ocsvm_params() {
+  ProfileParams params;
+  params.type = ClassifierType::kOcSvm;
+  params.kernel = {svm::KernelType::kRbf, 0.0, 0.0, 3};
+  params.regularizer = 0.1;
+  return params;
+}
+
+ProfileParams svdd_params() {
+  ProfileParams params;
+  params.type = ClassifierType::kSvdd;
+  params.kernel = {svm::KernelType::kLinear, 0.0, 0.0, 3};
+  params.regularizer = 0.5;
+  return params;
+}
+
+TEST(UserProfile, TrainsAndAcceptsOwnTrainingWindows) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const std::string user = dataset.user_ids().front();
+  const auto windows = dataset.train_windows(user, kWindow);
+  for (const auto& params : {ocsvm_params(), svdd_params()}) {
+    const UserProfile profile =
+        UserProfile::train(user, windows, dataset.schema().dimension(), params);
+    EXPECT_EQ(profile.user_id(), user);
+    EXPECT_EQ(profile.params(), params);
+    EXPECT_GT(profile.support_vector_count(), 0u);
+    EXPECT_GT(profile.acceptance_ratio(windows), 0.7)
+        << std::string{to_string(params.type)};
+  }
+}
+
+TEST(UserProfile, SelfAcceptanceExceedsOtherAcceptance) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const std::string self = dataset.user_ids()[0];
+  const std::string other = dataset.user_ids()[1];
+  const auto self_windows = dataset.train_windows(self, kWindow);
+  const auto other_windows = dataset.train_windows(other, kWindow);
+  const UserProfile profile = UserProfile::train(
+      self, self_windows, dataset.schema().dimension(), svdd_params());
+  EXPECT_GT(profile.acceptance_ratio(self_windows),
+            profile.acceptance_ratio(other_windows));
+}
+
+TEST(UserProfile, AcceptanceRatioOfEmptySetIsZero) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const std::string user = dataset.user_ids().front();
+  const auto windows = dataset.train_windows(user, kWindow);
+  const UserProfile profile = UserProfile::train(
+      user, windows, dataset.schema().dimension(), svdd_params());
+  EXPECT_DOUBLE_EQ(profile.acceptance_ratio({}), 0.0);
+}
+
+TEST(UserProfile, DecisionValueConsistentWithAccepts) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const std::string user = dataset.user_ids().front();
+  const auto windows = dataset.train_windows(user, kWindow);
+  const UserProfile profile = UserProfile::train(
+      user, windows, dataset.schema().dimension(), ocsvm_params());
+  for (const auto& w : dataset.test_windows(user, kWindow)) {
+    EXPECT_EQ(profile.accepts(w), profile.decision_value(w) >= 0.0);
+  }
+}
+
+class ProfileRoundTripTest : public ::testing::TestWithParam<ClassifierType> {};
+
+TEST_P(ProfileRoundTripTest, SaveLoadPreservesDecisions) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const std::string user = dataset.user_ids().front();
+  const auto windows = dataset.train_windows(user, kWindow);
+  ProfileParams params =
+      GetParam() == ClassifierType::kOcSvm ? ocsvm_params() : svdd_params();
+  const UserProfile profile =
+      UserProfile::train(user, windows, dataset.schema().dimension(), params);
+
+  std::stringstream stream;
+  profile.save(stream);
+  const UserProfile loaded = UserProfile::load(stream);
+
+  EXPECT_EQ(loaded.user_id(), profile.user_id());
+  EXPECT_EQ(loaded.params().type, profile.params().type);
+  EXPECT_DOUBLE_EQ(loaded.params().regularizer, profile.params().regularizer);
+  for (const auto& w : dataset.test_windows(user, kWindow)) {
+    ASSERT_DOUBLE_EQ(loaded.decision_value(w), profile.decision_value(w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothClassifiers, ProfileRoundTripTest,
+                         ::testing::Values(ClassifierType::kOcSvm,
+                                           ClassifierType::kSvdd),
+                         [](const ::testing::TestParamInfo<ClassifierType>& info) {
+                           return info.param == ClassifierType::kOcSvm ? "OcSvm"
+                                                                       : "Svdd";
+                         });
+
+TEST(UserProfile, LoadRejectsMalformedHeader) {
+  std::stringstream stream{"bogus content"};
+  EXPECT_THROW((void)UserProfile::load(stream), std::runtime_error);
+}
+
+TEST(UserProfile, TrainRejectsEmptyWindows) {
+  EXPECT_THROW(
+      (void)UserProfile::train("u", {}, 10, ocsvm_params()),
+      std::invalid_argument);
+}
+
+TEST(ClassifierTypeNames, Stable) {
+  EXPECT_EQ(to_string(ClassifierType::kOcSvm), "oc-svm");
+  EXPECT_EQ(to_string(ClassifierType::kSvdd), "svdd");
+}
+
+}  // namespace
+}  // namespace wtp::core

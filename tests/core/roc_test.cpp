@@ -1,0 +1,117 @@
+#include "core/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace wtp::core {
+namespace {
+
+TEST(RocCurve, PerfectSeparationHasAucOne) {
+  const std::vector<double> positives{3.0, 4.0, 5.0};
+  const std::vector<double> negatives{0.0, 1.0, 2.0};
+  const RocCurve curve = roc_curve(positives, negatives);
+  EXPECT_DOUBLE_EQ(curve.auc, 1.0);
+  EXPECT_DOUBLE_EQ(roc_auc(positives, negatives), 1.0);
+}
+
+TEST(RocCurve, ReversedSeparationHasAucZero) {
+  const std::vector<double> positives{0.0, 1.0};
+  const std::vector<double> negatives{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(roc_curve(positives, negatives).auc, 0.0);
+  EXPECT_DOUBLE_EQ(roc_auc(positives, negatives), 0.0);
+}
+
+TEST(RocCurve, IdenticalDistributionsGiveHalf) {
+  const std::vector<double> scores{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, scores), 0.5);
+  EXPECT_NEAR(roc_curve(scores, scores).auc, 0.5, 1e-12);
+}
+
+TEST(RocCurve, CurveIsMonotone) {
+  util::Rng rng{1};
+  std::vector<double> positives;
+  std::vector<double> negatives;
+  for (int i = 0; i < 300; ++i) {
+    positives.push_back(rng.normal(1.0, 1.0));
+    negatives.push_back(rng.normal(-1.0, 1.0));
+  }
+  const RocCurve curve = roc_curve(positives, negatives);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    ASSERT_GE(curve.points[i].tpr, curve.points[i - 1].tpr);
+    ASSERT_GE(curve.points[i].fpr, curve.points[i - 1].fpr);
+    ASSERT_LE(curve.points[i].threshold, curve.points[i - 1].threshold);
+  }
+  // Ends at (1, 1).
+  EXPECT_DOUBLE_EQ(curve.points.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().fpr, 1.0);
+}
+
+TEST(RocCurve, TrapezoidalAucAgreesWithRankAuc) {
+  util::Rng rng{2};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> positives;
+    std::vector<double> negatives;
+    for (int i = 0; i < 100; ++i) {
+      positives.push_back(rng.normal(0.5, 1.0));
+      negatives.push_back(rng.normal(-0.5, 1.0));
+    }
+    ASSERT_NEAR(roc_curve(positives, negatives).auc,
+                roc_auc(positives, negatives), 1e-9);
+  }
+}
+
+TEST(RocCurve, HandlesTiesViaMidrank) {
+  // positives {1, 2}, negatives {1, 0}: pairs (1>1 tie=0.5), (1>0 win),
+  // (2>1 win), (2>0 win) -> AUC = 3.5/4.
+  const std::vector<double> positives{1.0, 2.0};
+  const std::vector<double> negatives{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(roc_auc(positives, negatives), 3.5 / 4.0);
+  EXPECT_NEAR(roc_curve(positives, negatives).auc, 3.5 / 4.0, 1e-12);
+}
+
+TEST(RocCurve, AtThresholdFindsOperatingPoint) {
+  const std::vector<double> positives{0.5, 1.5, 2.5};
+  const std::vector<double> negatives{-2.0, -1.0, 0.1};
+  const RocCurve curve = roc_curve(positives, negatives);
+  const RocPoint& zero_point = curve.at_threshold(0.0);
+  // At threshold ~0.1: all 3 positives >= 0.1? 0.5,1.5,2.5 yes -> TPR 1;
+  // negatives >= 0.1: only 0.1 -> FPR 1/3.
+  EXPECT_NEAR(zero_point.tpr, 1.0, 1e-12);
+  EXPECT_NEAR(zero_point.fpr, 1.0 / 3.0, 1e-12);
+}
+
+TEST(RocCurve, BestYoudenBeatsEveryOtherPoint) {
+  util::Rng rng{3};
+  std::vector<double> positives;
+  std::vector<double> negatives;
+  for (int i = 0; i < 200; ++i) {
+    positives.push_back(rng.normal(1.0, 1.0));
+    negatives.push_back(rng.normal(-1.0, 1.0));
+  }
+  const RocCurve curve = roc_curve(positives, negatives);
+  const RocPoint& best = curve.best_youden();
+  for (const auto& point : curve.points) {
+    ASSERT_GE(best.tpr - best.fpr, point.tpr - point.fpr - 1e-12);
+  }
+}
+
+TEST(RocCurve, FprAtTprFloor) {
+  const std::vector<double> positives{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> negatives{0.0, 2.5};
+  const RocCurve curve = roc_curve(positives, negatives);
+  // TPR >= 0.5 achievable at threshold 3 with FPR 0 (negatives 0, 2.5 < 3).
+  EXPECT_DOUBLE_EQ(curve.fpr_at_tpr(0.5), 0.0);
+  // TPR = 1 needs threshold <= 1, accepting negative 2.5 -> FPR 0.5.
+  EXPECT_DOUBLE_EQ(curve.fpr_at_tpr(1.0), 0.5);
+}
+
+TEST(RocCurve, RejectsEmptyClasses) {
+  const std::vector<double> some{1.0};
+  EXPECT_THROW((void)roc_curve({}, some), std::invalid_argument);
+  EXPECT_THROW((void)roc_curve(some, {}), std::invalid_argument);
+  EXPECT_THROW((void)roc_auc({}, some), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtp::core

@@ -1,0 +1,48 @@
+// Shared tiny synthetic trace for the core-module tests: small enough to
+// keep tests fast, big enough to train meaningful profiles.
+#pragma once
+
+#include "core/dataset.h"
+#include "synthetic/generator.h"
+
+namespace wtp::core::testing {
+
+inline synthetic::GeneratorConfig tiny_generator_config() {
+  synthetic::GeneratorConfig config;
+  config.seed = 7;
+  config.duration_weeks = 3;
+  config.activity_scale = 0.4;
+  config.site_pool.num_sites = 200;
+  config.site_pool.num_categories = 30;
+  config.site_pool.num_media_types = 40;
+  config.site_pool.num_application_types = 60;
+  config.population.num_users = 6;
+  config.population.num_clusters = 3;
+  config.population.min_favourite_sites = 12;
+  config.population.max_favourite_sites = 25;
+  config.enterprise.num_users = 6;
+  config.enterprise.num_devices = 4;
+  return config;
+}
+
+inline const synthetic::EnterpriseTrace& tiny_trace() {
+  static const synthetic::EnterpriseTrace trace =
+      synthetic::generate_trace(tiny_generator_config());
+  return trace;
+}
+
+inline DatasetConfig tiny_dataset_config() {
+  DatasetConfig config;
+  config.min_transactions = 100;
+  config.max_users = 6;
+  config.max_training_windows = 400;
+  return config;
+}
+
+inline const ProfilingDataset& tiny_dataset() {
+  static const ProfilingDataset dataset{tiny_trace().transactions,
+                                        tiny_dataset_config()};
+  return dataset;
+}
+
+}  // namespace wtp::core::testing

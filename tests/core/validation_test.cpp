@@ -1,0 +1,137 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_trace.h"
+
+namespace wtp::core {
+namespace {
+
+TEST(FoldRanges, EvenSplit) {
+  const auto ranges = fold_ranges(10, 5);
+  ASSERT_EQ(ranges.size(), 5u);
+  for (std::size_t f = 0; f < 5; ++f) {
+    EXPECT_EQ(ranges[f].first, f * 2);
+    EXPECT_EQ(ranges[f].second, f * 2 + 2);
+  }
+}
+
+TEST(FoldRanges, UnevenSplitDistributesRemainder) {
+  const auto ranges = fold_ranges(11, 3);  // sizes 4, 4, 3
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0].second - ranges[0].first, 4u);
+  EXPECT_EQ(ranges[1].second - ranges[1].first, 4u);
+  EXPECT_EQ(ranges[2].second - ranges[2].first, 3u);
+  // Coverage is contiguous and complete.
+  EXPECT_EQ(ranges[0].first, 0u);
+  EXPECT_EQ(ranges[2].second, 11u);
+  EXPECT_EQ(ranges[1].first, ranges[0].second);
+}
+
+TEST(FoldRanges, SingleFoldAndValidation) {
+  const auto ranges = fold_ranges(4, 1);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_THROW((void)fold_ranges(3, 0), std::invalid_argument);
+  EXPECT_THROW((void)fold_ranges(3, 4), std::invalid_argument);
+}
+
+ProfileParams rbf_params(double nu) {
+  ProfileParams params;
+  params.type = ClassifierType::kOcSvm;
+  params.kernel = {svm::KernelType::kRbf, 0.0, 0.0, 3};
+  params.regularizer = nu;
+  return params;
+}
+
+TEST(CrossValidate, HeldOutSelfAcceptanceIsHighOnConsistentUser) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const features::WindowConfig window{60, 30};
+  const std::string user = dataset.user_ids().front();
+  const auto own = dataset.train_windows(user, window);
+  WindowsByUser others;
+  for (const auto& other : dataset.user_ids()) {
+    if (other == user) continue;
+    others.emplace(other, dataset.train_windows(other, window));
+  }
+  const auto result = cross_validate(user, own, others,
+                                     dataset.schema().dimension(),
+                                     rbf_params(0.1), 5);
+  ASSERT_EQ(result.fold_acc_self.size(), 5u);
+  EXPECT_GT(result.acc_self, 50.0);
+  EXPECT_LT(result.acc_other, result.acc_self);
+  EXPECT_NEAR(result.acc(), result.acc_self - result.acc_other, 1e-12);
+}
+
+TEST(CrossValidate, HeldOutSelfAcceptanceBelowTrainingAcceptance) {
+  // The whole point of CV: held-out acceptance must not exceed the
+  // training-set acceptance the paper's protocol measures (overfitting
+  // inflates the latter).
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const features::WindowConfig window{60, 30};
+  const std::string user = dataset.user_ids().front();
+  const auto own = dataset.train_windows(user, window);
+  WindowsByUser others;
+  const auto params = rbf_params(0.1);
+  const auto cv = cross_validate(user, own, others,
+                                 dataset.schema().dimension(), params, 5);
+  const UserProfile full =
+      UserProfile::train(user, own, dataset.schema().dimension(), params);
+  const double training_acceptance = 100.0 * full.acceptance_ratio(own);
+  EXPECT_LE(cv.acc_self, training_acceptance + 2.0);
+}
+
+TEST(CrossValidate, MissingOwnEntryInOthersIsIgnored) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const features::WindowConfig window{60, 30};
+  const std::string user = dataset.user_ids().front();
+  const auto own = dataset.train_windows(user, window);
+  WindowsByUser others;
+  others.emplace(user, own);  // must be skipped, not counted as "other"
+  const auto result = cross_validate(user, own, others,
+                                     dataset.schema().dimension(),
+                                     rbf_params(0.1), 4);
+  EXPECT_DOUBLE_EQ(result.acc_other, 0.0);
+}
+
+TEST(CrossValidate, ThrowsWhenFoldsExceedWindows) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const std::vector<util::SparseVector> two{util::SparseVector{{0, 1.0}},
+                                            util::SparseVector{{1, 1.0}}};
+  EXPECT_THROW((void)cross_validate("u", two, {}, dataset.schema().dimension(),
+                                    rbf_params(0.5), 5),
+               std::invalid_argument);
+}
+
+TEST(SelectByCrossValidation, PicksAWinnerFromCandidates) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const features::WindowConfig window{60, 30};
+  const std::string user = dataset.user_ids().front();
+  const auto own = dataset.train_windows(user, window);
+  WindowsByUser others;
+  for (const auto& other : dataset.user_ids()) {
+    if (other == user) continue;
+    others.emplace(other, dataset.train_windows(other, window));
+  }
+  const std::vector<ProfileParams> candidates{rbf_params(0.5), rbf_params(0.1),
+                                              rbf_params(0.05)};
+  const ProfileParams chosen = select_by_cross_validation(
+      user, own, others, dataset.schema().dimension(), candidates, 4);
+  // The chosen nu must be one of the candidates.
+  bool found = false;
+  for (const auto& candidate : candidates) {
+    if (candidate == chosen) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SelectByCrossValidation, ThrowsWhenNothingTrainable) {
+  const std::vector<util::SparseVector> two{util::SparseVector{{0, 1.0}},
+                                            util::SparseVector{{1, 1.0}}};
+  const std::vector<ProfileParams> candidates{rbf_params(0.5)};
+  EXPECT_THROW((void)select_by_cross_validation("u", two, {}, 4, candidates, 10),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wtp::core

@@ -1,0 +1,143 @@
+#include "features/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace wtp::features {
+namespace {
+
+FeatureSchema test_schema() {
+  return FeatureSchema{{"Games", "News"},
+                       {"text", "video"},
+                       {"html", "mp4"},
+                       {"YouTube", "Slack"}};
+}
+
+log::WebTransaction txn_at(util::UnixSeconds ts, const char* category = "Games") {
+  log::WebTransaction txn;
+  txn.timestamp = ts;
+  txn.category = category;
+  txn.media_type = "text/html";
+  txn.application_type = "YouTube";
+  return txn;
+}
+
+/// Pushes all transactions and returns everything emitted (incl. flush).
+std::vector<Window> stream_all(StreamingWindowAggregator& aggregator,
+                               std::span<const log::WebTransaction> txns) {
+  std::vector<Window> all;
+  for (const auto& txn : txns) {
+    for (auto& window : aggregator.push(txn)) all.push_back(std::move(window));
+  }
+  for (auto& window : aggregator.flush()) all.push_back(std::move(window));
+  return all;
+}
+
+TEST(StreamingAggregator, MatchesBatchOnSimpleStream) {
+  const FeatureSchema schema = test_schema();
+  const WindowConfig config{60, 30};
+  std::vector<log::WebTransaction> txns;
+  for (int i = 0; i < 50; ++i) txns.push_back(txn_at(i * 13));
+  const auto batch = WindowAggregator{schema, config}.aggregate(txns);
+  StreamingWindowAggregator streaming{schema, config};
+  const auto streamed = stream_all(streaming, txns);
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streamed[i].start, batch[i].start);
+    EXPECT_EQ(streamed[i].end, batch[i].end);
+    EXPECT_EQ(streamed[i].transaction_count, batch[i].transaction_count);
+    EXPECT_EQ(streamed[i].features, batch[i].features);
+  }
+}
+
+TEST(StreamingAggregator, MatchesBatchOnRandomGappyStreams) {
+  const FeatureSchema schema = test_schema();
+  util::Rng rng{2024};
+  for (int trial = 0; trial < 20; ++trial) {
+    const WindowConfig config{30 + static_cast<long>(rng.uniform_index(90)),
+                              5 + static_cast<long>(rng.uniform_index(25))};
+    std::vector<log::WebTransaction> txns;
+    util::UnixSeconds now = 1000;
+    const std::size_t count = 20 + rng.uniform_index(120);
+    for (std::size_t i = 0; i < count; ++i) {
+      // Mix short gaps with occasional hour-long holes.
+      now += rng.bernoulli(0.05) ? 3600 + static_cast<long>(rng.uniform_index(3600))
+                                 : static_cast<long>(rng.uniform_index(20));
+      txns.push_back(txn_at(now, rng.bernoulli(0.5) ? "Games" : "News"));
+    }
+    const auto batch = WindowAggregator{schema, config}.aggregate(txns);
+    StreamingWindowAggregator streaming{schema, config};
+    const auto streamed = stream_all(streaming, txns);
+    ASSERT_EQ(streamed.size(), batch.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(streamed[i].start, batch[i].start) << "trial " << trial;
+      ASSERT_EQ(streamed[i].features, batch[i].features) << "trial " << trial;
+    }
+  }
+}
+
+TEST(StreamingAggregator, EmitsWindowOnlyOnceComplete) {
+  const FeatureSchema schema = test_schema();
+  StreamingWindowAggregator aggregator{schema, {60, 30}};
+  // First txn opens window [t0, t0+60); nothing can be final yet.
+  EXPECT_TRUE(aggregator.push(txn_at(100)).empty());
+  EXPECT_TRUE(aggregator.push(txn_at(130)).empty());
+  // A txn at t0+60 closes the first window exactly.
+  const auto emitted = aggregator.push(txn_at(160));
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].start, 100);
+  EXPECT_EQ(emitted[0].transaction_count, 2u);
+}
+
+TEST(StreamingAggregator, FlushEmitsOpenWindows) {
+  const FeatureSchema schema = test_schema();
+  StreamingWindowAggregator aggregator{schema, {60, 30}};
+  EXPECT_TRUE(aggregator.push(txn_at(0)).empty());
+  const auto flushed = aggregator.flush();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].transaction_count, 1u);
+  EXPECT_EQ(aggregator.buffered(), 0u);
+}
+
+TEST(StreamingAggregator, RejectsOutOfOrderTransactions) {
+  const FeatureSchema schema = test_schema();
+  StreamingWindowAggregator aggregator{schema, {60, 30}};
+  (void)aggregator.push(txn_at(100));
+  EXPECT_THROW((void)aggregator.push(txn_at(99)), std::invalid_argument);
+}
+
+TEST(StreamingAggregator, ResetStartsAFreshStream) {
+  const FeatureSchema schema = test_schema();
+  StreamingWindowAggregator aggregator{schema, {60, 30}};
+  (void)aggregator.push(txn_at(100));
+  aggregator.reset();
+  EXPECT_EQ(aggregator.buffered(), 0u);
+  // After reset, an "earlier" timestamp is fine: new origin.
+  const auto emitted = aggregator.push(txn_at(5));
+  EXPECT_TRUE(emitted.empty());
+  const auto flushed = aggregator.flush();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].start, 5);
+}
+
+TEST(StreamingAggregator, BufferStaysBoundedOnLongStreams) {
+  const FeatureSchema schema = test_schema();
+  StreamingWindowAggregator aggregator{schema, {60, 30}};
+  std::size_t max_buffered = 0;
+  for (int i = 0; i < 5000; ++i) {
+    (void)aggregator.push(txn_at(i));  // one txn per second
+    max_buffered = std::max(max_buffered, aggregator.buffered());
+  }
+  // At 1 txn/s and D=60s, at most ~2 windows' worth of txns stay buffered.
+  EXPECT_LE(max_buffered, 150u);
+}
+
+TEST(StreamingAggregator, RejectsInvalidConfig) {
+  const FeatureSchema schema = test_schema();
+  EXPECT_THROW((StreamingWindowAggregator{schema, {60, 0}}), std::invalid_argument);
+  EXPECT_THROW((StreamingWindowAggregator{schema, {30, 60}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtp::features

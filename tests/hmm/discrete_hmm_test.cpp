@@ -1,0 +1,230 @@
+#include "hmm/discrete_hmm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace wtp::hmm {
+namespace {
+
+TEST(DiscreteHmm, UniformModelLikelihoodIsClosedForm) {
+  // Uniform 2-state, 3-symbol model: P(any sequence of length T) = (1/3)^T.
+  const DiscreteHmm model{2, 3};
+  const std::vector<std::size_t> sequence{0, 1, 2, 1};
+  EXPECT_NEAR(model.log_likelihood(sequence), 4.0 * std::log(1.0 / 3.0), 1e-9);
+}
+
+TEST(DiscreteHmm, HandComputedForwardPass) {
+  // 2 states, 2 symbols.  pi = (0.6, 0.4),
+  // A = [[0.7, 0.3], [0.4, 0.6]], B = [[0.9, 0.1], [0.2, 0.8]].
+  DiscreteHmm model{2, 2};
+  model.set_parameters({0.6, 0.4}, {0.7, 0.3, 0.4, 0.6}, {0.9, 0.1, 0.2, 0.8});
+  // P(O = [0, 1]):
+  //   a1 = (0.6*0.9, 0.4*0.2) = (0.54, 0.08)
+  //   a2(0) = (0.54*0.7 + 0.08*0.4) * 0.1 = 0.0410
+  //   a2(1) = (0.54*0.3 + 0.08*0.6) * 0.8 = 0.1680
+  //   P = 0.2090
+  const std::vector<std::size_t> sequence{0, 1};
+  EXPECT_NEAR(std::exp(model.log_likelihood(sequence)), 0.2090, 1e-4);
+}
+
+TEST(DiscreteHmm, EmptySequenceHasZeroLogLikelihood) {
+  const DiscreteHmm model{2, 2};
+  EXPECT_DOUBLE_EQ(model.log_likelihood({}), 0.0);
+  EXPECT_DOUBLE_EQ(model.mean_log_likelihood({}), 0.0);
+}
+
+TEST(DiscreteHmm, ImpossibleSymbolGivesMinusInfinity) {
+  DiscreteHmm model{1, 2};
+  model.set_parameters({1.0}, {1.0}, {1.0, 0.0});  // only symbol 0 possible
+  const std::vector<std::size_t> sequence{0, 1, 0};
+  EXPECT_TRUE(std::isinf(model.log_likelihood(sequence)));
+  EXPECT_LT(model.log_likelihood(sequence), 0.0);
+}
+
+TEST(DiscreteHmm, SymbolOutOfRangeThrows) {
+  const DiscreteHmm model{2, 3};
+  EXPECT_THROW((void)model.log_likelihood(std::vector<std::size_t>{3}),
+               std::out_of_range);
+}
+
+TEST(DiscreteHmm, SetParametersValidates) {
+  DiscreteHmm model{2, 2};
+  EXPECT_THROW(model.set_parameters({1.0}, {1, 0, 0, 1}, {1, 0, 0, 1}),
+               std::invalid_argument);  // wrong initial size
+  EXPECT_THROW(model.set_parameters({0.5, 0.5}, {0.9, 0.3, 0.5, 0.5},
+                                    {1, 0, 0, 1}),
+               std::invalid_argument);  // transition row does not sum to 1
+  EXPECT_THROW(model.set_parameters({0.5, 0.5}, {1, 0, 0, 1},
+                                    {1.2, -0.2, 0, 1}),
+               std::invalid_argument);  // negative probability
+}
+
+TEST(DiscreteHmm, RejectsZeroSizes) {
+  EXPECT_THROW((DiscreteHmm{0, 2}), std::invalid_argument);
+  EXPECT_THROW((DiscreteHmm{2, 0}), std::invalid_argument);
+}
+
+TEST(DiscreteHmm, MeanLogLikelihoodIsLengthNormalized) {
+  const DiscreteHmm model{2, 4};
+  const std::vector<std::size_t> short_seq{0, 1};
+  const std::vector<std::size_t> long_seq{0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(model.mean_log_likelihood(short_seq),
+              model.mean_log_likelihood(long_seq), 1e-9);
+}
+
+/// Generates sequences from a known 2-state HMM for learning tests.
+std::vector<std::vector<std::size_t>> sample_sequences(util::Rng& rng,
+                                                       std::size_t count,
+                                                       std::size_t length,
+                                                       bool bursty) {
+  // Bursty process: long runs of symbol 0 then symbol 1.  Non-bursty:
+  // rapid alternation.
+  std::vector<std::vector<std::size_t>> sequences;
+  for (std::size_t s = 0; s < count; ++s) {
+    std::vector<std::size_t> sequence;
+    std::size_t state = rng.uniform_index(2);
+    for (std::size_t t = 0; t < length; ++t) {
+      const double stay = bursty ? 0.95 : 0.1;
+      if (!rng.bernoulli(stay)) state = 1 - state;
+      // Emission: state identity with small noise.
+      sequence.push_back(rng.bernoulli(0.9) ? state : 1 - state);
+    }
+    sequences.push_back(std::move(sequence));
+  }
+  return sequences;
+}
+
+TEST(DiscreteHmm, BaumWelchImprovesOverUniform) {
+  util::Rng rng{7};
+  const auto sequences = sample_sequences(rng, 20, 50, /*bursty=*/true);
+  const DiscreteHmm uniform{2, 2};
+  const DiscreteHmm trained = DiscreteHmm::train(sequences, 2, 2);
+  double uniform_total = 0.0;
+  double trained_total = 0.0;
+  for (const auto& sequence : sequences) {
+    uniform_total += uniform.log_likelihood(sequence);
+    trained_total += trained.log_likelihood(sequence);
+  }
+  EXPECT_GT(trained_total, uniform_total);
+}
+
+TEST(DiscreteHmm, TrainedModelDistinguishesProcesses) {
+  util::Rng rng{8};
+  const auto bursty = sample_sequences(rng, 25, 60, /*bursty=*/true);
+  const auto alternating = sample_sequences(rng, 25, 60, /*bursty=*/false);
+  const DiscreteHmm bursty_model = DiscreteHmm::train(bursty, 2, 2);
+  const DiscreteHmm alternating_model = DiscreteHmm::train(alternating, 2, 2);
+
+  // Held-out sequences from each process must score higher under their own
+  // model.
+  const auto bursty_test = sample_sequences(rng, 10, 60, true);
+  const auto alternating_test = sample_sequences(rng, 10, 60, false);
+  std::size_t correct = 0;
+  for (const auto& sequence : bursty_test) {
+    if (bursty_model.mean_log_likelihood(sequence) >
+        alternating_model.mean_log_likelihood(sequence)) {
+      ++correct;
+    }
+  }
+  for (const auto& sequence : alternating_test) {
+    if (alternating_model.mean_log_likelihood(sequence) >
+        bursty_model.mean_log_likelihood(sequence)) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 18u);
+}
+
+TEST(DiscreteHmm, TrainIsDeterministicGivenSeed) {
+  util::Rng rng{9};
+  const auto sequences = sample_sequences(rng, 10, 30, true);
+  HmmTrainConfig config;
+  config.seed = 5;
+  const DiscreteHmm a = DiscreteHmm::train(sequences, 3, 2, config);
+  const DiscreteHmm b = DiscreteHmm::train(sequences, 3, 2, config);
+  EXPECT_EQ(a.transition(), b.transition());
+  EXPECT_EQ(a.emission(), b.emission());
+}
+
+TEST(DiscreteHmm, TrainOnEmptySequencesKeepsValidModel) {
+  const std::vector<std::vector<std::size_t>> sequences{{}, {}};
+  const DiscreteHmm model = DiscreteHmm::train(sequences, 2, 3);
+  // Rows still sum to 1.
+  double row_sum = 0.0;
+  for (std::size_t s = 0; s < 3; ++s) row_sum += model.emission()[s];
+  EXPECT_NEAR(row_sum, 1.0, 1e-9);
+}
+
+TEST(DiscreteHmm, ViterbiRecoversDominantStates) {
+  // Near-deterministic HMM: state s emits symbol s with prob 0.95; states
+  // are sticky.  Viterbi on a clean run must recover the generating states.
+  DiscreteHmm model{2, 2};
+  model.set_parameters({0.5, 0.5}, {0.9, 0.1, 0.1, 0.9},
+                       {0.95, 0.05, 0.05, 0.95});
+  const std::vector<std::size_t> sequence{0, 0, 0, 1, 1, 1, 1, 0, 0};
+  const auto path = model.viterbi(sequence);
+  ASSERT_EQ(path.size(), sequence.size());
+  EXPECT_EQ(path, sequence);  // state i emits symbol i
+}
+
+TEST(DiscreteHmm, ViterbiEdgeCases) {
+  const DiscreteHmm model{2, 3};
+  EXPECT_TRUE(model.viterbi({}).empty());
+  const auto single = model.viterbi(std::vector<std::size_t>{1});
+  EXPECT_EQ(single.size(), 1u);
+  EXPECT_THROW((void)model.viterbi(std::vector<std::size_t>{5}),
+               std::out_of_range);
+}
+
+TEST(DiscreteHmm, ViterbiPathIsPlausibleUnderModel) {
+  // The Viterbi path's joint probability must be at least that of any
+  // random path (spot-check a few).
+  DiscreteHmm model{3, 3};
+  model.set_parameters({0.6, 0.3, 0.1},
+                       {0.5, 0.3, 0.2, 0.2, 0.6, 0.2, 0.3, 0.3, 0.4},
+                       {0.7, 0.2, 0.1, 0.1, 0.8, 0.1, 0.2, 0.2, 0.6});
+  const std::vector<std::size_t> sequence{0, 1, 2, 1, 0, 2};
+  const auto best = model.viterbi(sequence);
+
+  auto joint_log = [&](const std::vector<std::size_t>& states) {
+    double ll = std::log(model.initial()[states[0]]) +
+                std::log(model.emission()[states[0] * 3 + sequence[0]]);
+    for (std::size_t t = 1; t < sequence.size(); ++t) {
+      ll += std::log(model.transition()[states[t - 1] * 3 + states[t]]) +
+            std::log(model.emission()[states[t] * 3 + sequence[t]]);
+    }
+    return ll;
+  };
+  const double best_ll = joint_log(best);
+  util::Rng rng{13};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::size_t> random_path(sequence.size());
+    for (auto& s : random_path) s = rng.uniform_index(3);
+    ASSERT_GE(best_ll, joint_log(random_path) - 1e-9);
+  }
+}
+
+TEST(DiscreteHmm, RowsRemainStochasticAfterTraining) {
+  util::Rng rng{11};
+  const auto sequences = sample_sequences(rng, 15, 40, true);
+  const DiscreteHmm model = DiscreteHmm::train(sequences, 3, 2);
+  auto check_rows = [](const std::vector<double>& rows, std::size_t width) {
+    for (std::size_t begin = 0; begin < rows.size(); begin += width) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < width; ++i) {
+        EXPECT_GE(rows[begin + i], 0.0);
+        sum += rows[begin + i];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  };
+  check_rows(model.initial(), 3);
+  check_rows(model.transition(), 3);
+  check_rows(model.emission(), 2);
+}
+
+}  // namespace
+}  // namespace wtp::hmm

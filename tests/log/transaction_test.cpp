@@ -1,0 +1,89 @@
+#include "log/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace wtp::log {
+namespace {
+
+TEST(HttpActionCodec, RoundTripsAllValues) {
+  for (const HttpAction action : {HttpAction::kGet, HttpAction::kPost,
+                                  HttpAction::kConnect, HttpAction::kHead}) {
+    EXPECT_EQ(parse_http_action(to_string(action)), action);
+  }
+}
+
+TEST(HttpActionCodec, RejectsUnknown) {
+  EXPECT_THROW((void)parse_http_action("PATCH"), std::runtime_error);
+  EXPECT_THROW((void)parse_http_action("get"), std::runtime_error);
+}
+
+TEST(UriSchemeCodec, RoundTripsAllValues) {
+  EXPECT_EQ(parse_uri_scheme("HTTP"), UriScheme::kHttp);
+  EXPECT_EQ(parse_uri_scheme("HTTPS"), UriScheme::kHttps);
+}
+
+TEST(UriSchemeCodec, AcceptsProtocolVersionForm) {
+  // The paper's example line logs "HTTP/1.0".
+  EXPECT_EQ(parse_uri_scheme("HTTP/1.0"), UriScheme::kHttp);
+  EXPECT_EQ(parse_uri_scheme("HTTPS/1.1"), UriScheme::kHttps);
+  EXPECT_EQ(parse_uri_scheme("https"), UriScheme::kHttps);
+}
+
+TEST(UriSchemeCodec, RejectsUnknown) {
+  EXPECT_THROW((void)parse_uri_scheme("FTP"), std::runtime_error);
+}
+
+TEST(ReputationCodec, RoundTripsAllValues) {
+  for (const Reputation rep :
+       {Reputation::kUnverified, Reputation::kMinimalRisk,
+        Reputation::kMediumRisk, Reputation::kHighRisk}) {
+    EXPECT_EQ(parse_reputation(to_string(rep)), rep);
+  }
+  EXPECT_THROW((void)parse_reputation("Critical"), std::runtime_error);
+}
+
+TEST(ReputationFeatures, RiskMappingMatchesPaper) {
+  // Paper §III-B: Minimal = 0, Medium = 0.5, High = 1; Unverified -> 0.
+  EXPECT_DOUBLE_EQ(reputation_risk(Reputation::kMinimalRisk), 0.0);
+  EXPECT_DOUBLE_EQ(reputation_risk(Reputation::kMediumRisk), 0.5);
+  EXPECT_DOUBLE_EQ(reputation_risk(Reputation::kHighRisk), 1.0);
+  EXPECT_DOUBLE_EQ(reputation_risk(Reputation::kUnverified), 0.0);
+}
+
+TEST(ReputationFeatures, VerifiedFlag) {
+  EXPECT_FALSE(reputation_verified(Reputation::kUnverified));
+  EXPECT_TRUE(reputation_verified(Reputation::kMinimalRisk));
+  EXPECT_TRUE(reputation_verified(Reputation::kMediumRisk));
+  EXPECT_TRUE(reputation_verified(Reputation::kHighRisk));
+}
+
+TEST(MediaTypeSplit, PaperExample) {
+  // Paper §III-B: video/mp4 -> super-type:video, sub-type:mp4.
+  const MediaTypeParts parts = split_media_type("video/mp4");
+  EXPECT_EQ(parts.super_type, "video");
+  EXPECT_EQ(parts.sub_type, "mp4");
+}
+
+TEST(MediaTypeSplit, NoSlashYieldsEmptySubType) {
+  const MediaTypeParts parts = split_media_type("unknown");
+  EXPECT_EQ(parts.super_type, "unknown");
+  EXPECT_EQ(parts.sub_type, "");
+}
+
+TEST(MediaTypeSplit, KeepsSuffixAfterFirstSlash) {
+  const MediaTypeParts parts = split_media_type("model/gltf+json");
+  EXPECT_EQ(parts.super_type, "model");
+  EXPECT_EQ(parts.sub_type, "gltf+json");
+}
+
+TEST(WebTransaction, EqualityIsFieldwise) {
+  WebTransaction a;
+  a.user_id = "user_1";
+  WebTransaction b = a;
+  EXPECT_EQ(a, b);
+  b.category = "Games";
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace wtp::log

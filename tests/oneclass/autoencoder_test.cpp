@@ -1,0 +1,116 @@
+#include "oneclass/autoencoder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace wtp::oneclass {
+namespace {
+
+constexpr std::size_t kDim = 10;
+
+/// Binary patterns concentrated on the first half of the dimensions, i.e.
+/// a structure the autoencoder can compress.
+std::vector<util::SparseVector> patterned_data(util::Rng& rng, std::size_t count) {
+  std::vector<util::SparseVector> points;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> dense(kDim, 0.0);
+    // Two prototype patterns with small noise.
+    if (rng.bernoulli(0.5)) {
+      dense[0] = dense[1] = dense[2] = 1.0;
+    } else {
+      dense[2] = dense[3] = dense[4] = 1.0;
+    }
+    if (rng.bernoulli(0.1)) dense[5] = 1.0;
+    points.push_back(util::SparseVector::from_dense(dense));
+  }
+  return points;
+}
+
+TEST(Autoencoder, TrainingReducesLoss) {
+  util::Rng rng{1};
+  const auto data = patterned_data(rng, 100);
+
+  AutoencoderConfig short_config;
+  short_config.epochs = 2;
+  AutoencoderModel short_model{short_config};
+  short_model.fit(data, kDim);
+
+  AutoencoderConfig long_config;
+  long_config.epochs = 80;
+  AutoencoderModel long_model{long_config};
+  long_model.fit(data, kDim);
+
+  EXPECT_LT(long_model.final_loss(), short_model.final_loss());
+  EXPECT_LT(long_model.final_loss(), 0.05);
+}
+
+TEST(Autoencoder, ReconstructsInliersBetterThanOutliers) {
+  util::Rng rng{2};
+  const auto data = patterned_data(rng, 150);
+  AutoencoderModel model;
+  model.fit(data, kDim);
+
+  const double inlier_error = model.reconstruction_error(data[0]);
+  // An anti-pattern: active exactly where the training data never is.
+  std::vector<double> anti(kDim, 0.0);
+  anti[6] = anti[7] = anti[8] = anti[9] = 1.0;
+  const double outlier_error =
+      model.reconstruction_error(util::SparseVector::from_dense(anti));
+  EXPECT_LT(inlier_error, outlier_error);
+}
+
+TEST(Autoencoder, IsDeterministicGivenSeed) {
+  util::Rng rng{3};
+  const auto data = patterned_data(rng, 60);
+  AutoencoderConfig config;
+  config.seed = 99;
+  config.epochs = 10;
+  AutoencoderModel a{config};
+  AutoencoderModel b{config};
+  a.fit(data, kDim);
+  b.fit(data, kDim);
+  EXPECT_DOUBLE_EQ(a.final_loss(), b.final_loss());
+  EXPECT_DOUBLE_EQ(a.reconstruction_error(data[5]),
+                   b.reconstruction_error(data[5]));
+}
+
+TEST(Autoencoder, ThresholdAcceptsMostTrainingData) {
+  util::Rng rng{4};
+  const auto data = patterned_data(rng, 120);
+  AutoencoderConfig config;
+  config.outlier_fraction = 0.15;
+  AutoencoderModel model{config};
+  model.fit(data, kDim);
+  std::size_t accepted = 0;
+  for (const auto& x : data) {
+    if (model.accepts(x)) ++accepted;
+  }
+  EXPECT_NEAR(static_cast<double>(accepted) / 120.0, 0.85, 0.08);
+}
+
+TEST(Autoencoder, RejectsInvalidConfiguration) {
+  AutoencoderConfig config;
+  config.hidden_units = 0;
+  EXPECT_THROW((AutoencoderModel{config}), std::invalid_argument);
+  config = {};
+  config.outlier_fraction = 1.0;
+  EXPECT_THROW((AutoencoderModel{config}), std::invalid_argument);
+}
+
+TEST(Autoencoder, RejectsEmptyFitAndZeroDimension) {
+  AutoencoderModel model;
+  EXPECT_THROW(model.fit({}, kDim), std::invalid_argument);
+  util::Rng rng{5};
+  const auto data = patterned_data(rng, 10);
+  EXPECT_THROW(model.fit(data, 0), std::invalid_argument);
+}
+
+TEST(Autoencoder, ErrorBeforeFitThrows) {
+  const AutoencoderModel model;
+  EXPECT_THROW((void)model.reconstruction_error(util::SparseVector{}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace wtp::oneclass

@@ -1,0 +1,210 @@
+#include "oneclass/model.h"
+
+#include <gtest/gtest.h>
+
+#include "oneclass/centroid.h"
+#include "oneclass/gaussian.h"
+#include "oneclass/kde.h"
+#include "oneclass/svm_adapter.h"
+#include "util/rng.h"
+
+namespace wtp::oneclass {
+namespace {
+
+constexpr std::size_t kDim = 6;
+
+std::vector<util::SparseVector> blob(util::Rng& rng, std::size_t count,
+                                     double center, double spread) {
+  std::vector<util::SparseVector> points;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> dense(kDim, 0.0);
+    for (std::size_t d = 0; d < kDim; ++d) {
+      dense[d] = center + rng.normal(0.0, spread);
+    }
+    points.push_back(util::SparseVector::from_dense(dense));
+  }
+  return points;
+}
+
+TEST(QuantileThreshold, PicksOutlierFractionQuantile) {
+  const std::vector<double> scores{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile_threshold(scores, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_threshold(scores, 0.5), 3.0);
+  EXPECT_THROW((void)quantile_threshold({}, 0.1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized acceptance behaviour shared by every model family.
+// ---------------------------------------------------------------------------
+
+class OneClassModelTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(OneClassModelTest, AcceptsInliersRejectsFarOutliers) {
+  util::Rng rng{17};
+  const auto train = blob(rng, 120, 1.0, 0.15);
+  auto model = make_model(GetParam(), 0.1);
+  model->fit(train, kDim);
+
+  // Fresh inliers from the same distribution.
+  const auto inliers = blob(rng, 60, 1.0, 0.15);
+  std::size_t accepted = 0;
+  for (const auto& x : inliers) {
+    if (model->accepts(x)) ++accepted;
+  }
+  EXPECT_GE(accepted, 42u) << to_string(GetParam());
+
+  // Far outliers.
+  const auto outliers = blob(rng, 60, 8.0, 0.15);
+  std::size_t rejected = 0;
+  for (const auto& x : outliers) {
+    if (!model->accepts(x)) ++rejected;
+  }
+  EXPECT_GT(rejected, 55u) << to_string(GetParam());
+}
+
+TEST_P(OneClassModelTest, DecisionValueOrdersByTypicality) {
+  util::Rng rng{19};
+  const auto train = blob(rng, 100, 0.0, 0.3);
+  auto model = make_model(GetParam(), 0.1);
+  model->fit(train, kDim);
+  const util::SparseVector center;  // all zeros = the blob center
+  std::vector<double> far_dense(kDim, 5.0);
+  const auto far = util::SparseVector::from_dense(far_dense);
+  EXPECT_GT(model->decision_value(center), model->decision_value(far))
+      << to_string(GetParam());
+}
+
+TEST_P(OneClassModelTest, FitRejectsEmptyData) {
+  auto model = make_model(GetParam(), 0.1);
+  EXPECT_THROW(model->fit({}, kDim), std::invalid_argument);
+}
+
+TEST_P(OneClassModelTest, NameIsStable) {
+  auto model = make_model(GetParam(), 0.1);
+  EXPECT_EQ(model->name(), to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, OneClassModelTest,
+    ::testing::Values(ModelKind::kOcSvm, ModelKind::kSvdd, ModelKind::kCentroid,
+                      ModelKind::kGaussian, ModelKind::kKde,
+                      ModelKind::kAutoencoder, ModelKind::kIsolationForest,
+                      ModelKind::kKnn),
+    [](const ::testing::TestParamInfo<ModelKind>& info) {
+      std::string name{to_string(info.param)};
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Family-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(CentroidModelTest, RadiusCoversConfiguredFraction) {
+  util::Rng rng{23};
+  const auto train = blob(rng, 200, 0.0, 1.0);
+  CentroidModel model{0.2};
+  model.fit(train, kDim);
+  std::size_t accepted = 0;
+  for (const auto& x : train) {
+    if (model.accepts(x)) ++accepted;
+  }
+  EXPECT_NEAR(static_cast<double>(accepted) / 200.0, 0.8, 0.05);
+}
+
+TEST(CentroidModelTest, DecisionBeforeFitThrows) {
+  const CentroidModel model{0.1};
+  EXPECT_THROW((void)model.decision_value(util::SparseVector{}), std::logic_error);
+}
+
+TEST(CentroidModelTest, RejectsBadOutlierFraction) {
+  EXPECT_THROW((CentroidModel{-0.1}), std::invalid_argument);
+  EXPECT_THROW((CentroidModel{1.0}), std::invalid_argument);
+}
+
+TEST(GaussianModelTest, ScalesPerDimensionVariance) {
+  // Train on data with tiny variance in dim 0 and large in dim 1: a fixed
+  // offset along dim 0 must look far more anomalous than along dim 1.
+  util::Rng rng{29};
+  std::vector<util::SparseVector> train;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> dense(2, 0.0);
+    dense[0] = 1.0 + rng.normal(0.0, 0.05);
+    dense[1] = 1.0 + rng.normal(0.0, 1.0);
+    train.push_back(util::SparseVector::from_dense(dense));
+  }
+  GaussianModel model{0.1, 1e-6};
+  model.fit(train, 2);
+  const auto off_dim0 = util::SparseVector{{0, 2.0}, {1, 1.0}};
+  const auto off_dim1 = util::SparseVector{{0, 1.0}, {1, 2.0}};
+  EXPECT_LT(model.decision_value(off_dim0), model.decision_value(off_dim1));
+}
+
+TEST(GaussianModelTest, RejectsBadParameters) {
+  EXPECT_THROW((GaussianModel{1.5}), std::invalid_argument);
+  EXPECT_THROW((GaussianModel{0.1, 0.0}), std::invalid_argument);
+}
+
+TEST(KdeModelTest, DensityHigherNearTrainingMass) {
+  util::Rng rng{31};
+  const auto train = blob(rng, 100, 0.0, 0.5);
+  KdeModel model{0.1, 0.5};
+  model.fit(train, kDim);
+  const util::SparseVector near;
+  std::vector<double> far_dense(kDim, 4.0);
+  EXPECT_GT(model.density(near),
+            model.density(util::SparseVector::from_dense(far_dense)));
+}
+
+TEST(KdeModelTest, AutoBandwidthResolvesFromDimension) {
+  util::Rng rng{37};
+  const auto train = blob(rng, 30, 0.0, 0.5);
+  KdeModel model{0.1, 0.0};
+  model.fit(train, kDim);
+  // Density of a training point must be positive and <= 1 (RBF kernel mean).
+  const double d = model.density(train[0]);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(SvmAdapters, ExposeUnderlyingModels) {
+  util::Rng rng{41};
+  const auto train = blob(rng, 50, 0.0, 0.5);
+  OcSvmAdapter oc;
+  oc.fit(train, kDim);
+  EXPECT_FALSE(oc.model().support_vectors().empty());
+
+  SvddAdapter svdd = SvddAdapter::with_nu(0.2);
+  svdd.fit(train, kDim);
+  EXPECT_FALSE(svdd.model().support_vectors().empty());
+  // C = 1/(nu*l) = 1/(0.2*50) = 0.1
+  EXPECT_NEAR(svdd.model().effective_c(), 0.1, 1e-12);
+}
+
+TEST(SvmAdapters, DecisionBeforeFitThrows) {
+  const OcSvmAdapter oc;
+  EXPECT_THROW((void)oc.decision_value(util::SparseVector{}), std::logic_error);
+  const SvddAdapter svdd;
+  EXPECT_THROW((void)svdd.decision_value(util::SparseVector{}), std::logic_error);
+}
+
+TEST(SvmAdapters, WithNuValidatesRange) {
+  EXPECT_THROW((void)SvddAdapter::with_nu(0.0), std::invalid_argument);
+  EXPECT_THROW((void)SvddAdapter::with_nu(1.5), std::invalid_argument);
+}
+
+TEST(ModelFactory, ToStringCoversAllKinds) {
+  EXPECT_EQ(to_string(ModelKind::kOcSvm), "oc-svm");
+  EXPECT_EQ(to_string(ModelKind::kSvdd), "svdd");
+  EXPECT_EQ(to_string(ModelKind::kCentroid), "centroid");
+  EXPECT_EQ(to_string(ModelKind::kGaussian), "gaussian");
+  EXPECT_EQ(to_string(ModelKind::kKde), "kde");
+  EXPECT_EQ(to_string(ModelKind::kAutoencoder), "autoencoder");
+  EXPECT_EQ(to_string(ModelKind::kIsolationForest), "isolation-forest");
+  EXPECT_EQ(to_string(ModelKind::kKnn), "knn");
+}
+
+}  // namespace
+}  // namespace wtp::oneclass

@@ -1,0 +1,86 @@
+#include "svm/kernel_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace wtp::svm {
+namespace {
+
+/// fill callback that writes row[i][j] = i * 100 + j and counts invocations.
+struct CountingFiller {
+  std::size_t calls = 0;
+  std::function<void(std::size_t, std::span<float>)> fn() {
+    return [this](std::size_t i, std::span<float> out) {
+      ++calls;
+      for (std::size_t j = 0; j < out.size(); ++j) {
+        out[j] = static_cast<float>(i * 100 + j);
+      }
+    };
+  }
+};
+
+TEST(KernelCache, ComputesRowOnFirstAccess) {
+  KernelCache cache{4, 1 << 20};
+  CountingFiller filler;
+  const auto row = cache.get(2, filler.fn());
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0], 200.0f);
+  EXPECT_EQ(row[3], 203.0f);
+  EXPECT_EQ(filler.calls, 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(KernelCache, SecondAccessHitsCache) {
+  KernelCache cache{4, 1 << 20};
+  CountingFiller filler;
+  (void)cache.get(1, filler.fn());
+  (void)cache.get(1, filler.fn());
+  EXPECT_EQ(filler.calls, 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(KernelCache, EvictsLeastRecentlyUsed) {
+  // Budget for exactly 2 rows of 4 floats.
+  KernelCache cache{4, 2 * 4 * sizeof(float)};
+  CountingFiller filler;
+  (void)cache.get(0, filler.fn());
+  (void)cache.get(1, filler.fn());
+  (void)cache.get(0, filler.fn());  // refresh row 0
+  (void)cache.get(2, filler.fn());  // evicts row 1 (LRU)
+  EXPECT_EQ(filler.calls, 3u);
+  (void)cache.get(0, filler.fn());  // still cached
+  EXPECT_EQ(filler.calls, 3u);
+  (void)cache.get(1, filler.fn());  // was evicted: recomputed
+  EXPECT_EQ(filler.calls, 4u);
+}
+
+TEST(KernelCache, TinyBudgetStillCachesTwoRows) {
+  KernelCache cache{8, 0};
+  CountingFiller filler;
+  (void)cache.get(0, filler.fn());
+  (void)cache.get(0, filler.fn());
+  EXPECT_EQ(filler.calls, 1u);
+}
+
+TEST(KernelCache, EvictedRowRecomputesCorrectValues) {
+  KernelCache cache{3, 2 * 3 * sizeof(float)};
+  CountingFiller filler;
+  (void)cache.get(0, filler.fn());
+  (void)cache.get(1, filler.fn());
+  (void)cache.get(2, filler.fn());
+  const auto row0 = cache.get(0, filler.fn());
+  EXPECT_EQ(row0[1], 1.0f);
+  EXPECT_EQ(row0[2], 2.0f);
+}
+
+TEST(KernelCache, RejectsOutOfRangeRow) {
+  KernelCache cache{3, 1 << 20};
+  CountingFiller filler;
+  EXPECT_THROW((void)cache.get(3, filler.fn()), std::out_of_range);
+}
+
+TEST(KernelCache, RejectsZeroRows) {
+  EXPECT_THROW((KernelCache{0, 1024}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtp::svm

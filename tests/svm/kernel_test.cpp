@@ -1,0 +1,126 @@
+#include "svm/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace wtp::svm {
+namespace {
+
+const util::SparseVector kX{{0, 1.0}, {2, 2.0}};
+const util::SparseVector kY{{0, 3.0}, {1, 1.0}, {2, -1.0}};
+
+TEST(Kernel, LinearIsDotProduct) {
+  const KernelParams params{KernelType::kLinear, 1.0, 0.0, 3};
+  EXPECT_DOUBLE_EQ(kernel_eval(params, kX, kY), 1.0 * 3.0 + 2.0 * -1.0);
+}
+
+TEST(Kernel, PolynomialMatchesClosedForm) {
+  const KernelParams params{KernelType::kPolynomial, 0.5, 1.0, 3};
+  const double dot = 1.0;  // 3 - 2
+  const double expected = std::pow(0.5 * dot + 1.0, 3);
+  EXPECT_NEAR(kernel_eval(params, kX, kY), expected, 1e-12);
+}
+
+TEST(Kernel, PolynomialHighDegree) {
+  const KernelParams params{KernelType::kPolynomial, 1.0, 0.0, 7};
+  const util::SparseVector two{{0, 2.0}};
+  const util::SparseVector one{{0, 1.0}};
+  EXPECT_NEAR(kernel_eval(params, two, one), 128.0, 1e-9);
+}
+
+TEST(Kernel, RbfMatchesClosedForm) {
+  const KernelParams params{KernelType::kRbf, 0.25, 0.0, 3};
+  const double sq_dist = kX.squared_distance(kY);
+  EXPECT_NEAR(kernel_eval(params, kX, kY), std::exp(-0.25 * sq_dist), 1e-12);
+}
+
+TEST(Kernel, RbfSelfIsOne) {
+  const KernelParams params{KernelType::kRbf, 0.7, 0.0, 3};
+  EXPECT_DOUBLE_EQ(kernel_eval(params, kX, kX), 1.0);
+  EXPECT_DOUBLE_EQ(kernel_self(params, kX), 1.0);
+}
+
+TEST(Kernel, SigmoidMatchesClosedForm) {
+  const KernelParams params{KernelType::kSigmoid, 0.1, -0.5, 3};
+  EXPECT_NEAR(kernel_eval(params, kX, kY), std::tanh(0.1 * 1.0 - 0.5), 1e-12);
+}
+
+TEST(Kernel, SelfConsistentWithEval) {
+  util::Rng rng{3};
+  for (const KernelType type : {KernelType::kLinear, KernelType::kPolynomial,
+                                KernelType::kRbf, KernelType::kSigmoid}) {
+    const KernelParams params{type, 0.3, 0.5, 2};
+    for (int i = 0; i < 20; ++i) {
+      std::vector<double> dense(8, 0.0);
+      for (int k = 0; k < 4; ++k) dense[rng.uniform_index(8)] = rng.uniform();
+      const auto v = util::SparseVector::from_dense(dense);
+      ASSERT_NEAR(kernel_self(params, v), kernel_eval(params, v, v), 1e-12);
+    }
+  }
+}
+
+TEST(Kernel, PrecomputedNormOverloadAgrees) {
+  const KernelParams params{KernelType::kRbf, 0.5, 0.0, 3};
+  EXPECT_DOUBLE_EQ(
+      kernel_eval(params, kX, kY),
+      kernel_eval(params, kX, kY, kX.squared_norm(), kY.squared_norm()));
+}
+
+TEST(Kernel, SymmetryProperty) {
+  util::Rng rng{5};
+  for (const KernelType type : {KernelType::kLinear, KernelType::kPolynomial,
+                                KernelType::kRbf, KernelType::kSigmoid}) {
+    const KernelParams params{type, 0.2, 0.1, 3};
+    for (int i = 0; i < 10; ++i) {
+      std::vector<double> da(6, 0.0);
+      std::vector<double> db(6, 0.0);
+      for (int k = 0; k < 3; ++k) {
+        da[rng.uniform_index(6)] = rng.uniform();
+        db[rng.uniform_index(6)] = rng.uniform();
+      }
+      const auto a = util::SparseVector::from_dense(da);
+      const auto b = util::SparseVector::from_dense(db);
+      ASSERT_NEAR(kernel_eval(params, a, b), kernel_eval(params, b, a), 1e-12);
+    }
+  }
+}
+
+TEST(Kernel, RbfBoundedByOne) {
+  util::Rng rng{7};
+  const KernelParams params{KernelType::kRbf, 1.0, 0.0, 3};
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> da(5, 0.0);
+    std::vector<double> db(5, 0.0);
+    for (int k = 0; k < 3; ++k) {
+      da[rng.uniform_index(5)] = rng.uniform(-3, 3);
+      db[rng.uniform_index(5)] = rng.uniform(-3, 3);
+    }
+    const double k_ab = kernel_eval(params, util::SparseVector::from_dense(da),
+                                    util::SparseVector::from_dense(db));
+    ASSERT_GT(k_ab, 0.0);
+    ASSERT_LE(k_ab, 1.0);
+  }
+}
+
+TEST(KernelTypeCodec, RoundTrip) {
+  for (const KernelType type : {KernelType::kLinear, KernelType::kPolynomial,
+                                KernelType::kRbf, KernelType::kSigmoid}) {
+    EXPECT_EQ(parse_kernel_type(to_string(type)), type);
+  }
+  EXPECT_EQ(parse_kernel_type("poly"), KernelType::kPolynomial);
+  EXPECT_EQ(parse_kernel_type("RBF"), KernelType::kRbf);
+  EXPECT_THROW((void)parse_kernel_type("gauss"), std::runtime_error);
+}
+
+TEST(KernelDescribe, MentionsTypeAndGamma) {
+  const KernelParams params{KernelType::kRbf, 0.25, 0.0, 3};
+  const std::string text = describe(params);
+  EXPECT_NE(text.find("rbf"), std::string::npos);
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wtp::svm

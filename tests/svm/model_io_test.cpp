@@ -1,0 +1,154 @@
+#include "svm/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace wtp::svm {
+namespace {
+
+std::vector<util::SparseVector> training_blob(std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<util::SparseVector> points;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<double> dense(5, 0.0);
+    for (int k = 0; k < 3; ++k) dense[rng.uniform_index(5)] = rng.uniform();
+    points.push_back(util::SparseVector::from_dense(dense));
+  }
+  return points;
+}
+
+std::vector<util::SparseVector> probes(std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<util::SparseVector> points;
+  for (int i = 0; i < 25; ++i) {
+    std::vector<double> dense(5, 0.0);
+    for (int k = 0; k < 4; ++k) dense[rng.uniform_index(5)] = rng.uniform(-1.0, 2.0);
+    points.push_back(util::SparseVector::from_dense(dense));
+  }
+  return points;
+}
+
+TEST(ModelIo, OneClassRoundTripPreservesDecisions) {
+  const auto data = training_blob(1);
+  OneClassSvmConfig config;
+  config.nu = 0.25;
+  config.kernel = {KernelType::kRbf, 0.6, 0.0, 3};
+  const auto model = OneClassSvmModel::train(data, config, 5);
+
+  std::stringstream stream;
+  save_model(stream, model);
+  const auto loaded = load_one_class_model(stream);
+
+  EXPECT_EQ(loaded.kernel(), model.kernel());
+  EXPECT_DOUBLE_EQ(loaded.rho(), model.rho());
+  ASSERT_EQ(loaded.support_vectors().size(), model.support_vectors().size());
+  for (const auto& x : probes(2)) {
+    ASSERT_DOUBLE_EQ(loaded.decision_value(x), model.decision_value(x));
+  }
+}
+
+TEST(ModelIo, SvddRoundTripPreservesDecisions) {
+  const auto data = training_blob(3);
+  SvddConfig config;
+  config.c = 0.2;
+  config.kernel = {KernelType::kSigmoid, 0.3, -0.2, 3};
+  const auto model = SvddModel::train(data, config, 5);
+
+  std::stringstream stream;
+  save_model(stream, model);
+  const auto loaded = load_svdd_model(stream);
+
+  EXPECT_EQ(loaded.kernel(), model.kernel());
+  EXPECT_DOUBLE_EQ(loaded.r_squared(), model.r_squared());
+  EXPECT_DOUBLE_EQ(loaded.alpha_k_alpha(), model.alpha_k_alpha());
+  for (const auto& x : probes(4)) {
+    ASSERT_DOUBLE_EQ(loaded.decision_value(x), model.decision_value(x));
+  }
+}
+
+TEST(ModelIo, VariantLoadDispatchesOnType) {
+  const auto data = training_blob(5);
+  OneClassSvmConfig config;
+  config.kernel = {KernelType::kLinear, 1.0, 0.0, 3};
+  const auto model = OneClassSvmModel::train(data, config, 5);
+  std::stringstream stream;
+  save_model(stream, model);
+  const AnySvmModel any = load_model(stream);
+  EXPECT_TRUE(std::holds_alternative<OneClassSvmModel>(any));
+}
+
+TEST(ModelIo, TypedLoadRejectsWrongType) {
+  const auto data = training_blob(6);
+  SvddConfig config;
+  const auto model = SvddModel::train(data, config, 5);
+  std::stringstream stream;
+  save_model(stream, model);
+  EXPECT_THROW((void)load_one_class_model(stream), std::runtime_error);
+}
+
+TEST(ModelIo, PolynomialKernelParametersSurvive) {
+  const auto data = training_blob(7);
+  OneClassSvmConfig config;
+  config.kernel = {KernelType::kPolynomial, 0.125, 1.5, 5};
+  const auto model = OneClassSvmModel::train(data, config, 5);
+  std::stringstream stream;
+  save_model(stream, model);
+  const auto loaded = load_one_class_model(stream);
+  EXPECT_EQ(loaded.kernel().type, KernelType::kPolynomial);
+  EXPECT_DOUBLE_EQ(loaded.kernel().gamma, 0.125);
+  EXPECT_DOUBLE_EQ(loaded.kernel().coef0, 1.5);
+  EXPECT_EQ(loaded.kernel().degree, 5);
+}
+
+TEST(ModelIo, RejectsMissingMagic) {
+  std::stringstream stream{"not a model\n"};
+  EXPECT_THROW((void)load_model(stream), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsTruncatedSvSection) {
+  const auto data = training_blob(8);
+  OneClassSvmConfig config;
+  const auto model = OneClassSvmModel::train(data, config, 5);
+  std::stringstream stream;
+  save_model(stream, model);
+  std::string text = stream.str();
+  // Drop the last SV line.
+  text.erase(text.rfind('\n', text.size() - 2) + 1);
+  std::stringstream truncated{text};
+  EXPECT_THROW((void)load_model(truncated), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsUnknownModelType) {
+  std::stringstream stream{
+      "wtp_svm_model v1\ntype perceptron\nkernel linear\ngamma 1\ncoef0 0\n"
+      "degree 3\nrho 0\nnr_sv 0\nSV\n"};
+  EXPECT_THROW((void)load_model(stream), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsMalformedSvLine) {
+  std::stringstream stream{
+      "wtp_svm_model v1\ntype one_class_svm\nkernel linear\ngamma 1\ncoef0 0\n"
+      "degree 3\nrho 0\nnr_sv 1\nSV\n0.5 not_a_pair\n"};
+  EXPECT_THROW((void)load_model(stream), std::runtime_error);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const auto data = training_blob(9);
+  SvddConfig config;
+  const auto model = SvddModel::train(data, config, 5);
+  const std::string path = ::testing::TempDir() + "/wtp_model_io_test.model";
+  save_model_file(path, AnySvmModel{model});
+  const AnySvmModel loaded = load_model_file(path);
+  ASSERT_TRUE(std::holds_alternative<SvddModel>(loaded));
+  const auto& typed = std::get<SvddModel>(loaded);
+  for (const auto& x : probes(10)) {
+    ASSERT_DOUBLE_EQ(typed.decision_value(x), model.decision_value(x));
+  }
+  EXPECT_THROW((void)load_model_file(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wtp::svm

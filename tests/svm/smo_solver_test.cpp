@@ -1,0 +1,209 @@
+#include "svm/smo_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace wtp::svm {
+namespace {
+
+std::vector<util::SparseVector> points_1d(std::initializer_list<double> xs) {
+  std::vector<util::SparseVector> points;
+  for (const double x : xs) points.push_back(util::SparseVector{{0, x}});
+  return points;
+}
+
+TEST(SmoSolver, TwoPointSymmetricProblemSplitsAlphaEvenly) {
+  // Q = K (linear) over x = {1, 1}: Q = [[1,1],[1,1]], p = 0, sum = 1,
+  // U = 1.  Any feasible split is optimal; the solver must return a feasible
+  // point with the known objective 0.5.
+  const auto data = points_1d({1.0, 1.0});
+  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const std::vector<double> p(2, 0.0);
+  const auto result = solve_smo(q, p, 1.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.alpha[0] + result.alpha[1], 1.0, 1e-9);
+  EXPECT_NEAR(result.objective, 0.5, 1e-6);
+}
+
+TEST(SmoSolver, MinimizesTowardSmallerNormPoint) {
+  // x = {1, 3} linear kernel: minimizing 0.5 a^T Q a with a0+a1 = 1 puts all
+  // weight on the x=1 point until its bound: unconstrained optimum is
+  // a = (1, 0) (objective 0.5) vs a=(0,1) (objective 4.5).
+  const auto data = points_1d({1.0, 3.0});
+  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const std::vector<double> p(2, 0.0);
+  const auto result = solve_smo(q, p, 1.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.alpha[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.alpha[1], 0.0, 1e-3);
+}
+
+TEST(SmoSolver, RespectsUpperBound) {
+  // Same as above but U = 0.6: optimum clips at a = (0.6, 0.4).
+  const auto data = points_1d({1.0, 3.0});
+  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const std::vector<double> p(2, 0.0);
+  const auto result = solve_smo(q, p, 0.6, 1.0);
+  EXPECT_NEAR(result.alpha[0], 0.6, 1e-6);
+  EXPECT_NEAR(result.alpha[1], 0.4, 1e-6);
+}
+
+TEST(SmoSolver, LinearTermSteersSolution) {
+  // Orthogonal unit vectors: Q = I.  Objective 0.5(a0^2+a1^2) + p.a with
+  // a0 + a1 = 1.  With p = (0, -1): minimize 0.5 a0^2 + 0.5 a1^2 - a1
+  // -> gradient equality a0 = a1 - 1 with sum 1 -> a = (0, 1).
+  std::vector<util::SparseVector> data{util::SparseVector{{0, 1.0}},
+                                       util::SparseVector{{1, 1.0}}};
+  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const std::vector<double> p{0.0, -1.0};
+  const auto result = solve_smo(q, p, 1.0, 1.0);
+  EXPECT_NEAR(result.alpha[0], 0.0, 1e-3);
+  EXPECT_NEAR(result.alpha[1], 1.0, 1e-3);
+}
+
+TEST(SmoSolver, ThreePointIdentityDistributesEvenly) {
+  // Q = I (orthogonal points), p = 0, sum = 1: optimum a_i = 1/3 each.
+  std::vector<util::SparseVector> data{util::SparseVector{{0, 1.0}},
+                                       util::SparseVector{{1, 1.0}},
+                                       util::SparseVector{{2, 1.0}}};
+  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const std::vector<double> p(3, 0.0);
+  SolverConfig config;
+  config.eps = 1e-6;
+  const auto result = solve_smo(q, p, 1.0, 1.0, config);
+  for (const double a : result.alpha) EXPECT_NEAR(a, 1.0 / 3.0, 1e-4);
+  EXPECT_NEAR(result.objective, 1.0 / 6.0, 1e-6);
+}
+
+TEST(SmoSolver, GradientMatchesDefinitionAtSolution) {
+  util::Rng rng{21};
+  std::vector<util::SparseVector> data;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> dense(5, 0.0);
+    for (int k = 0; k < 3; ++k) dense[rng.uniform_index(5)] = rng.uniform();
+    data.push_back(util::SparseVector::from_dense(dense));
+  }
+  const KernelParams kernel{KernelType::kRbf, 0.5, 0.0, 3};
+  QMatrix q{data, kernel, 1.0, 1 << 20};
+  const std::vector<double> p(20, 0.0);
+  const auto result = solve_smo(q, p, 1.0, 10.0);
+  // G_i must equal sum_j Q_ij a_j + p_i.
+  for (std::size_t i = 0; i < 20; ++i) {
+    double expected = p[i];
+    for (std::size_t j = 0; j < 20; ++j) {
+      expected += result.alpha[j] * kernel_eval(kernel, data[i], data[j]);
+    }
+    ASSERT_NEAR(result.gradient[i], expected, 1e-5);
+  }
+}
+
+class SmoConstraintTest : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SmoConstraintTest, FeasibilityPreservedOnRandomProblems) {
+  const auto [upper_bound, sum_fraction] = GetParam();
+  util::Rng rng{31};
+  std::vector<util::SparseVector> data;
+  constexpr std::size_t kPoints = 40;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    std::vector<double> dense(10, 0.0);
+    for (int k = 0; k < 5; ++k) dense[rng.uniform_index(10)] = rng.uniform();
+    data.push_back(util::SparseVector::from_dense(dense));
+  }
+  QMatrix q{data, {KernelType::kRbf, 0.3, 0.0, 3}, 1.0, 1 << 20};
+  const std::vector<double> p(kPoints, 0.0);
+  const double alpha_sum = sum_fraction * upper_bound * kPoints;
+  const auto result = solve_smo(q, p, upper_bound, alpha_sum);
+  double total = 0.0;
+  for (const double a : result.alpha) {
+    ASSERT_GE(a, -1e-12);
+    ASSERT_LE(a, upper_bound + 1e-12);
+    total += a;
+  }
+  EXPECT_NEAR(total, alpha_sum, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundsAndSums, SmoConstraintTest,
+    ::testing::Values(std::make_tuple(1.0, 0.5), std::make_tuple(1.0, 0.1),
+                      std::make_tuple(0.05, 0.9), std::make_tuple(2.0, 0.25),
+                      std::make_tuple(1.0, 1.0)));
+
+TEST(SmoSolver, SolutionIsNoWorseThanRandomFeasiblePoints) {
+  util::Rng rng{41};
+  std::vector<util::SparseVector> data;
+  constexpr std::size_t kPoints = 15;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    std::vector<double> dense(4, 0.0);
+    for (int k = 0; k < 3; ++k) dense[rng.uniform_index(4)] = rng.uniform(0.0, 2.0);
+    data.push_back(util::SparseVector::from_dense(dense));
+  }
+  const KernelParams kernel{KernelType::kLinear, 1.0, 0.0, 3};
+  QMatrix q{data, kernel, 1.0, 1 << 20};
+  const std::vector<double> p(kPoints, 0.0);
+  const double alpha_sum = 3.0;
+  const auto result = solve_smo(q, p, 1.0, alpha_sum);
+
+  auto objective_of = [&](const std::vector<double>& alpha) {
+    double obj = 0.0;
+    for (std::size_t i = 0; i < kPoints; ++i) {
+      for (std::size_t j = 0; j < kPoints; ++j) {
+        obj += 0.5 * alpha[i] * alpha[j] * kernel_eval(kernel, data[i], data[j]);
+      }
+    }
+    return obj;
+  };
+  const double solver_objective = objective_of(result.alpha);
+  EXPECT_NEAR(solver_objective, result.objective, 1e-6);
+
+  // Random feasible points: project random weights onto the simplex-with-box.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> alpha(kPoints, 0.0);
+    double remaining = alpha_sum;
+    std::vector<std::size_t> order(kPoints);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+    for (const std::size_t i : order) {
+      const double take = std::min(remaining, rng.uniform());
+      alpha[i] = take;
+      remaining -= take;
+      if (remaining <= 0.0) break;
+    }
+    if (remaining > 1e-9) continue;  // not feasible; skip
+    ASSERT_LE(solver_objective, objective_of(alpha) + 1e-6);
+  }
+}
+
+TEST(SmoSolver, RejectsInfeasibleConstraints) {
+  const auto data = points_1d({1.0, 2.0});
+  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const std::vector<double> p(2, 0.0);
+  EXPECT_THROW((void)solve_smo(q, p, 1.0, 3.0), std::invalid_argument);  // sum > U*l
+  EXPECT_THROW((void)solve_smo(q, p, 0.0, 0.5), std::invalid_argument);  // U = 0
+  EXPECT_THROW((void)solve_smo(q, p, 1.0, -0.1), std::invalid_argument); // sum < 0
+  const std::vector<double> bad_p(3, 0.0);
+  EXPECT_THROW((void)solve_smo(q, bad_p, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(SmoSolver, ScaleFactorDoublesQ) {
+  const auto data = points_1d({1.0, 2.0});
+  QMatrix q1{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  QMatrix q2{data, {KernelType::kLinear, 1.0, 0.0, 3}, 2.0, 1 << 20};
+  EXPECT_DOUBLE_EQ(q1.diag(1), 4.0);
+  EXPECT_DOUBLE_EQ(q2.diag(1), 8.0);
+  EXPECT_DOUBLE_EQ(q1.kernel_diag(1), 4.0);  // unscaled kernel diagonal
+  EXPECT_DOUBLE_EQ(q2.kernel_diag(1), 4.0);
+  EXPECT_FLOAT_EQ(q2.row(0)[1], 2.0f * q1.row(0)[1]);
+}
+
+TEST(QMatrixTest, RejectsEmptyData) {
+  const std::vector<util::SparseVector> empty;
+  EXPECT_THROW((QMatrix{empty, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1024}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtp::svm

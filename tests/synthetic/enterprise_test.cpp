@@ -1,0 +1,114 @@
+#include "synthetic/enterprise.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace wtp::synthetic {
+namespace {
+
+TEST(DeviceTopology, EveryUserHasAPrimaryDevice) {
+  util::Rng rng{1};
+  EnterpriseConfig config;
+  const auto topology = build_device_topology(config, rng);
+  ASSERT_EQ(topology.user_devices.size(), 36u);
+  ASSERT_EQ(topology.device_ids.size(), 35u);
+  for (const auto& devices : topology.user_devices) {
+    ASSERT_FALSE(devices.empty());
+    for (const std::size_t d : devices) ASSERT_LT(d, 35u);
+    // No duplicates.
+    const std::set<std::size_t> unique{devices.begin(), devices.end()};
+    ASSERT_EQ(unique.size(), devices.size());
+  }
+}
+
+TEST(DeviceTopology, PrimariesCoverAllDevicesRoundRobin) {
+  util::Rng rng{2};
+  EnterpriseConfig config;
+  const auto topology = build_device_topology(config, rng);
+  std::set<std::size_t> primaries;
+  for (const auto& devices : topology.user_devices) primaries.insert(devices.front());
+  // 36 users round-robin over 35 devices: every device is someone's primary.
+  EXPECT_EQ(primaries.size(), 35u);
+}
+
+TEST(DeviceTopology, MeanUsersPerDeviceNearPaperValue) {
+  util::Rng rng{3};
+  EnterpriseConfig config;  // paper: ~3 users per device on average
+  const auto topology = build_device_topology(config, rng);
+  const double mean = topology.mean_users_per_device();
+  EXPECT_GT(mean, 1.5);
+  EXPECT_LT(mean, 5.0);
+}
+
+TEST(DeviceTopology, ExtraDevicesRespectMaximum) {
+  util::Rng rng{4};
+  EnterpriseConfig config;
+  config.max_extra_devices = 16;  // paper max: 17 devices for one user
+  const auto topology = build_device_topology(config, rng);
+  for (const auto& devices : topology.user_devices) {
+    EXPECT_LE(devices.size(), 17u);
+    EXPECT_GE(devices.size(), 1u);
+  }
+}
+
+TEST(DeviceTopology, SampleDeviceOnlyReturnsAssignedDevices) {
+  util::Rng rng{5};
+  EnterpriseConfig config;
+  const auto topology = build_device_topology(config, rng);
+  for (std::size_t u = 0; u < topology.user_devices.size(); ++u) {
+    const std::set<std::size_t> allowed{topology.user_devices[u].begin(),
+                                        topology.user_devices[u].end()};
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(allowed.contains(topology.sample_device(u, rng)));
+    }
+  }
+}
+
+TEST(DeviceTopology, PrimaryAffinityBiasesSampling) {
+  util::Rng rng{6};
+  EnterpriseConfig config;
+  config.primary_device_affinity = 0.9;
+  config.mean_extra_devices = 4.0;
+  const auto topology = build_device_topology(config, rng);
+  // Find a user with at least 2 devices.
+  for (std::size_t u = 0; u < topology.user_devices.size(); ++u) {
+    if (topology.user_devices[u].size() < 3) continue;
+    int primary_hits = 0;
+    constexpr int kSamples = 2000;
+    for (int i = 0; i < kSamples; ++i) {
+      if (topology.sample_device(u, rng) == topology.user_devices[u].front()) {
+        ++primary_hits;
+      }
+    }
+    EXPECT_NEAR(primary_hits / static_cast<double>(kSamples), 0.9, 0.05);
+    return;
+  }
+  FAIL() << "no multi-device user found";
+}
+
+TEST(DeviceTopology, DeviceUsersIsInverseOfUserDevices) {
+  util::Rng rng{7};
+  EnterpriseConfig config;
+  const auto topology = build_device_topology(config, rng);
+  for (std::size_t d = 0; d < topology.device_ids.size(); ++d) {
+    for (const std::size_t u : topology.device_users(d)) {
+      const auto& devices = topology.user_devices[u];
+      ASSERT_NE(std::find(devices.begin(), devices.end(), d), devices.end());
+    }
+  }
+}
+
+TEST(DeviceTopology, RejectsZeroSizes) {
+  util::Rng rng{8};
+  EnterpriseConfig config;
+  config.num_users = 0;
+  EXPECT_THROW((void)build_device_topology(config, rng), std::invalid_argument);
+  config.num_users = 5;
+  config.num_devices = 0;
+  EXPECT_THROW((void)build_device_topology(config, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wtp::synthetic

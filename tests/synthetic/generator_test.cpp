@@ -1,0 +1,167 @@
+#include "synthetic/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace wtp::synthetic {
+namespace {
+
+GeneratorConfig tiny_config() {
+  GeneratorConfig config;
+  config.seed = 11;
+  config.duration_weeks = 2;
+  config.activity_scale = 0.3;
+  config.site_pool.num_sites = 150;
+  config.site_pool.num_categories = 25;
+  config.site_pool.num_media_types = 30;
+  config.site_pool.num_application_types = 40;
+  config.population.num_users = 8;
+  config.population.num_clusters = 2;
+  config.population.min_favourite_sites = 10;
+  config.population.max_favourite_sites = 20;
+  config.enterprise.num_users = 8;
+  config.enterprise.num_devices = 6;
+  return config;
+}
+
+TEST(TraceGenerator, ProducesNonEmptySortedTrace) {
+  const EnterpriseTrace trace = generate_trace(tiny_config());
+  ASSERT_FALSE(trace.transactions.empty());
+  for (std::size_t i = 1; i < trace.transactions.size(); ++i) {
+    ASSERT_LE(trace.transactions[i - 1].timestamp, trace.transactions[i].timestamp);
+  }
+}
+
+TEST(TraceGenerator, IsDeterministic) {
+  const EnterpriseTrace a = generate_trace(tiny_config());
+  const EnterpriseTrace b = generate_trace(tiny_config());
+  ASSERT_EQ(a.transactions.size(), b.transactions.size());
+  for (std::size_t i = 0; i < a.transactions.size(); ++i) {
+    ASSERT_EQ(a.transactions[i], b.transactions[i]);
+  }
+}
+
+TEST(TraceGenerator, DifferentSeedsDiffer) {
+  auto config = tiny_config();
+  const EnterpriseTrace a = generate_trace(config);
+  config.seed = 12;
+  const EnterpriseTrace b = generate_trace(config);
+  EXPECT_NE(a.transactions.size(), b.transactions.size());
+}
+
+TEST(TraceGenerator, TimestampsInsideConfiguredSpan) {
+  const auto config = tiny_config();
+  const EnterpriseTrace trace = generate_trace(config);
+  const util::UnixSeconds end =
+      config.start_time + config.duration_weeks * util::kSecondsPerWeek;
+  for (const auto& txn : trace.transactions) {
+    ASSERT_GE(txn.timestamp, config.start_time);
+    // Sessions started near the end of the span may spill slightly past it.
+    ASSERT_LT(txn.timestamp, end + 4 * util::kSecondsPerHour);
+  }
+}
+
+TEST(TraceGenerator, AllActiveUsersAppear) {
+  const EnterpriseTrace trace = generate_trace(tiny_config());
+  std::set<std::string> users;
+  for (const auto& txn : trace.transactions) users.insert(txn.user_id);
+  // With 2 weeks of activity every user should produce at least one session.
+  EXPECT_EQ(users.size(), 8u);
+}
+
+TEST(TraceGenerator, DevicesMatchTopologyAssignment) {
+  const EnterpriseTrace trace = generate_trace(tiny_config());
+  // Map device ids back to indices.
+  std::map<std::string, std::size_t> device_index;
+  for (std::size_t d = 0; d < trace.topology.device_ids.size(); ++d) {
+    device_index[trace.topology.device_ids[d]] = d;
+  }
+  std::map<std::string, std::size_t> user_index;
+  for (std::size_t u = 0; u < trace.users.size(); ++u) {
+    user_index[trace.users[u].user_id] = u;
+  }
+  for (const auto& txn : trace.transactions) {
+    const std::size_t u = user_index.at(txn.user_id);
+    const std::size_t d = device_index.at(txn.device_id);
+    const auto& devices = trace.topology.user_devices[u];
+    ASSERT_NE(std::find(devices.begin(), devices.end(), d), devices.end())
+        << txn.user_id << " used unassigned " << txn.device_id;
+  }
+}
+
+TEST(TraceGenerator, TransactionFieldsComeFromSitePool) {
+  const EnterpriseTrace trace = generate_trace(tiny_config());
+  std::map<std::string, const Site*> sites_by_url;
+  for (const auto& site : trace.sites) sites_by_url[site.url] = &site;
+  for (const auto& txn : trace.transactions) {
+    const auto it = sites_by_url.find(txn.url);
+    ASSERT_NE(it, sites_by_url.end()) << txn.url;
+    const Site& site = *it->second;
+    ASSERT_EQ(txn.category, site.category);
+    ASSERT_EQ(txn.application_type, site.application_type);
+    ASSERT_EQ(txn.reputation, site.reputation);
+    ASSERT_EQ(txn.private_destination, site.is_private);
+    ASSERT_NE(std::find(site.media_types.begin(), site.media_types.end(),
+                        txn.media_type),
+              site.media_types.end());
+  }
+}
+
+TEST(TraceGenerator, ActivityScaleScalesVolume) {
+  auto config = tiny_config();
+  config.activity_scale = 0.2;
+  const std::size_t low = generate_trace(config).transactions.size();
+  config.activity_scale = 0.8;
+  const std::size_t high = generate_trace(config).transactions.size();
+  EXPECT_GT(high, low * 2);
+}
+
+TEST(TraceGenerator, WeekendsAreQuieterThanWeekdays) {
+  auto config = tiny_config();
+  config.duration_weeks = 4;
+  const EnterpriseTrace trace = generate_trace(config);
+  std::size_t weekday = 0;
+  std::size_t weekend = 0;
+  for (const auto& txn : trace.transactions) {
+    (util::day_of_week(txn.timestamp) >= 5 ? weekend : weekday) += 1;
+  }
+  // 5 weekdays vs 2 weekend days, plus the weekend damping: weekday traffic
+  // must dominate clearly.
+  EXPECT_GT(weekday, weekend * 3);
+}
+
+TEST(TraceGenerator, RejectsInvalidConfig) {
+  auto config = tiny_config();
+  config.duration_weeks = 0;
+  EXPECT_THROW((void)generate_trace(config), std::invalid_argument);
+  config = tiny_config();
+  config.activity_scale = 0.0;
+  EXPECT_THROW((void)generate_trace(config), std::invalid_argument);
+  config = tiny_config();
+  config.enterprise.num_users = 5;  // mismatch with population.num_users
+  EXPECT_THROW((void)generate_trace(config), std::invalid_argument);
+}
+
+TEST(ScriptedSession, EmitsTransactionsForRequestedUserAndDevice) {
+  const EnterpriseTrace trace = generate_trace(tiny_config());
+  util::Rng rng{77};
+  SessionSpec spec;
+  spec.user_index = 2;
+  spec.device_index = 1;
+  spec.start = trace.config.start_time + util::kSecondsPerDay;
+  spec.duration_minutes = 10.0;
+  std::vector<log::WebTransaction> out;
+  generate_session(trace, spec, rng, out);
+  ASSERT_FALSE(out.empty());
+  for (const auto& txn : out) {
+    ASSERT_EQ(txn.user_id, trace.users[2].user_id);
+    ASSERT_EQ(txn.device_id, trace.topology.device_ids[1]);
+    ASSERT_GE(txn.timestamp, spec.start);
+  }
+}
+
+}  // namespace
+}  // namespace wtp::synthetic

@@ -1,0 +1,86 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wtp::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvParse, SimpleRow) {
+  EXPECT_EQ(csv_parse_row("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParse, PreservesEmptyFields) {
+  EXPECT_EQ(csv_parse_row("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(csv_parse_row(",,"), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvParse, QuotedFieldsWithCommasAndQuotes) {
+  EXPECT_EQ(csv_parse_row("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(csv_parse_row("\"say \"\"hi\"\"\""),
+            (std::vector<std::string>{"say \"hi\""}));
+}
+
+TEST(CsvParse, ToleratesCarriageReturn) {
+  EXPECT_EQ(csv_parse_row("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvParse, RejectsUnterminatedQuote) {
+  EXPECT_THROW((void)csv_parse_row("\"oops"), std::runtime_error);
+}
+
+TEST(CsvRoundTrip, ArbitraryFieldsSurvive) {
+  const std::vector<std::vector<std::string>> rows{
+      {"plain", "with,comma", "with \"quote\""},
+      {"", "multi\nline", ","},
+      {"trailing ", " leading"},
+  };
+  for (const auto& row : rows) {
+    EXPECT_EQ(csv_parse_row(csv_format_row(row)), row);
+  }
+}
+
+TEST(CsvStreams, WriterReaderRoundTrip) {
+  std::stringstream stream;
+  CsvWriter writer{stream};
+  writer.write_row({"h1", "h2"});
+  writer.write_row({"a,1", "b"});
+  writer.write_row({"", "x"});
+
+  CsvReader reader{stream};
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.read_row(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"h1", "h2"}));
+  ASSERT_TRUE(reader.read_row(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a,1", "b"}));
+  ASSERT_TRUE(reader.read_row(fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"", "x"}));
+  EXPECT_FALSE(reader.read_row(fields));
+}
+
+TEST(CsvStreams, ReaderSkipsBlankLines) {
+  std::stringstream stream{"a,b\n\n\nc,d\n"};
+  CsvReader reader{stream};
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.read_row(fields));
+  EXPECT_EQ(fields[0], "a");
+  ASSERT_TRUE(reader.read_row(fields));
+  EXPECT_EQ(fields[0], "c");
+  EXPECT_FALSE(reader.read_row(fields));
+}
+
+}  // namespace
+}  // namespace wtp::util

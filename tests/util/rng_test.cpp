@@ -1,0 +1,210 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace wtp::util {
+namespace {
+
+TEST(Rng, SameSeedProducesSameStream) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams) {
+  Rng a{1};
+  Rng b{2};
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent{7};
+  Rng child = parent.fork();
+  // The child stream must differ from the parent's continuation.
+  Rng parent_copy = parent;
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child() == parent_copy()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsOneHalf) {
+  Rng rng{13};
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{17};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng{19};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng{23};
+  EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{29};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{-2, -1, 0, 1, 2}));
+  EXPECT_THROW((void)rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng{31};
+  int hits = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMomentsAreCorrect) {
+  Rng rng{37};
+  double sum = 0.0;
+  double sq_sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq_sum += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double variance = sq_sum / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(variance, 9.0, 0.3);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng{41};
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kSamples, 0.25, 0.01);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanMatches) {
+  const double mean = GetParam();
+  Rng rng{43};
+  double sum = 0.0;
+  constexpr int kSamples = 30000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.poisson(mean));
+  }
+  EXPECT_NEAR(sum / kSamples, mean, std::max(0.05, mean * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonTest,
+                         ::testing::Values(0.1, 0.5, 2.0, 10.0, 80.0));
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng{47};
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_THROW((void)rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng{53};
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kSamples), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kSamples), 0.6, 0.015);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng{59};
+  EXPECT_THROW((void)rng.weighted_index(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW((void)rng.weighted_index(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng{61};
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(ZipfDistribution, RanksAreMonotonicallyLessFrequent) {
+  Rng rng{67};
+  const ZipfDistribution zipf{10, 1.0};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  // Rank 0 must dominate rank 4, which must dominate rank 9.
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+  // Rank-0 frequency ~ 1/H_10 ~ 0.341.
+  EXPECT_NEAR(counts[0] / 100000.0, 0.341, 0.02);
+}
+
+TEST(ZipfDistribution, ZeroExponentIsUniform) {
+  Rng rng{71};
+  const ZipfDistribution zipf{4, 0.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[zipf(rng)];
+  for (const int c : counts) EXPECT_NEAR(c / 40000.0, 0.25, 0.02);
+}
+
+TEST(ZipfDistribution, RejectsInvalidArguments) {
+  EXPECT_THROW((ZipfDistribution{0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((ZipfDistribution{3, -0.5}), std::invalid_argument);
+}
+
+TEST(Splitmix64, KnownVector) {
+  // Reference values from the splitmix64 reference implementation with
+  // initial state 0.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace
+}  // namespace wtp::util

@@ -1,0 +1,46 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace wtp::util {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a:b:c", ':'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a::c", ':'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ':'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(":", ':'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim("nospace"), "nospace");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Join, ConcatenatesWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("HeLLo 123"), "hello 123");
+}
+
+TEST(StartsWith, PrefixCheck) {
+  EXPECT_TRUE(starts_with("HTTPS", "HTTP"));
+  EXPECT_FALSE(starts_with("HTT", "HTTP"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(FormatDouble, FixedDecimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(90.0, 1), "90.0");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace wtp::util

@@ -1,0 +1,51 @@
+# End-to-end CLI pipeline test, run by ctest:
+#   wtp_generate -> wtp_train -> wtp_classify -> wtp_identify
+# Expects -DGEN/-DTRAIN/-DCLASSIFY/-DIDENTIFY (tool paths) and -DWORK (dir).
+
+function(run_step)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE status
+                  OUTPUT_VARIABLE output
+                  ERROR_VARIABLE output)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "step failed (${status}): ${ARGN}\n${output}")
+  endif()
+  set(last_output "${output}" PARENT_SCOPE)
+endfunction()
+
+set(trace "${WORK}/pipeline_trace.csv")
+set(store "${WORK}/pipeline_profiles.wtp")
+
+run_step(${GEN} --out ${trace} --weeks 2 --scale 0.3 --users 8 --devices 5 --seed 5)
+if(NOT EXISTS ${trace})
+  message(FATAL_ERROR "wtp_generate produced no trace file")
+endif()
+
+run_step(${TRAIN} --log ${trace} --out ${store} --min-transactions 200)
+if(NOT EXISTS ${store})
+  message(FATAL_ERROR "wtp_train produced no profile store")
+endif()
+
+run_step(${CLASSIFY} --log ${trace} --store ${store})
+string(FIND "${last_output}" "acceptance matrix" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "wtp_classify printed no acceptance matrix:\n${last_output}")
+endif()
+# The diagonal must dominate: the summary line reports both means.
+string(REGEX MATCH "diagonal mean ([0-9.]+)%, off-diagonal mean ([0-9.]+)%"
+       summary "${last_output}")
+if(NOT summary)
+  message(FATAL_ERROR "wtp_classify printed no summary line:\n${last_output}")
+endif()
+if(NOT CMAKE_MATCH_1 GREATER CMAKE_MATCH_2)
+  message(FATAL_ERROR
+          "diagonal (${CMAKE_MATCH_1}) must exceed off-diagonal (${CMAKE_MATCH_2})")
+endif()
+
+run_step(${IDENTIFY} --log ${trace} --store ${store} --smooth 3)
+string(FIND "${last_output}" "decisions:" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "wtp_identify printed no decision summary:\n${last_output}")
+endif()
+
+message(STATUS "tools pipeline OK")

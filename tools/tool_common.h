@@ -1,0 +1,73 @@
+// Minimal flag parsing shared by the wtp_* command-line tools.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wtp::tools {
+
+/// Parses "--key value" pairs and bare "--flag" switches.  Unknown keys are
+/// fine (validated by the caller via require/get).
+class Args {
+ public:
+  Args(int argc, char** argv, std::string usage)
+      : program_{argv[0]}, usage_{std::move(usage)} {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        die("unexpected positional argument '" + arg + "'");
+      }
+      arg = arg.substr(2);
+      if (arg == "help") die("");
+      if (i + 1 < argc && std::string{argv[i + 1]}.rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";  // bare switch
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) {
+      die("missing required --" + key + " <value>");
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+
+  [[noreturn]] void die(const std::string& message) const {
+    if (!message.empty()) std::fprintf(stderr, "%s: %s\n", program_.c_str(), message.c_str());
+    std::fprintf(stderr, "usage: %s %s\n", program_.c_str(), usage_.c_str());
+    std::exit(message.empty() ? 0 : 2);
+  }
+
+ private:
+  std::string program_;
+  std::string usage_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace wtp::tools

@@ -1,0 +1,67 @@
+// wtp_classify — score a proxy log against a trained profile store: prints
+// the acceptance matrix (which profiles accept which users' windows).
+//
+//   wtp_classify --log test.csv --store profiles.wtp [--user USER]
+//
+// With --user, only that profile's row is evaluated (continuous-
+// authentication style); otherwise the full confusion matrix is printed.
+#include <cstdio>
+
+#include "core/metrics.h"
+#include "core/profile_store.h"
+#include "features/split.h"
+#include "features/window.h"
+#include "log/log_io.h"
+#include "tool_common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace wtp;
+
+int main(int argc, char** argv) {
+  const tools::Args args{argc, argv, "--log FILE --store FILE [--user USER]"};
+  const auto store = core::ProfileStore::load_file(args.require("store"));
+  const auto transactions = log::read_log_file(args.require("log"));
+  std::printf("store: %zu profiles, window D=%lds S=%lds; log: %zu transactions\n",
+              store.profiles().size(),
+              static_cast<long>(store.window().duration_s),
+              static_cast<long>(store.window().shift_s), transactions.size());
+
+  // User-specific windowing of the evaluated log.
+  const features::WindowAggregator aggregator{store.schema(), store.window()};
+  core::WindowsByUser windows;
+  for (const auto& [user, txns] : features::group_by_user(transactions)) {
+    windows.emplace(user, features::window_vectors(aggregator.aggregate(txns)));
+  }
+
+  if (args.has("user")) {
+    const std::string user = args.require("user");
+    const auto* profile = store.find(user);
+    if (profile == nullptr) args.die("no profile for user '" + user + "'");
+    util::TextTable table;
+    table.set_header({"log user", "windows", "accepted by " + user});
+    for (const auto& [log_user, vectors] : windows) {
+      table.add_row({log_user, std::to_string(vectors.size()),
+                     util::format_double(100.0 * profile->acceptance_ratio(vectors), 1) + "%"});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+  }
+
+  const auto confusion = core::compute_confusion(store.profiles(), windows);
+  util::TextTable table;
+  std::vector<std::string> header{"model\\log user"};
+  for (const auto& user : confusion.users) header.push_back(user);
+  table.set_header(header);
+  for (std::size_t j = 0; j < confusion.cells.size(); ++j) {
+    std::vector<std::string> row{store.profiles()[j].user_id()};
+    for (const double cell : confusion.cells[j]) {
+      row.push_back(util::format_double(cell, 1));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.render("acceptance matrix (%)").c_str());
+  std::printf("diagonal mean %.1f%%, off-diagonal mean %.1f%%\n",
+              confusion.diagonal_mean(), confusion.off_diagonal_mean());
+  return 0;
+}
