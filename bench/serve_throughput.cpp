@@ -1,0 +1,153 @@
+// Serving-engine throughput benchmark: trains fixed-parameter profiles on a
+// synthetic enterprise trace, then replays the full interleaved multi-device
+// stream through serve::ScoringEngine and reports windows/sec and p50/p99
+// scoring latency for several shard / scoring-thread / ingest-thread
+// configurations.  Not a paper figure — it sizes the ROADMAP's online
+// serving deployment.
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/profile_store.h"
+#include "serve/engine.h"
+#include "util/stopwatch.h"
+
+using namespace wtp;
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  serve::EngineMetrics metrics;
+};
+
+RunResult run_engine(const core::ProfileStore& store,
+                     serve::EngineConfig config, std::size_t ingest_threads,
+                     const std::vector<log::WebTransaction>& txns) {
+  std::atomic<std::size_t> decisions{0};
+  serve::ScoringEngine engine{store, config,
+                              [&decisions](const serve::DecisionEvent& event) {
+                                if (event.decided()) {
+                                  decisions.fetch_add(1, std::memory_order_relaxed);
+                                }
+                              }};
+  const util::Stopwatch stopwatch;
+  if (ingest_threads <= 1) {
+    for (const auto& txn : txns) engine.ingest(txn);
+  } else {
+    // Partition devices across ingest threads: per-device time order is
+    // preserved, devices interleave across shards concurrently.
+    std::vector<std::thread> feeders;
+    feeders.reserve(ingest_threads);
+    for (std::size_t t = 0; t < ingest_threads; ++t) {
+      feeders.emplace_back([&engine, &txns, t, ingest_threads] {
+        for (const auto& txn : txns) {
+          if (std::hash<std::string>{}(txn.device_id) % ingest_threads == t) {
+            engine.ingest(txn);
+          }
+        }
+      });
+    }
+    for (auto& feeder : feeders) feeder.join();
+  }
+  engine.flush();
+  RunResult result;
+  result.seconds = stopwatch.elapsed_seconds();
+  result.metrics = engine.metrics();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto trace = bench::make_trace(options);
+  const auto dataset = bench::make_dataset(options, trace);
+  util::ThreadPool pool;
+
+  std::set<std::string> devices;
+  for (const auto& txn : trace.transactions) devices.insert(txn.device_id);
+  std::printf("# stream: %zu transactions across %zu concurrent devices\n",
+              trace.transactions.size(), devices.size());
+
+  // Fixed per-user parameters (no grid search): this benchmark measures the
+  // serving path, not training quality.
+  const features::WindowConfig window{60, 30};
+  util::Stopwatch train_watch;
+  std::vector<std::optional<core::UserProfile>> trained(dataset.user_count());
+  util::parallel_for(pool, dataset.user_count(), [&](std::size_t u) {
+    const std::string& user = dataset.user_ids()[u];
+    core::ProfileParams params;
+    params.type = core::ClassifierType::kOcSvm;
+    params.kernel = {svm::KernelType::kRbf, 0.05, 0.0, 3};
+    params.regularizer = 0.1;
+    trained[u] = core::UserProfile::train(user, dataset.train_windows(user, window),
+                                          dataset.schema().dimension(), params);
+  });
+  std::vector<core::UserProfile> profiles;
+  profiles.reserve(trained.size());
+  for (auto& profile : trained) profiles.push_back(std::move(*profile));
+  const core::ProfileStore store{window, dataset.schema(), std::move(profiles)};
+  std::printf("# trained %zu OC-SVM profiles in %.1fs\n",
+              store.profiles().size(), train_watch.elapsed_seconds());
+
+  struct Config {
+    const char* label;
+    std::size_t shards;
+    std::size_t score_threads;
+    std::size_t ingest_threads;
+  };
+  const std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
+  const std::vector<Config> configs{
+      {"1 shard, serial score, 1 feeder", 1, 0, 1},
+      {"8 shards, pooled score, 1 feeder", 8, hw, 1},
+      {"16 shards, serial score, 4 feeders", 16, 0, 4},
+  };
+
+  std::printf("\n%-38s %12s %12s %10s %10s %10s\n", "configuration", "txns/s",
+              "windows/s", "p50 us", "p99 us", "max us");
+  std::vector<RunResult> results;
+  for (const auto& config : configs) {
+    serve::EngineConfig engine_config;
+    engine_config.shards = config.shards;
+    engine_config.smooth = 3;
+    engine_config.score_threads = config.score_threads;
+    const RunResult result =
+        run_engine(store, engine_config, config.ingest_threads, trace.transactions);
+    const double txn_rate =
+        static_cast<double>(result.metrics.transactions_ingested) / result.seconds;
+    const double window_rate =
+        static_cast<double>(result.metrics.windows_scored) / result.seconds;
+    std::printf("%-38s %12.0f %12.0f %10.1f %10.1f %10.1f\n", config.label,
+                txn_rate, window_rate, result.metrics.score.p50_us,
+                result.metrics.score.p99_us, result.metrics.score.max_us);
+    results.push_back(result);
+  }
+
+  const auto& baseline = results.front().metrics;
+  std::printf("\nbaseline run: %zu windows scored, %zu decisions emitted "
+              "(%zu correct), %zu sessions\n",
+              baseline.windows_scored, baseline.decisions_emitted,
+              baseline.correct_decisions, baseline.sessions_created);
+
+  bool counts_agree = true;
+  for (const auto& result : results) {
+    counts_agree = counts_agree &&
+                   result.metrics.windows_scored == baseline.windows_scored &&
+                   result.metrics.decisions_emitted == baseline.decisions_emitted;
+  }
+  const bool enough_devices = devices.size() >= 8;
+  const bool scored = baseline.windows_scored > 0 && baseline.decisions_emitted > 0;
+  std::printf("shape check (>= 8 concurrent devices): %s\n",
+              enough_devices ? "PASS" : "FAIL");
+  std::printf("shape check (windows scored and decisions emitted): %s\n",
+              scored ? "PASS" : "FAIL");
+  std::printf("shape check (all configurations score identically): %s\n",
+              counts_agree ? "PASS" : "FAIL");
+  return enough_devices && scored && counts_agree ? 0 : 1;
+}

@@ -1,7 +1,9 @@
 #include "core/profile_store.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
+#include <numeric>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -19,7 +21,14 @@ constexpr const char* kMagic = "wtp_profile_store v1";
 ProfileStore::ProfileStore(features::WindowConfig window,
                            features::FeatureSchema schema,
                            std::vector<UserProfile> profiles)
-    : window_{window}, schema_{std::move(schema)}, profiles_{std::move(profiles)} {}
+    : window_{window}, schema_{std::move(schema)}, profiles_{std::move(profiles)} {
+  find_index_.resize(profiles_.size());
+  std::iota(find_index_.begin(), find_index_.end(), std::size_t{0});
+  std::sort(find_index_.begin(), find_index_.end(),
+            [this](std::size_t a, std::size_t b) {
+              return profiles_[a].user_id() < profiles_[b].user_id();
+            });
+}
 
 std::vector<std::string> ProfileStore::user_ids() const {
   std::vector<std::string> ids;
@@ -29,10 +38,13 @@ std::vector<std::string> ProfileStore::user_ids() const {
 }
 
 const UserProfile* ProfileStore::find(const std::string& user) const {
-  for (const auto& profile : profiles_) {
-    if (profile.user_id() == user) return &profile;
-  }
-  return nullptr;
+  const auto it = std::lower_bound(
+      find_index_.begin(), find_index_.end(), user,
+      [this](std::size_t index, const std::string& key) {
+        return profiles_[index].user_id() < key;
+      });
+  if (it == find_index_.end() || profiles_[*it].user_id() != user) return nullptr;
+  return &profiles_[*it];
 }
 
 void ProfileStore::save(std::ostream& out) const {

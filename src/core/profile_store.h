@@ -33,7 +33,9 @@ class ProfileStore {
   }
   [[nodiscard]] std::vector<std::string> user_ids() const;
 
-  /// Profile for a user, or nullptr when unknown.
+  /// Profile for a user, or nullptr when unknown.  O(log n): binary search
+  /// over an index built once at construction, so per-window lookups in the
+  /// serving engine don't degrade with user count.
   [[nodiscard]] const UserProfile* find(const std::string& user) const;
 
   void save(std::ostream& out) const;
@@ -46,6 +48,7 @@ class ProfileStore {
   features::WindowConfig window_;
   features::FeatureSchema schema_;
   std::vector<UserProfile> profiles_;
+  std::vector<std::size_t> find_index_;  ///< profile indices sorted by user_id
 };
 
 }  // namespace wtp::core

@@ -1,0 +1,212 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <latch>
+#include <stdexcept>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace wtp::serve {
+
+namespace {
+
+constexpr double kNanosPerMicro = 1e3;
+
+}  // namespace
+
+ScoringEngine::ScoringEngine(const core::ProfileStore& store,
+                             EngineConfig config, EventSink sink)
+    : store_{&store}, config_{config}, sink_{std::move(sink)} {
+  if (config_.shards == 0) {
+    throw std::invalid_argument{"ScoringEngine: shards must be >= 1"};
+  }
+  if (store.profiles().empty()) {
+    throw std::invalid_argument{"ScoringEngine: profile store is empty"};
+  }
+  if (!sink_) {
+    throw std::invalid_argument{"ScoringEngine: null event sink"};
+  }
+  if (config_.max_sessions > 0) {
+    per_shard_capacity_ =
+        (config_.max_sessions + config_.shards - 1) / config_.shards;
+  }
+  if (config_.score_threads > 0) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.score_threads);
+  }
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ScoringEngine::Shard& ScoringEngine::shard_for(const std::string& device_id) {
+  return *shards_[std::hash<std::string>{}(device_id) % shards_.size()];
+}
+
+void ScoringEngine::accept_flags(const util::SparseVector& features,
+                                 std::vector<char>& flags) const {
+  const auto& profiles = store_->profiles();
+  flags.assign(profiles.size(), 0);
+  if (!pool_ || profiles.size() < 2) {
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      flags[i] = profiles[i].accepts(features) ? 1 : 0;
+    }
+    return;
+  }
+  // Chunked fan-out with a per-call latch: unlike parallel_for's
+  // wait_idle(), this stays correct when several ingest threads score
+  // concurrently on the shared pool.
+  const std::size_t chunk_count =
+      std::min(profiles.size(), pool_->thread_count());
+  const std::size_t chunk = (profiles.size() + chunk_count - 1) / chunk_count;
+  const std::size_t tasks = (profiles.size() + chunk - 1) / chunk;
+  std::latch done{static_cast<std::ptrdiff_t>(tasks)};
+  for (std::size_t t = 0; t < tasks; ++t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(profiles.size(), begin + chunk);
+    pool_->submit([&profiles, &features, &flags, &done, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        flags[i] = profiles[i].accepts(features) ? 1 : 0;
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+}
+
+void ScoringEngine::score_and_emit(Shard& shard, DeviceSession& session,
+                                   const PendingWindow& pending,
+                                   EventSource source) {
+  const util::Stopwatch stopwatch;
+  core::IdentificationEvent event;
+  event.window_start = pending.window.start;
+  event.window_end = pending.window.end;
+  event.transaction_count = pending.window.transaction_count;
+  event.true_user = pending.true_user;
+
+  std::vector<char> flags;
+  accept_flags(pending.window.features, flags);
+  const auto& profiles = store_->profiles();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    if (flags[i]) event.accepted_by.push_back(profiles[i].user_id());
+  }
+
+  DecisionEvent out;
+  out.device_id = session.device_id();
+  out.window_start = event.window_start;
+  out.window_end = event.window_end;
+  out.transaction_count = event.transaction_count;
+  out.true_user = event.true_user;
+  out.identity = session.decide(event);
+  out.accepted_by = std::move(event.accepted_by);
+  out.source = source;
+
+  ++shard.windows;
+  if (out.decided()) {
+    ++shard.decisions;
+    if (out.correct()) ++shard.correct;
+  }
+  shard.score_ns.record(stopwatch.elapsed_micros() * kNanosPerMicro);
+  sink_(out);
+}
+
+void ScoringEngine::evict(Shard& shard, const std::string& device_id) {
+  const auto it = shard.sessions.find(device_id);
+  if (it == shard.sessions.end()) return;
+  for (const auto& pending : it->second.session.flush()) {
+    score_and_emit(shard, it->second.session, pending, EventSource::kEviction);
+  }
+  shard.lru.erase(it->second.lru_position);
+  shard.sessions.erase(it);
+  ++shard.evicted;
+}
+
+void ScoringEngine::evict_expired(Shard& shard, util::UnixSeconds now) {
+  if (config_.session_ttl_s <= 0) return;
+  while (!shard.lru.empty()) {
+    const std::string& oldest = shard.lru.front();
+    const Entry& entry = shard.sessions.at(oldest);
+    if (entry.session.last_seen() + config_.session_ttl_s >= now) break;
+    evict(shard, oldest);
+  }
+}
+
+void ScoringEngine::enforce_capacity(Shard& shard) {
+  if (per_shard_capacity_ == 0) return;
+  while (shard.sessions.size() > per_shard_capacity_) {
+    evict(shard, shard.lru.front());
+  }
+}
+
+void ScoringEngine::ingest(const log::WebTransaction& txn) {
+  Shard& shard = shard_for(txn.device_id);
+  const std::lock_guard lock{shard.mutex};
+
+  const util::Stopwatch stopwatch;
+  auto it = shard.sessions.find(txn.device_id);
+  if (it == shard.sessions.end()) {
+    Entry entry{DeviceSession{txn.device_id, store_->schema(), store_->window(),
+                              config_.smooth},
+                shard.lru.end()};
+    it = shard.sessions.emplace(txn.device_id, std::move(entry)).first;
+    it->second.lru_position =
+        shard.lru.insert(shard.lru.end(), txn.device_id);
+    ++shard.created;
+  } else {
+    // Touch: most recently active moves to the back.
+    shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_position);
+  }
+  const auto completed = it->second.session.push(txn);
+  ++shard.transactions;
+  shard.ingest_ns.record(stopwatch.elapsed_micros() * kNanosPerMicro);
+
+  for (const auto& pending : completed) {
+    score_and_emit(shard, it->second.session, pending, EventSource::kStream);
+  }
+  evict_expired(shard, txn.timestamp);
+  enforce_capacity(shard);
+}
+
+void ScoringEngine::flush() {
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    const std::lock_guard lock{shard.mutex};
+    std::vector<std::string> devices;
+    devices.reserve(shard.sessions.size());
+    for (const auto& [device, entry] : shard.sessions) devices.push_back(device);
+    std::sort(devices.begin(), devices.end());
+    for (const auto& device : devices) {
+      Entry& entry = shard.sessions.at(device);
+      for (const auto& pending : entry.session.flush()) {
+        score_and_emit(shard, entry.session, pending, EventSource::kFlush);
+      }
+    }
+    shard.sessions.clear();
+    shard.lru.clear();
+  }
+}
+
+EngineMetrics ScoringEngine::metrics() const {
+  EngineMetrics metrics;
+  util::LatencyHistogram ingest_ns;
+  util::LatencyHistogram score_ns;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    const std::lock_guard lock{shard.mutex};
+    metrics.transactions_ingested += shard.transactions;
+    metrics.windows_scored += shard.windows;
+    metrics.decisions_emitted += shard.decisions;
+    metrics.correct_decisions += shard.correct;
+    metrics.sessions_active += shard.sessions.size();
+    metrics.sessions_created += shard.created;
+    metrics.sessions_evicted += shard.evicted;
+    ingest_ns.merge(shard.ingest_ns);
+    score_ns.merge(shard.score_ns);
+  }
+  metrics.ingest = LatencySummary::from(ingest_ns);
+  metrics.score = LatencySummary::from(score_ns);
+  return metrics;
+}
+
+}  // namespace wtp::serve

@@ -1,0 +1,114 @@
+// ScoringEngine: online identification over an interleaved multi-device
+// transaction stream (the serving deployment of the paper's §IV-C
+// continuous-monitoring scenario).
+//
+// Per-device session state is sharded by device-id hash; each shard has its
+// own lock, so streams of distinct devices make progress concurrently.
+// Every window a session completes is fanned out to all profiles in the
+// ProfileStore (optionally across a util::ThreadPool), the session's
+// K-consecutive smoothing turns the votes into an identity decision, and
+// the resulting DecisionEvent is handed to the sink.  Idle sessions are
+// evicted under a TTL (event time) and an LRU cap, flushing their open
+// windows first so no traffic is silently dropped.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/profile_store.h"
+#include "serve/event.h"
+#include "serve/metrics.h"
+#include "serve/session.h"
+#include "util/histogram.h"
+#include "util/thread_pool.h"
+
+namespace wtp::serve {
+
+struct EngineConfig {
+  std::size_t shards = 8;  ///< session shards, >= 1
+  std::size_t smooth = 1;  ///< K consecutive windows to assert an identity
+  /// Sessions idle longer than this (event time, vs the timestamps arriving
+  /// on their shard) are evicted.  0 = never expire.
+  util::UnixSeconds session_ttl_s = 0;
+  /// Upper bound on resident sessions, split evenly across shards; the
+  /// least-recently-active session of a full shard is evicted.  0 = unbounded.
+  std::size_t max_sessions = 0;
+  /// Worker threads for the per-window profile fan-out.  0 = score serially
+  /// on the ingesting thread.
+  std::size_t score_threads = 0;
+};
+
+class ScoringEngine {
+ public:
+  /// The store must outlive the engine.  Throws std::invalid_argument on a
+  /// zero shard count or an empty store.
+  ScoringEngine(const core::ProfileStore& store, EngineConfig config,
+                EventSink sink);
+
+  /// Routes one transaction to its device's session and emits an event for
+  /// every window this arrival completes.  Transactions of one device must
+  /// arrive in time order (std::invalid_argument otherwise); interleaving
+  /// across devices is unrestricted.  Safe to call concurrently from
+  /// several threads as long as each device's stream stays on one thread.
+  void ingest(const log::WebTransaction& txn);
+
+  /// Ends the stream: every session's open windows are scored and emitted
+  /// (EventSource::kFlush, devices in lexicographic order) and the session
+  /// table is cleared.
+  void flush();
+
+  [[nodiscard]] EngineMetrics metrics() const;
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    DeviceSession session;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry> sessions;
+    std::list<std::string> lru;  ///< device ids, front = least recently active
+    std::size_t transactions = 0;
+    std::size_t windows = 0;
+    std::size_t decisions = 0;
+    std::size_t correct = 0;
+    std::size_t created = 0;
+    std::size_t evicted = 0;
+    util::LatencyHistogram ingest_ns;
+    util::LatencyHistogram score_ns;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& device_id);
+
+  /// Scores one pending window and emits its event.  Caller holds the
+  /// shard lock.
+  void score_and_emit(Shard& shard, DeviceSession& session,
+                      const PendingWindow& pending, EventSource source);
+
+  /// accepts() of every profile over the vector, in store order; fans out
+  /// across the pool when one is configured.
+  void accept_flags(const util::SparseVector& features,
+                    std::vector<char>& flags) const;
+
+  /// Flushes + erases one session.  Caller holds the shard lock.
+  void evict(Shard& shard, const std::string& device_id);
+
+  void evict_expired(Shard& shard, util::UnixSeconds now);
+  void enforce_capacity(Shard& shard);
+
+  const core::ProfileStore* store_;
+  EngineConfig config_;
+  EventSink sink_;
+  std::size_t per_shard_capacity_ = 0;  ///< 0 = unbounded
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace wtp::serve

@@ -1,0 +1,61 @@
+#include "serve/event.h"
+
+#include <cstdio>
+
+namespace wtp::serve {
+
+std::string_view to_string(EventSource source) noexcept {
+  switch (source) {
+    case EventSource::kStream: return "stream";
+    case EventSource::kEviction: return "evict";
+    case EventSource::kFlush: return "flush";
+  }
+  return "unknown";
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json_line(const DecisionEvent& event) {
+  std::string out = "{\"type\":\"decision\"";
+  out += ",\"device\":\"" + json_escape(event.device_id) + '"';
+  out += ",\"window_start\":" + std::to_string(event.window_start);
+  out += ",\"window_end\":" + std::to_string(event.window_end);
+  out += ",\"transactions\":" + std::to_string(event.transaction_count);
+  out += ",\"true_user\":\"" + json_escape(event.true_user) + '"';
+  out += ",\"accepted\":[";
+  for (std::size_t i = 0; i < event.accepted_by.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += '"' + json_escape(event.accepted_by[i]) + '"';
+  }
+  out += "],\"identity\":\"" + json_escape(event.identity) + '"';
+  if (event.decided()) {
+    out += event.correct() ? ",\"correct\":true" : ",\"correct\":false";
+  }
+  out += ",\"source\":\"";
+  out += to_string(event.source);
+  out += "\"}";
+  return out;
+}
+
+}  // namespace wtp::serve

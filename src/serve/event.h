@@ -1,0 +1,55 @@
+// The serving engine's unit of output: one scored transaction window of one
+// device, carrying the profile votes and the smoothed identity decision.
+// wtp_serve prints these as JSON lines (format in docs/FORMATS.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace wtp::serve {
+
+/// Why a window left the engine.
+enum class EventSource : std::uint8_t {
+  kStream,    ///< closed by stream progress (a later transaction arrived)
+  kEviction,  ///< session evicted (TTL expiry or LRU cap) with open windows
+  kFlush,     ///< engine drained at end of stream
+};
+
+[[nodiscard]] std::string_view to_string(EventSource source) noexcept;
+
+/// One scored window.  Mirrors core::IdentificationEvent plus the device id
+/// and the decision the per-session smoothing produced for it.
+struct DecisionEvent {
+  std::string device_id;
+  util::UnixSeconds window_start = 0;
+  util::UnixSeconds window_end = 0;
+  std::size_t transaction_count = 0;
+  std::string true_user;                 ///< majority producer ("" when unlabeled)
+  std::vector<std::string> accepted_by;  ///< accepting profiles, store order
+  std::string identity;                  ///< smoothed decision ("" = undecided)
+  EventSource source = EventSource::kStream;
+
+  [[nodiscard]] bool decided() const noexcept { return !identity.empty(); }
+  [[nodiscard]] bool correct() const noexcept {
+    return decided() && identity == true_user;
+  }
+};
+
+/// One JSON object, no trailing newline.
+[[nodiscard]] std::string to_json_line(const DecisionEvent& event);
+
+/// JSON string escaping shared by the serve serializers (quotes, backslash,
+/// and control characters; everything else passes through verbatim).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Receives every event the engine emits.  Called on the ingesting thread,
+/// while that session's shard lock is held: it must not re-enter the engine,
+/// and must be thread-safe when ingest() is called from several threads.
+using EventSink = std::function<void(const DecisionEvent&)>;
+
+}  // namespace wtp::serve

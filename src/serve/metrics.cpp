@@ -1,0 +1,58 @@
+#include "serve/metrics.h"
+
+#include <cstdio>
+
+namespace wtp::serve {
+
+namespace {
+
+constexpr double kNanosPerMicro = 1e3;
+
+std::string json_number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", value);
+  return buf;
+}
+
+std::string stage_json(const char* name, const LatencySummary& stage) {
+  std::string out = "\"";
+  out += name;
+  out += "\":{\"count\":" + std::to_string(stage.count);
+  out += ",\"mean_us\":" + json_number(stage.mean_us);
+  out += ",\"p50_us\":" + json_number(stage.p50_us);
+  out += ",\"p90_us\":" + json_number(stage.p90_us);
+  out += ",\"p99_us\":" + json_number(stage.p99_us);
+  out += ",\"max_us\":" + json_number(stage.max_us);
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+LatencySummary LatencySummary::from(const util::LatencyHistogram& histogram) {
+  LatencySummary summary;
+  summary.count = histogram.count();
+  summary.mean_us = histogram.mean() / kNanosPerMicro;
+  summary.p50_us = histogram.quantile(0.50) / kNanosPerMicro;
+  summary.p90_us = histogram.quantile(0.90) / kNanosPerMicro;
+  summary.p99_us = histogram.quantile(0.99) / kNanosPerMicro;
+  summary.max_us = histogram.max() / kNanosPerMicro;
+  return summary;
+}
+
+std::string to_json_line(const EngineMetrics& metrics) {
+  std::string out = "{\"type\":\"metrics\"";
+  out += ",\"transactions_ingested\":" + std::to_string(metrics.transactions_ingested);
+  out += ",\"windows_scored\":" + std::to_string(metrics.windows_scored);
+  out += ",\"decisions_emitted\":" + std::to_string(metrics.decisions_emitted);
+  out += ",\"correct_decisions\":" + std::to_string(metrics.correct_decisions);
+  out += ",\"sessions_active\":" + std::to_string(metrics.sessions_active);
+  out += ",\"sessions_created\":" + std::to_string(metrics.sessions_created);
+  out += ",\"sessions_evicted\":" + std::to_string(metrics.sessions_evicted);
+  out += ',' + stage_json("ingest", metrics.ingest);
+  out += ',' + stage_json("score", metrics.score);
+  out += '}';
+  return out;
+}
+
+}  // namespace wtp::serve

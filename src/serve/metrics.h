@@ -1,0 +1,40 @@
+// Engine observability: cumulative counters plus per-stage latency digests,
+// exposed as a point-in-time snapshot (ScoringEngine::metrics()).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace wtp::serve {
+
+/// Percentile digest of one pipeline stage, in microseconds.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+
+  /// Digests a nanosecond-valued histogram.
+  [[nodiscard]] static LatencySummary from(const util::LatencyHistogram& histogram);
+};
+
+struct EngineMetrics {
+  std::size_t transactions_ingested = 0;
+  std::size_t windows_scored = 0;
+  std::size_t decisions_emitted = 0;  ///< events with a non-empty identity
+  std::size_t correct_decisions = 0;  ///< decisions matching the true user
+  std::size_t sessions_active = 0;
+  std::size_t sessions_created = 0;
+  std::size_t sessions_evicted = 0;
+  LatencySummary ingest;  ///< per-transaction window-aggregation stage
+  LatencySummary score;   ///< per-window profile fan-out + decision stage
+};
+
+/// One JSON object, no trailing newline (the last line wtp_serve prints).
+[[nodiscard]] std::string to_json_line(const EngineMetrics& metrics);
+
+}  // namespace wtp::serve

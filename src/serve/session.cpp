@@ -1,0 +1,78 @@
+#include "serve/session.h"
+
+#include <map>
+
+namespace wtp::serve {
+
+DeviceSession::DeviceSession(std::string device_id,
+                             const features::FeatureSchema& schema,
+                             features::WindowConfig window, std::size_t smooth)
+    : device_id_{std::move(device_id)},
+      aggregator_{schema, window},
+      smooth_{smooth} {}
+
+std::string DeviceSession::majority_producer(util::UnixSeconds start,
+                                             util::UnixSeconds end) {
+  // Windows are emitted with non-decreasing starts, so producers before
+  // `start` can never fall into a later window.
+  while (!producers_.empty() && producers_.front().first < start) {
+    producers_.pop_front();
+  }
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [timestamp, user] : producers_) {
+    if (timestamp >= end) break;
+    ++counts[user];
+  }
+  // Strict > over the lexicographically ordered map: ties go to the
+  // lexicographically smallest user, exactly as UserIdentifier::monitor.
+  std::string majority;
+  std::size_t best = 0;
+  for (const auto& [user, count] : counts) {
+    if (count > best) {
+      best = count;
+      majority = user;
+    }
+  }
+  return majority;
+}
+
+std::vector<PendingWindow> DeviceSession::attach_truth(
+    std::vector<features::Window> windows) {
+  std::vector<PendingWindow> pending;
+  pending.reserve(windows.size());
+  for (auto& window : windows) {
+    PendingWindow item;
+    item.true_user = majority_producer(window.start, window.end);
+    item.window = std::move(window);
+    pending.push_back(std::move(item));
+  }
+  return pending;
+}
+
+std::vector<PendingWindow> DeviceSession::push(const log::WebTransaction& txn) {
+  auto completed = aggregator_.push(txn);  // throws before any state change
+  producers_.emplace_back(txn.timestamp, txn.user_id);
+  last_seen_ = txn.timestamp;
+  return attach_truth(std::move(completed));
+}
+
+std::vector<PendingWindow> DeviceSession::flush() {
+  auto pending = attach_truth(aggregator_.flush());
+  producers_.clear();
+  return pending;
+}
+
+std::string DeviceSession::decide(const core::IdentificationEvent& event) {
+  history_.push_back(event);
+  const std::size_t keep = smooth_ > 1 ? smooth_ : 1;
+  if (history_.size() > keep) history_.pop_front();
+  if (smooth_ <= 1) {
+    return core::UserIdentifier::decide_single(history_.back());
+  }
+  if (history_.size() < smooth_) return {};
+  const std::vector<core::IdentificationEvent> recent{history_.begin(),
+                                                      history_.end()};
+  return core::UserIdentifier::decide_consecutive(recent, smooth_);
+}
+
+}  // namespace wtp::serve

@@ -1,0 +1,73 @@
+// Per-device streaming identification state.
+//
+// A session owns everything that must survive between transactions of one
+// device: the incremental window aggregator, the producer buffer that yields
+// each window's ground-truth user, and the K-consecutive smoothing history
+// (paper §V-B).  Fed the same transactions, a session produces exactly the
+// windows, ground truths, and decisions the offline
+// core::UserIdentifier::monitor + decide_* path does — the equivalence the
+// engine tests assert byte for byte.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/identification.h"
+#include "features/streaming.h"
+#include "log/transaction.h"
+#include "util/time.h"
+
+namespace wtp::serve {
+
+/// A window completed by a session, with its ground truth attached but not
+/// yet scored against the profiles (the engine owns the scoring stage).
+struct PendingWindow {
+  features::Window window;
+  std::string true_user;  ///< majority producer; ties break lexicographically
+};
+
+/// Not thread-safe: the engine guards each session with its shard's lock.
+class DeviceSession {
+ public:
+  /// The schema must outlive the session.  `smooth` is the paper's K
+  /// (consecutive accepted windows required to assert an identity; <= 1
+  /// means single-window decisions).
+  DeviceSession(std::string device_id, const features::FeatureSchema& schema,
+                features::WindowConfig window, std::size_t smooth);
+
+  /// Feeds one transaction (per-device time order enforced by the
+  /// aggregator), returning the windows it completed.
+  [[nodiscard]] std::vector<PendingWindow> push(const log::WebTransaction& txn);
+
+  /// Ends the stream: returns all still-open windows.
+  [[nodiscard]] std::vector<PendingWindow> flush();
+
+  /// Records one scored window in the smoothing history and returns the
+  /// identity decision for it (empty = undecided), replicating
+  /// wtp_identify's decide_single / decide_consecutive policy.
+  [[nodiscard]] std::string decide(const core::IdentificationEvent& event);
+
+  [[nodiscard]] const std::string& device_id() const noexcept { return device_id_; }
+  /// Timestamp of the most recent transaction (event time; drives TTL).
+  [[nodiscard]] util::UnixSeconds last_seen() const noexcept { return last_seen_; }
+
+ private:
+  /// Majority producer of [start, end), pruning producers no future window
+  /// can contain.  Mirrors UserIdentifier::monitor's cursor + count rule.
+  [[nodiscard]] std::string majority_producer(util::UnixSeconds start,
+                                              util::UnixSeconds end);
+
+  [[nodiscard]] std::vector<PendingWindow> attach_truth(
+      std::vector<features::Window> windows);
+
+  std::string device_id_;
+  features::StreamingWindowAggregator aggregator_;
+  std::deque<std::pair<util::UnixSeconds, std::string>> producers_;
+  std::deque<core::IdentificationEvent> history_;  ///< last `smooth` events
+  std::size_t smooth_;
+  util::UnixSeconds last_seen_ = 0;
+};
+
+}  // namespace wtp::serve

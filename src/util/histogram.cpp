@@ -1,0 +1,83 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace wtp::util {
+
+namespace {
+
+std::size_t bucket_of(double value) noexcept {
+  if (!(value >= 2.0)) return 0;  // also catches NaN and negatives
+  const double clamped = std::min(value, 9.2e18);  // < 2^63
+  const auto integral = static_cast<std::uint64_t>(clamped);
+  return static_cast<std::size_t>(std::bit_width(integral)) - 1;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double value) noexcept {
+  if (std::isnan(value)) return;
+  value = std::max(value, 0.0);
+  ++buckets_[bucket_of(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // 0-based fractional order statistic, as in util::quantile (type 7).
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets_[b];
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(cumulative + in_bucket)) {
+      const double low = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+      const double high = std::ldexp(1.0, static_cast<int>(b) + 1);
+      const double within =
+          (rank - static_cast<double>(cumulative) + 0.5) / static_cast<double>(in_bucket);
+      return std::clamp(low + within * (high - low), min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::reset() noexcept {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace wtp::util

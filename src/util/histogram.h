@@ -1,0 +1,45 @@
+// Fixed-footprint latency histogram for the serving engine's per-stage
+// timings.  A full sample buffer would grow without bound on a long-lived
+// stream; power-of-two buckets give O(1) memory and record cost with a
+// bounded relative quantile error (linear interpolation inside a bucket).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace wtp::util {
+
+/// Histogram of non-negative values (nanoseconds by convention).  Bucket b
+/// counts values in [2^b, 2^(b+1)); bucket 0 additionally holds [0, 2).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Quantile estimate for q in [0, 1] (clamped); 0 when empty.  Exact at
+  /// the extremes (returns min()/max()), interpolated inside buckets
+  /// elsewhere.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Pools another histogram into this one (per-shard -> engine snapshot).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace wtp::util

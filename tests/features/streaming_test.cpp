@@ -121,6 +121,36 @@ TEST(StreamingAggregator, ResetStartsAFreshStream) {
   EXPECT_EQ(flushed[0].start, 5);
 }
 
+TEST(StreamingAggregator, ResetThenReuseMatchesBatchOnBothStreams) {
+  // The serving engine recycles aggregators across session restarts: after
+  // reset(), a second, unrelated stream must aggregate exactly as a fresh
+  // batch run — no origin, buffer, or window-index state may leak.
+  const FeatureSchema schema = test_schema();
+  const WindowConfig config{60, 30};
+  std::vector<log::WebTransaction> first;
+  for (int i = 0; i < 40; ++i) first.push_back(txn_at(5000 + i * 17, "Games"));
+  std::vector<log::WebTransaction> second;
+  for (int i = 0; i < 25; ++i) second.push_back(txn_at(300 + i * 41, "News"));
+
+  StreamingWindowAggregator aggregator{schema, config};
+  const auto streamed_first = stream_all(aggregator, first);
+  aggregator.reset();
+  const auto streamed_second = stream_all(aggregator, second);
+
+  const WindowAggregator batch{schema, config};
+  const auto batch_first = batch.aggregate(first);
+  const auto batch_second = batch.aggregate(second);
+  ASSERT_EQ(streamed_first.size(), batch_first.size());
+  ASSERT_EQ(streamed_second.size(), batch_second.size());
+  for (std::size_t i = 0; i < batch_second.size(); ++i) {
+    EXPECT_EQ(streamed_second[i].start, batch_second[i].start);
+    EXPECT_EQ(streamed_second[i].end, batch_second[i].end);
+    EXPECT_EQ(streamed_second[i].transaction_count,
+              batch_second[i].transaction_count);
+    EXPECT_EQ(streamed_second[i].features, batch_second[i].features);
+  }
+}
+
 TEST(StreamingAggregator, BufferStaysBoundedOnLongStreams) {
   const FeatureSchema schema = test_schema();
   StreamingWindowAggregator aggregator{schema, {60, 30}};

@@ -1,0 +1,101 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wtp::util {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsAllZero) {
+  const LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, TracksExactMoments) {
+  LatencyHistogram histogram;
+  histogram.record(10.0);
+  histogram.record(20.0);
+  histogram.record(100.0);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 130.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 130.0 / 3.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 100.0);
+}
+
+TEST(LatencyHistogram, QuantileExactAtExtremes) {
+  LatencyHistogram histogram;
+  for (int i = 1; i <= 100; ++i) histogram.record(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 100.0);
+}
+
+TEST(LatencyHistogram, QuantileHasBoundedBucketError) {
+  LatencyHistogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.record(static_cast<double>(i));
+  // Power-of-two buckets: an estimate can be off by at most one bucket span.
+  const double p50 = histogram.quantile(0.50);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+  const double p99 = histogram.quantile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_GE(p99, p50);
+}
+
+TEST(LatencyHistogram, SingleBucketInterpolationIsMonotone) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.record(600.0);  // all in [512, 1024)
+  const double p10 = histogram.quantile(0.10);
+  const double p90 = histogram.quantile(0.90);
+  EXPECT_LE(p10, p90);
+  // Clamped into [min, max], so degenerate data stays exact.
+  EXPECT_DOUBLE_EQ(p10, 600.0);
+  EXPECT_DOUBLE_EQ(p90, 600.0);
+}
+
+TEST(LatencyHistogram, ClampsNegativeAndIgnoresNan) {
+  LatencyHistogram histogram;
+  histogram.record(-5.0);
+  histogram.record(std::nan(""));
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+}
+
+TEST(LatencyHistogram, MergePoolsShards) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 50; ++i) a.record(10.0);
+  for (int i = 0; i < 50; ++i) b.record(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.min(), 10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 50 * 10.0 + 50 * 1000.0);
+  EXPECT_LT(a.quantile(0.25), 100.0);
+  EXPECT_GT(a.quantile(0.75), 500.0);
+
+  LatencyHistogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 100u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 100u);
+  EXPECT_DOUBLE_EQ(empty.max(), 1000.0);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram histogram;
+  histogram.record(42.0);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace wtp::util

@@ -1,6 +1,7 @@
 # End-to-end CLI pipeline test, run by ctest:
-#   wtp_generate -> wtp_train -> wtp_classify -> wtp_identify
-# Expects -DGEN/-DTRAIN/-DCLASSIFY/-DIDENTIFY (tool paths) and -DWORK (dir).
+#   wtp_generate -> wtp_train -> wtp_classify -> wtp_identify -> wtp_serve
+# Expects -DGEN/-DTRAIN/-DCLASSIFY/-DIDENTIFY/-DSERVE (tool paths) and
+# -DWORK (dir).
 
 function(run_step)
   execute_process(COMMAND ${ARGN}
@@ -46,6 +47,18 @@ run_step(${IDENTIFY} --log ${trace} --store ${store} --smooth 3)
 string(FIND "${last_output}" "decisions:" found)
 if(found EQUAL -1)
   message(FATAL_ERROR "wtp_identify printed no decision summary:\n${last_output}")
+endif()
+
+# Online serving: the full interleaved trace through the scoring engine must
+# yield at least one correct identification event plus a metrics object.
+run_step(${SERVE} --log ${trace} --store ${store} --smooth 3 --shards 4)
+string(FIND "${last_output}" "\"correct\":true" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "wtp_serve emitted no correct identification event:\n${last_output}")
+endif()
+string(FIND "${last_output}" "\"type\":\"metrics\"" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "wtp_serve printed no metrics object:\n${last_output}")
 endif()
 
 message(STATUS "tools pipeline OK")

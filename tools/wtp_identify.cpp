@@ -29,10 +29,12 @@ int main(int argc, char** argv) {
 
   std::string device = args.get("device");
   if (device.empty()) {
-    // Default: the busiest device.
+    // Default: the busiest device; ties break to the lexicographically
+    // smallest device id so the selection is stable across runs.
     std::size_t best = 0;
     for (const auto& [candidate, txns] : by_device) {
-      if (txns.size() > best) {
+      if (txns.size() > best ||
+          (txns.size() == best && !device.empty() && candidate < device)) {
         best = txns.size();
         device = candidate;
       }

@@ -1,0 +1,94 @@
+// wtp_serve — online multi-device identification over a live transaction
+// stream (the continuous-monitoring deployment of §IV-C, serving every
+// device in the log concurrently instead of replaying one like
+// wtp_identify).
+//
+//   wtp_serve --store profiles.wtp [--log monitored.csv]
+//             [--smooth K] [--shards N] [--threads N]
+//             [--ttl SECONDS] [--max-sessions N] [--replay-speed X]
+//
+// Reads the log file (or stdin when --log is omitted) and feeds every
+// transaction to the ScoringEngine.  One JSON-lines event is printed per
+// scored window; the final line is an engine-metrics object (formats in
+// docs/FORMATS.md).  --replay-speed X paces ingestion at X times real time
+// (0, the default, replays as fast as possible).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "core/profile_store.h"
+#include "log/log_io.h"
+#include "serve/engine.h"
+#include "tool_common.h"
+
+using namespace wtp;
+
+int main(int argc, char** argv) {
+  const tools::Args args{argc, argv,
+                         "--store FILE [--log FILE] [--smooth K] [--shards N] "
+                         "[--threads N] [--ttl SECONDS] [--max-sessions N] "
+                         "[--replay-speed X]"};
+  const auto store = core::ProfileStore::load_file(args.require("store"));
+
+  serve::EngineConfig config;
+  config.shards = static_cast<std::size_t>(args.get_int("shards", 8));
+  config.smooth = static_cast<std::size_t>(args.get_int("smooth", 1));
+  config.session_ttl_s = args.get_int("ttl", 0);
+  config.max_sessions = static_cast<std::size_t>(args.get_int("max-sessions", 0));
+  config.score_threads = static_cast<std::size_t>(args.get_int(
+      "threads", static_cast<long>(std::thread::hardware_concurrency())));
+  const double replay_speed = args.get_double("replay-speed", 0.0);
+
+  serve::ScoringEngine engine{store, config, [](const serve::DecisionEvent& event) {
+                                std::puts(serve::to_json_line(event).c_str());
+                              }};
+
+  std::ifstream file;
+  if (args.has("log")) {
+    file.open(args.require("log"));
+    if (!file) args.die("cannot open log '" + args.get("log") + "'");
+  }
+  std::istream& in = args.has("log") ? static_cast<std::istream&>(file) : std::cin;
+
+  log::LogReader reader{in};
+  log::WebTransaction txn;
+  bool first = true;
+  util::UnixSeconds first_timestamp = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  try {
+    while (reader.next(txn)) {
+      if (first) {
+        first = false;
+        first_timestamp = txn.timestamp;
+      } else if (replay_speed > 0.0) {
+        // Pace: the txn is due (ts - t0) / speed seconds after the wall start.
+        const auto due = wall_start + std::chrono::duration_cast<
+                                          std::chrono::steady_clock::duration>(
+                                          std::chrono::duration<double>(
+                                              static_cast<double>(txn.timestamp -
+                                                                  first_timestamp) /
+                                              replay_speed));
+        std::this_thread::sleep_until(due);
+      }
+      engine.ingest(txn);
+    }
+  } catch (const std::exception& error) {
+    // Malformed input is surfaced, not coerced (log parsers are strict);
+    // still exit cleanly instead of std::terminate mid-stream.
+    std::fprintf(stderr, "wtp_serve: fatal stream error: %s\n", error.what());
+    return 1;
+  }
+  engine.flush();
+
+  const serve::EngineMetrics metrics = engine.metrics();
+  std::puts(serve::to_json_line(metrics).c_str());
+  std::fprintf(stderr,
+               "%zu transactions, %zu windows scored, %zu decisions "
+               "(%zu correct), %zu sessions (%zu evicted)\n",
+               metrics.transactions_ingested, metrics.windows_scored,
+               metrics.decisions_emitted, metrics.correct_decisions,
+               metrics.sessions_created, metrics.sessions_evicted);
+  return 0;
+}
