@@ -97,6 +97,35 @@ std::vector<util::SparseVector> ProfilingDataset::test_windows(
   return features::window_vectors(aggregator.aggregate(test_transactions(user)));
 }
 
+std::shared_ptr<const util::FeatureMatrix> ProfilingDataset::cached_matrix(
+    const std::string& user, const features::WindowConfig& window,
+    bool train) const {
+  const MatrixKey key{window.duration_s, window.shift_s, train, user};
+  {
+    const std::lock_guard lock{matrix_cache_->mutex};
+    const auto it = matrix_cache_->entries.find(key);
+    if (it != matrix_cache_->entries.end()) return it->second;
+  }
+  // Window outside the lock: concurrent misses on the same key may both
+  // compute, but they produce identical matrices and the first insert wins.
+  const auto vectors =
+      train ? train_windows(user, window) : test_windows(user, window);
+  auto matrix = std::make_shared<const util::FeatureMatrix>(
+      util::FeatureMatrix::from_rows(vectors, schema_.dimension()));
+  const std::lock_guard lock{matrix_cache_->mutex};
+  return matrix_cache_->entries.emplace(key, std::move(matrix)).first->second;
+}
+
+std::shared_ptr<const util::FeatureMatrix> ProfilingDataset::train_matrix(
+    const std::string& user, const features::WindowConfig& window) const {
+  return cached_matrix(user, window, /*train=*/true);
+}
+
+std::shared_ptr<const util::FeatureMatrix> ProfilingDataset::test_matrix(
+    const std::string& user, const features::WindowConfig& window) const {
+  return cached_matrix(user, window, /*train=*/false);
+}
+
 std::map<std::string, std::size_t> ProfilingDataset::transaction_counts() const {
   std::map<std::string, std::size_t> counts;
   for (const auto& [user, data] : users_) counts[user] = data.transactions.size();

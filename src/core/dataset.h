@@ -9,14 +9,18 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "features/schema.h"
 #include "features/split.h"
 #include "features/window.h"
 #include "log/transaction.h"
+#include "util/feature_matrix.h"
 #include "util/sparse_vector.h"
 
 namespace wtp::core {
@@ -62,6 +66,17 @@ class ProfilingDataset {
   [[nodiscard]] std::vector<util::SparseVector> test_windows(
       const std::string& user, const features::WindowConfig& window) const;
 
+  /// Training windows as a CSR FeatureMatrix (rows = train_windows output,
+  /// cols = schema dimension).  Each (window config, user) pair is windowed
+  /// exactly once and cached, so a grid search sweeping kernels and nu over
+  /// the same window configuration reuses one matrix.  Thread-safe.
+  [[nodiscard]] std::shared_ptr<const util::FeatureMatrix> train_matrix(
+      const std::string& user, const features::WindowConfig& window) const;
+
+  /// Test windows as a cached CSR FeatureMatrix (never subsampled).
+  [[nodiscard]] std::shared_ptr<const util::FeatureMatrix> test_matrix(
+      const std::string& user, const features::WindowConfig& window) const;
+
   /// Full trace grouped by device (for host-specific windowing).
   [[nodiscard]] const std::map<std::string, std::vector<log::WebTransaction>>&
   by_device() const noexcept {
@@ -83,13 +98,26 @@ class ProfilingDataset {
     std::size_t train_count = 0;                    // prefix length
   };
 
+  /// Cache key: (duration, shift, train/test, user).
+  using MatrixKey = std::tuple<util::UnixSeconds, util::UnixSeconds, bool, std::string>;
+
+  /// Heap-allocated so the dataset stays movable despite the mutex.
+  struct MatrixCache {
+    std::mutex mutex;
+    std::map<MatrixKey, std::shared_ptr<const util::FeatureMatrix>> entries;
+  };
+
   [[nodiscard]] const UserData& user_data(const std::string& user) const;
+  [[nodiscard]] std::shared_ptr<const util::FeatureMatrix> cached_matrix(
+      const std::string& user, const features::WindowConfig& window,
+      bool train) const;
 
   DatasetConfig config_;
   features::FeatureSchema schema_{{}, {}, {}, {}};
   std::vector<std::string> user_ids_;
   std::map<std::string, UserData> users_;
   std::map<std::string, std::vector<log::WebTransaction>> by_device_;
+  mutable std::unique_ptr<MatrixCache> matrix_cache_ = std::make_unique<MatrixCache>();
 };
 
 }  // namespace wtp::core

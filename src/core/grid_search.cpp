@@ -32,8 +32,8 @@ namespace {
 /// returns the paper's stage-1 ratios for one (user, config) cell.
 AcceptanceRatios training_set_ratios(
     const std::string& user, const ProfileParams& params,
-    const WindowsByUser& train_windows, std::size_t dimension) {
-  const auto& own_windows = train_windows.at(user);
+    const MatrixByUser& train_windows, std::size_t dimension) {
+  const auto& own_windows = *train_windows.at(user);
   if (own_windows.empty()) return {.acc_self = 0.0, .acc_other = 100.0};
   try {
     const UserProfile profile =
@@ -46,19 +46,22 @@ AcceptanceRatios training_set_ratios(
   }
 }
 
-WindowsByUser all_train_windows(const ProfilingDataset& dataset,
+/// Each (window, user) pair is windowed into a CSR matrix exactly once: the
+/// dataset's matrix cache hands out shared matrices, so every grid point of
+/// a kernel x nu sweep at this window configuration reuses the same rows.
+MatrixByUser all_train_matrices(const ProfilingDataset& dataset,
                                 const features::WindowConfig& window,
                                 util::ThreadPool& pool) {
   const auto& users = dataset.user_ids();
-  std::vector<std::vector<util::SparseVector>> per_user(users.size());
+  std::vector<std::shared_ptr<const util::FeatureMatrix>> per_user(users.size());
   util::parallel_for(pool, users.size(), [&](std::size_t u) {
-    per_user[u] = dataset.train_windows(users[u], window);
+    per_user[u] = dataset.train_matrix(users[u], window);
   });
-  WindowsByUser windows;
+  MatrixByUser matrices;
   for (std::size_t u = 0; u < users.size(); ++u) {
-    windows.emplace(users[u], std::move(per_user[u]));
+    matrices.emplace(users[u], std::move(per_user[u]));
   }
-  return windows;
+  return matrices;
 }
 
 }  // namespace
@@ -72,7 +75,7 @@ std::vector<WindowGridEntry> window_grid_search(
   const auto& users = dataset.user_ids();
   if (users.empty()) throw std::invalid_argument{"window_grid_search: no users"};
   for (const auto& window : window_grid) {
-    const WindowsByUser train_windows = all_train_windows(dataset, window, pool);
+    const MatrixByUser train_windows = all_train_matrices(dataset, window, pool);
     std::vector<AcceptanceRatios> per_user(users.size());
     util::parallel_for(pool, users.size(), [&](std::size_t u) {
       per_user[u] = training_set_ratios(users[u], base_params, train_windows,
@@ -112,7 +115,7 @@ std::vector<ParamGridEntry> param_grid_search(
     const features::WindowConfig& window, ClassifierType type,
     std::span<const svm::KernelParams> kernels,
     std::span<const double> regularizers, util::ThreadPool& pool) {
-  const WindowsByUser train_windows = all_train_windows(dataset, window, pool);
+  const MatrixByUser train_windows = all_train_matrices(dataset, window, pool);
   std::vector<ParamGridEntry> entries(kernels.size() * regularizers.size());
   util::parallel_for(pool, entries.size(), [&](std::size_t index) {
     const std::size_t k = index / regularizers.size();
@@ -145,7 +148,7 @@ std::vector<ProfileParams> optimize_all_users(
     const ProfilingDataset& dataset, const features::WindowConfig& window,
     ClassifierType type, std::span<const svm::KernelParams> kernels,
     std::span<const double> regularizers, util::ThreadPool& pool) {
-  const WindowsByUser train_windows = all_train_windows(dataset, window, pool);
+  const MatrixByUser train_windows = all_train_matrices(dataset, window, pool);
   const auto& users = dataset.user_ids();
   const std::size_t grid_size = kernels.size() * regularizers.size();
   std::vector<std::vector<ParamGridEntry>> grids(
@@ -183,8 +186,8 @@ std::vector<UserProfile> train_profiles(const ProfilingDataset& dataset,
   std::string first_error;
   util::parallel_for(pool, users.size(), [&](std::size_t u) {
     try {
-      const auto windows = dataset.train_windows(users[u], window);
-      slots[u] = UserProfile::train(users[u], windows,
+      const auto windows = dataset.train_matrix(users[u], window);
+      slots[u] = UserProfile::train(users[u], *windows,
                                     dataset.schema().dimension(), params[u]);
     } catch (const std::exception& e) {
       const std::lock_guard lock{error_mutex};
@@ -205,11 +208,11 @@ TestEvaluation evaluate_on_test(const ProfilingDataset& dataset,
                                 std::span<const UserProfile> profiles,
                                 util::ThreadPool& pool) {
   const auto& users = dataset.user_ids();
-  std::vector<std::vector<util::SparseVector>> per_user(users.size());
+  std::vector<std::shared_ptr<const util::FeatureMatrix>> per_user(users.size());
   util::parallel_for(pool, users.size(), [&](std::size_t u) {
-    per_user[u] = dataset.test_windows(users[u], window);
+    per_user[u] = dataset.test_matrix(users[u], window);
   });
-  WindowsByUser test_windows;
+  MatrixByUser test_windows;
   for (std::size_t u = 0; u < users.size(); ++u) {
     test_windows.emplace(users[u], std::move(per_user[u]));
   }

@@ -22,8 +22,43 @@ AcceptanceRatios profile_acceptance(const UserProfile& profile,
   return ratios;
 }
 
+AcceptanceRatios profile_acceptance(const UserProfile& profile,
+                                    const MatrixByUser& windows) {
+  AcceptanceRatios ratios;
+  double other_sum = 0.0;
+  std::size_t other_count = 0;
+  for (const auto& [user, matrix] : windows) {
+    const double accepted = profile.acceptance_ratio(*matrix) * 100.0;
+    if (user == profile.user_id()) {
+      ratios.acc_self = accepted;
+    } else {
+      other_sum += accepted;
+      ++other_count;
+    }
+  }
+  if (other_count > 0) ratios.acc_other = other_sum / static_cast<double>(other_count);
+  return ratios;
+}
+
 AcceptanceRatios mean_acceptance(std::span<const UserProfile> profiles,
                                  const WindowsByUser& windows) {
+  if (profiles.empty()) {
+    throw std::invalid_argument{"mean_acceptance: no profiles"};
+  }
+  AcceptanceRatios mean;
+  for (const auto& profile : profiles) {
+    const AcceptanceRatios ratios = profile_acceptance(profile, windows);
+    mean.acc_self += ratios.acc_self;
+    mean.acc_other += ratios.acc_other;
+  }
+  const auto n = static_cast<double>(profiles.size());
+  mean.acc_self /= n;
+  mean.acc_other /= n;
+  return mean;
+}
+
+AcceptanceRatios mean_acceptance(std::span<const UserProfile> profiles,
+                                 const MatrixByUser& windows) {
   if (profiles.empty()) {
     throw std::invalid_argument{"mean_acceptance: no profiles"};
   }
@@ -52,6 +87,24 @@ ConfusionMatrix compute_confusion(std::span<const UserProfile> profiles,
     for (const auto& user : matrix.users) {
       matrix.cells[j].push_back(
           profiles[j].acceptance_ratio(windows.at(user)) * 100.0);
+    }
+  }
+  return matrix;
+}
+
+ConfusionMatrix compute_confusion(std::span<const UserProfile> profiles,
+                                  const MatrixByUser& windows) {
+  ConfusionMatrix matrix;
+  for (const auto& [user, user_windows] : windows) {
+    (void)user_windows;
+    matrix.users.push_back(user);
+  }
+  matrix.cells.resize(profiles.size());
+  for (std::size_t j = 0; j < profiles.size(); ++j) {
+    matrix.cells[j].reserve(matrix.users.size());
+    for (const auto& user : matrix.users) {
+      matrix.cells[j].push_back(
+          profiles[j].acceptance_ratio(*windows.at(user)) * 100.0);
     }
   }
   return matrix;

@@ -3,11 +3,13 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/profiler.h"
+#include "util/feature_matrix.h"
 #include "util/sparse_vector.h"
 
 namespace wtp::core {
@@ -23,17 +25,25 @@ struct AcceptanceRatios {
 
 /// Windows per user: the evaluation corpus a set of profiles is scored on.
 using WindowsByUser = std::map<std::string, std::vector<util::SparseVector>>;
+/// CSR form of the same corpus: one shared FeatureMatrix per user (the
+/// canonical data plane; the dataset's matrix cache hands these out).
+using MatrixByUser =
+    std::map<std::string, std::shared_ptr<const util::FeatureMatrix>>;
 
 /// Acceptance ratios of one profile: self on its own user's windows, other
 /// on everyone else's (macro-averaged over the other users, as the paper
 /// averages per-user ratios).  Users absent from `windows` are skipped.
 [[nodiscard]] AcceptanceRatios profile_acceptance(const UserProfile& profile,
                                                   const WindowsByUser& windows);
+[[nodiscard]] AcceptanceRatios profile_acceptance(const UserProfile& profile,
+                                                  const MatrixByUser& windows);
 
 /// Mean ratios over a set of profiles (the paper's "averages of the 25 user
 /// results").
 [[nodiscard]] AcceptanceRatios mean_acceptance(std::span<const UserProfile> profiles,
                                                const WindowsByUser& windows);
+[[nodiscard]] AcceptanceRatios mean_acceptance(std::span<const UserProfile> profiles,
+                                               const MatrixByUser& windows);
 
 /// Tab. V: cell (j, i) = % of user_i's windows accepted by model m_j.
 struct ConfusionMatrix {
@@ -53,5 +63,7 @@ struct ConfusionMatrix {
 
 [[nodiscard]] ConfusionMatrix compute_confusion(std::span<const UserProfile> profiles,
                                                 const WindowsByUser& windows);
+[[nodiscard]] ConfusionMatrix compute_confusion(std::span<const UserProfile> profiles,
+                                                const MatrixByUser& windows);
 
 }  // namespace wtp::core

@@ -18,7 +18,7 @@ std::string_view to_string(ClassifierType type) noexcept {
 }
 
 UserProfile UserProfile::train(std::string user_id,
-                               std::span<const util::SparseVector> windows,
+                               const util::FeatureMatrix& windows,
                                std::size_t dimension, const ProfileParams& params) {
   if (params.type == ClassifierType::kOcSvm) {
     svm::OneClassSvmConfig config;
@@ -34,9 +34,21 @@ UserProfile UserProfile::train(std::string user_id,
                      svm::SvddModel::train(windows, config, dimension)};
 }
 
+UserProfile UserProfile::train(std::string user_id,
+                               std::span<const util::SparseVector> windows,
+                               std::size_t dimension, const ProfileParams& params) {
+  return train(std::move(user_id), util::FeatureMatrix::from_rows(windows),
+               dimension, params);
+}
+
 double UserProfile::decision_value(const util::SparseVector& window) const {
+  return decision_value(window, window.squared_norm());
+}
+
+double UserProfile::decision_value(const util::SparseVector& window,
+                                   double window_sqnorm) const {
   return std::visit(
-      [&window](const auto& model) { return model.decision_value(window); },
+      [&](const auto& model) { return model.decision_value(window, window_sqnorm); },
       model_);
 }
 
@@ -50,9 +62,22 @@ double UserProfile::acceptance_ratio(
   return static_cast<double>(accepted) / static_cast<double>(windows.size());
 }
 
+double UserProfile::acceptance_ratio(const util::FeatureMatrix& windows) const {
+  if (windows.empty()) return 0.0;
+  thread_local std::vector<double> values;
+  values.resize(windows.rows());
+  std::visit([&](const auto& model) { model.decision_values(windows, values); },
+             model_);
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < windows.rows(); ++i) {
+    if (values[i] >= 0.0) ++accepted;
+  }
+  return static_cast<double>(accepted) / static_cast<double>(windows.rows());
+}
+
 std::size_t UserProfile::support_vector_count() const {
   return std::visit(
-      [](const auto& model) { return model.support_vectors().size(); }, model_);
+      [](const auto& model) { return model.support_vectors().rows(); }, model_);
 }
 
 void UserProfile::save(std::ostream& out) const {

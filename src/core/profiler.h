@@ -10,6 +10,7 @@
 #include "svm/model_io.h"
 #include "svm/one_class_svm.h"
 #include "svm/svdd.h"
+#include "util/feature_matrix.h"
 #include "util/sparse_vector.h"
 
 namespace wtp::core {
@@ -32,22 +33,38 @@ struct ProfileParams {
 /// A trained user profile: the model plus its provenance.
 class UserProfile {
  public:
-  /// Trains a profile for `user_id` on its training windows.  `dimension`
-  /// is the schema dimension.  Throws std::invalid_argument on empty
-  /// training data or out-of-range parameters.
+  /// Trains a profile for `user_id` on its training window matrix (the
+  /// canonical CSR data plane).  `dimension` is the schema dimension.
+  /// Throws std::invalid_argument on empty training data or out-of-range
+  /// parameters.
+  [[nodiscard]] static UserProfile train(std::string user_id,
+                                         const util::FeatureMatrix& windows,
+                                         std::size_t dimension,
+                                         const ProfileParams& params);
+  /// Convenience overload that builds the matrix first.
   [[nodiscard]] static UserProfile train(std::string user_id,
                                          std::span<const util::SparseVector> windows,
                                          std::size_t dimension,
                                          const ProfileParams& params);
 
   [[nodiscard]] double decision_value(const util::SparseVector& window) const;
+  /// Same, with the query's squared norm precomputed by the caller (serving:
+  /// one norm per scored window shared across all profiles).
+  [[nodiscard]] double decision_value(const util::SparseVector& window,
+                                      double window_sqnorm) const;
   [[nodiscard]] bool accepts(const util::SparseVector& window) const {
     return decision_value(window) >= 0.0;
+  }
+  [[nodiscard]] bool accepts(const util::SparseVector& window,
+                             double window_sqnorm) const {
+    return decision_value(window, window_sqnorm) >= 0.0;
   }
 
   /// Fraction of `windows` accepted by the profile, in [0, 1].
   [[nodiscard]] double acceptance_ratio(
       std::span<const util::SparseVector> windows) const;
+  /// Batch form over a window matrix: one kernel-row pass per window.
+  [[nodiscard]] double acceptance_ratio(const util::FeatureMatrix& windows) const;
 
   [[nodiscard]] const std::string& user_id() const noexcept { return user_id_; }
   [[nodiscard]] const ProfileParams& params() const noexcept { return params_; }

@@ -43,7 +43,7 @@ AutoencoderModel::AutoencoderModel(AutoencoderConfig config)
   }
 }
 
-void AutoencoderModel::forward(const std::vector<double>& input,
+void AutoencoderModel::forward(std::span<const double> input,
                                std::vector<double>& hidden,
                                std::vector<double>& output) const {
   const std::size_t h_units = config_.hidden_units;
@@ -63,8 +63,7 @@ void AutoencoderModel::forward(const std::vector<double>& input,
   }
 }
 
-void AutoencoderModel::fit(std::span<const util::SparseVector> data,
-                           std::size_t dimension) {
+void AutoencoderModel::fit(const util::FeatureMatrix& data, std::size_t dimension) {
   if (data.empty()) throw std::invalid_argument{"AutoencoderModel::fit: empty data"};
   if (dimension == 0) throw std::invalid_argument{"AutoencoderModel::fit: dimension 0"};
   dimension_ = dimension;
@@ -79,11 +78,16 @@ void AutoencoderModel::fit(std::span<const util::SparseVector> data,
   for (auto& w : w2_) w = rng.normal(0.0, scale1);
   b2_.assign(dimension, 0.0);
 
-  // Dense copies of the training windows (they are short-lived and the
-  // dimension is <= ~1000).
-  std::vector<std::vector<double>> dense;
-  dense.reserve(data.size());
-  for (const auto& x : data) dense.push_back(x.to_dense(dimension));
+  // One flat dense buffer for all training windows (short-lived, dimension
+  // <= ~1000); copy_row_dense avoids a per-row vector allocation.
+  const std::size_t n = data.rows();
+  std::vector<double> dense(n * dimension);
+  for (std::size_t r = 0; r < n; ++r) {
+    data.copy_row_dense(r, std::span<double>{dense.data() + r * dimension, dimension});
+  }
+  const auto dense_row = [&](std::size_t r) {
+    return std::span<const double>{dense.data() + r * dimension, dimension};
+  };
 
   AdamState adam_w1{w1_.size()}, adam_b1{b1_.size()};
   AdamState adam_w2{w2_.size()}, adam_b2{b2_.size()};
@@ -91,7 +95,7 @@ void AutoencoderModel::fit(std::span<const util::SparseVector> data,
   std::vector<double> gw2(w2_.size()), gb2(b2_.size());
   std::vector<double> hidden, output, delta_out(dimension), delta_hidden(h_units);
 
-  std::vector<std::size_t> order(dense.size());
+  std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
 
   std::size_t adam_t = 0;
@@ -107,7 +111,7 @@ void AutoencoderModel::fit(std::span<const util::SparseVector> data,
       const double inv_batch = 1.0 / static_cast<double>(end - begin);
 
       for (std::size_t s = begin; s < end; ++s) {
-        const auto& x = dense[order[s]];
+        const auto x = dense_row(order[s]);
         forward(x, hidden, output);
         // MSE loss; d/dz of sigmoid folded into the deltas.
         for (std::size_t d = 0; d < dimension; ++d) {
@@ -143,21 +147,22 @@ void AutoencoderModel::fit(std::span<const util::SparseVector> data,
       adam_w2.step(w2_, gw2, config_.learning_rate, adam_t);
       adam_b2.step(b2_, gb2, config_.learning_rate, adam_t);
     }
-    final_loss_ = epoch_loss / (static_cast<double>(dense.size()) *
+    final_loss_ = epoch_loss / (static_cast<double>(n) *
                                 static_cast<double>(dimension));
   }
   fitted_ = true;
 
   std::vector<double> scores;
-  scores.reserve(data.size());
-  for (const auto& x : data) scores.push_back(-reconstruction_error(x));
+  scores.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    scores.push_back(-reconstruction_error_dense(dense_row(r)));
+  }
   threshold_ = -quantile_threshold(scores, config_.outlier_fraction);
 }
 
-double AutoencoderModel::reconstruction_error(const util::SparseVector& x) const {
-  if (!fitted_) throw std::logic_error{"AutoencoderModel: error before fit"};
-  const std::vector<double> input = x.to_dense(dimension_);
-  std::vector<double> hidden, output;
+double AutoencoderModel::reconstruction_error_dense(
+    std::span<const double> input) const {
+  thread_local std::vector<double> hidden, output;
   forward(input, hidden, output);
   double sum = 0.0;
   for (std::size_t d = 0; d < dimension_; ++d) {
@@ -165,6 +170,19 @@ double AutoencoderModel::reconstruction_error(const util::SparseVector& x) const
     sum += err * err;
   }
   return sum / static_cast<double>(dimension_);
+}
+
+double AutoencoderModel::reconstruction_error(const util::SparseVector& x) const {
+  if (!fitted_) throw std::logic_error{"AutoencoderModel: error before fit"};
+  thread_local std::vector<double> input;
+  input.assign(dimension_, 0.0);
+  for (const auto& entry : x.entries()) {
+    if (entry.index >= dimension_) {
+      throw std::out_of_range{"AutoencoderModel: feature index out of range"};
+    }
+    input[entry.index] = entry.value;
+  }
+  return reconstruction_error_dense(input);
 }
 
 double AutoencoderModel::decision_value(const util::SparseVector& x) const {

@@ -28,7 +28,8 @@ class AutoencoderModel final : public OneClassModel {
  public:
   explicit AutoencoderModel(AutoencoderConfig config = {});
 
-  void fit(std::span<const util::SparseVector> data, std::size_t dimension) override;
+  using OneClassModel::fit;
+  void fit(const util::FeatureMatrix& data, std::size_t dimension) override;
   [[nodiscard]] double decision_value(const util::SparseVector& x) const override;
   [[nodiscard]] std::string name() const override { return "autoencoder"; }
 
@@ -41,8 +42,9 @@ class AutoencoderModel final : public OneClassModel {
  private:
   /// Forward pass; hidden/output buffers supplied by the caller so decisions
   /// stay allocation-light.
-  void forward(const std::vector<double>& input, std::vector<double>& hidden,
+  void forward(std::span<const double> input, std::vector<double>& hidden,
                std::vector<double>& output) const;
+  [[nodiscard]] double reconstruction_error_dense(std::span<const double> input) const;
 
   AutoencoderConfig config_;
   std::size_t dimension_ = 0;

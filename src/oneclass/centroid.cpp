@@ -23,19 +23,20 @@ CentroidModel::CentroidModel(double outlier_fraction)
   }
 }
 
-void CentroidModel::fit(std::span<const util::SparseVector> data,
-                        std::size_t dimension) {
+void CentroidModel::fit(const util::FeatureMatrix& data, std::size_t dimension) {
   if (data.empty()) throw std::invalid_argument{"CentroidModel::fit: empty data"};
   mean_.assign(dimension, 0.0);
-  for (const auto& x : data) {
-    for (const auto& entry : x.entries()) {
-      if (entry.index >= dimension) {
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const auto indices = data.row_indices(r);
+    const auto values = data.row_values(r);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      if (indices[k] >= dimension) {
         throw std::out_of_range{"CentroidModel::fit: feature index out of range"};
       }
-      mean_[entry.index] += entry.value;
+      mean_[indices[k]] += values[k];
     }
   }
-  const double inv = 1.0 / static_cast<double>(data.size());
+  const double inv = 1.0 / static_cast<double>(data.rows());
   mean_sqnorm_ = 0.0;
   for (auto& value : mean_) {
     value *= inv;
@@ -44,8 +45,11 @@ void CentroidModel::fit(std::span<const util::SparseVector> data,
   fitted_ = true;
 
   std::vector<double> distances;
-  distances.reserve(data.size());
-  for (const auto& x : data) distances.push_back(distance_to_mean(x));
+  distances.reserve(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    distances.push_back(
+        distance_to_mean(data.row_indices(r), data.row_values(r), data.sq_norm(r)));
+  }
   // Radius covering all but the outlier fraction: negate so that "higher is
   // better" for the shared quantile helper.
   std::vector<double> scores;
@@ -61,6 +65,17 @@ double CentroidModel::distance_to_mean(const util::SparseVector& x) const {
     if (entry.index < mean_.size()) cross += entry.value * mean_[entry.index];
   }
   const double sq = x.squared_norm() - 2.0 * cross + mean_sqnorm_;
+  return std::sqrt(std::max(0.0, sq));
+}
+
+double CentroidModel::distance_to_mean(std::span<const std::uint32_t> indices,
+                                       std::span<const double> values,
+                                       double sq_norm) const {
+  double cross = 0.0;
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (indices[k] < mean_.size()) cross += values[k] * mean_[indices[k]];
+  }
+  const double sq = sq_norm - 2.0 * cross + mean_sqnorm_;
   return std::sqrt(std::max(0.0, sq));
 }
 

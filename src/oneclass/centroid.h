@@ -14,7 +14,8 @@ class CentroidModel final : public OneClassModel {
  public:
   explicit CentroidModel(double outlier_fraction = 0.1);
 
-  void fit(std::span<const util::SparseVector> data, std::size_t dimension) override;
+  using OneClassModel::fit;
+  void fit(const util::FeatureMatrix& data, std::size_t dimension) override;
   [[nodiscard]] double decision_value(const util::SparseVector& x) const override;
   [[nodiscard]] std::string name() const override { return "centroid"; }
 
@@ -22,6 +23,9 @@ class CentroidModel final : public OneClassModel {
 
  private:
   [[nodiscard]] double distance_to_mean(const util::SparseVector& x) const;
+  [[nodiscard]] double distance_to_mean(std::span<const std::uint32_t> indices,
+                                        std::span<const double> values,
+                                        double sq_norm) const;
 
   double outlier_fraction_;
   std::vector<double> mean_;

@@ -15,19 +15,20 @@ GaussianModel::GaussianModel(double outlier_fraction, double variance_floor)
   }
 }
 
-void GaussianModel::fit(std::span<const util::SparseVector> data,
-                        std::size_t dimension) {
+void GaussianModel::fit(const util::FeatureMatrix& data, std::size_t dimension) {
   if (data.empty()) throw std::invalid_argument{"GaussianModel::fit: empty data"};
-  const double n = static_cast<double>(data.size());
+  const double n = static_cast<double>(data.rows());
   mean_.assign(dimension, 0.0);
   std::vector<double> sq_sum(dimension, 0.0);
-  for (const auto& x : data) {
-    for (const auto& entry : x.entries()) {
-      if (entry.index >= dimension) {
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const auto indices = data.row_indices(r);
+    const auto values = data.row_values(r);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      if (indices[k] >= dimension) {
         throw std::out_of_range{"GaussianModel::fit: feature index out of range"};
       }
-      mean_[entry.index] += entry.value;
-      sq_sum[entry.index] += entry.value * entry.value;
+      mean_[indices[k]] += values[k];
+      sq_sum[indices[k]] += values[k] * values[k];
     }
   }
   inv_variance_.assign(dimension, 0.0);
@@ -42,8 +43,10 @@ void GaussianModel::fit(std::span<const util::SparseVector> data,
   fitted_ = true;
 
   std::vector<double> scores;
-  scores.reserve(data.size());
-  for (const auto& x : data) scores.push_back(-mahalanobis(x));
+  scores.reserve(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    scores.push_back(-mahalanobis(data.row_indices(r), data.row_values(r)));
+  }
   threshold_ = -quantile_threshold(scores, outlier_fraction_);
 }
 
@@ -56,6 +59,19 @@ double GaussianModel::mahalanobis(const util::SparseVector& x) const {
     const double m = mean_[entry.index];
     const double iv = inv_variance_[entry.index];
     const double diff = entry.value - m;
+    sq += diff * diff * iv - m * m * iv;
+  }
+  return std::sqrt(std::max(0.0, sq));
+}
+
+double GaussianModel::mahalanobis(std::span<const std::uint32_t> indices,
+                                  std::span<const double> values) const {
+  double sq = base_distance_;
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (indices[k] >= mean_.size()) continue;  // out-of-schema: ignore
+    const double m = mean_[indices[k]];
+    const double iv = inv_variance_[indices[k]];
+    const double diff = values[k] - m;
     sq += diff * diff * iv - m * m * iv;
   }
   return std::sqrt(std::max(0.0, sq));

@@ -16,7 +16,8 @@ class GaussianModel final : public OneClassModel {
   explicit GaussianModel(double outlier_fraction = 0.1,
                          double variance_floor = 1e-4);
 
-  void fit(std::span<const util::SparseVector> data, std::size_t dimension) override;
+  using OneClassModel::fit;
+  void fit(const util::FeatureMatrix& data, std::size_t dimension) override;
   [[nodiscard]] double decision_value(const util::SparseVector& x) const override;
   [[nodiscard]] std::string name() const override { return "gaussian"; }
 
@@ -24,6 +25,8 @@ class GaussianModel final : public OneClassModel {
 
  private:
   [[nodiscard]] double mahalanobis(const util::SparseVector& x) const;
+  [[nodiscard]] double mahalanobis(std::span<const std::uint32_t> indices,
+                                   std::span<const double> values) const;
 
   double outlier_fraction_;
   double variance_floor_;

@@ -33,31 +33,36 @@ IsolationForestModel::IsolationForestModel(IsolationForestConfig config)
   }
 }
 
-void IsolationForestModel::fit(std::span<const util::SparseVector> data,
+void IsolationForestModel::fit(const util::FeatureMatrix& data,
                                std::size_t dimension) {
   if (data.empty()) {
     throw std::invalid_argument{"IsolationForestModel::fit: empty data"};
   }
   util::Rng rng{config_.seed};
-  const std::size_t sample_size = std::min(config_.subsample, data.size());
+  const std::size_t sample_size = std::min(config_.subsample, data.rows());
   normalizer_ = std::max(1e-9, average_path_length(static_cast<double>(sample_size)));
   const auto height_limit = static_cast<std::size_t>(
       std::ceil(std::log2(std::max<std::size_t>(2, sample_size))));
 
-  // Dense copies of the subsamples keep split evaluation branch-light.
+  // Dense copies of the subsamples keep split evaluation branch-light; one
+  // flat buffer per tree via copy_row_dense avoids per-row allocations.
   trees_.clear();
   trees_.resize(config_.num_trees);
-  std::vector<std::vector<double>> dense;
+  std::vector<double> dense(sample_size * dimension);
+  const auto dense_at = [&](std::size_t row, std::size_t feature) {
+    return dense[row * dimension + feature];
+  };
   std::vector<std::size_t> indices;
   for (auto& tree : trees_) {
     // Draw the per-tree subsample (without replacement when possible).
-    indices.resize(data.size());
+    indices.resize(data.rows());
     for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
     rng.shuffle(indices);
     indices.resize(sample_size);
-    dense.clear();
-    dense.reserve(sample_size);
-    for (const std::size_t i : indices) dense.push_back(data[i].to_dense(dimension));
+    for (std::size_t i = 0; i < sample_size; ++i) {
+      data.copy_row_dense(indices[i],
+                          std::span<double>{dense.data() + i * dimension, dimension});
+    }
 
     // Iterative tree construction over index ranges of `working`.
     struct Pending {
@@ -87,10 +92,10 @@ void IsolationForestModel::fit(std::span<const util::SparseVector> data,
       if (count > 1 && task.depth < height_limit) {
         for (int attempt = 0; attempt < 32; ++attempt) {
           const std::size_t feature = rng.uniform_index(dimension);
-          double min_v = dense[working[task.begin]][feature];
+          double min_v = dense_at(working[task.begin], feature);
           double max_v = min_v;
           for (std::size_t i = task.begin + 1; i < task.end; ++i) {
-            const double v = dense[working[i]][feature];
+            const double v = dense_at(working[i], feature);
             min_v = std::min(min_v, v);
             max_v = std::max(max_v, v);
           }
@@ -110,7 +115,7 @@ void IsolationForestModel::fit(std::span<const util::SparseVector> data,
       // Partition the range.
       std::size_t mid = task.begin;
       for (std::size_t i = task.begin; i < task.end; ++i) {
-        if (dense[working[i]][split_feature] < threshold) {
+        if (dense_at(working[i], split_feature) < threshold) {
           std::swap(working[i], working[mid]);
           ++mid;
         }
@@ -133,8 +138,12 @@ void IsolationForestModel::fit(std::span<const util::SparseVector> data,
   fitted_ = true;
 
   std::vector<double> scores;
-  scores.reserve(data.size());
-  for (const auto& x : data) scores.push_back(-anomaly_score(x));
+  scores.reserve(data.rows());
+  std::vector<double> query(dimension);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    data.copy_row_dense(r, query);
+    scores.push_back(-anomaly_score_dense(query));
+  }
   threshold_ = -quantile_threshold(scores, config_.outlier_fraction);
 }
 
@@ -152,7 +161,29 @@ double IsolationForestModel::path_length(const Tree& tree,
   }
 }
 
+double IsolationForestModel::path_length(const Tree& tree,
+                                         std::span<const double> x) const {
+  double depth = 0.0;
+  std::int32_t node_index = 0;
+  while (true) {
+    const Node& node = tree.nodes[static_cast<std::size_t>(node_index)];
+    if (node.left < 0) {
+      return depth + average_path_length(static_cast<double>(node.leaf_size));
+    }
+    node_index = x[node.feature] < node.threshold ? node.left : node.right;
+    ++depth;
+  }
+}
+
 double IsolationForestModel::anomaly_score(const util::SparseVector& x) const {
+  if (!fitted_) throw std::logic_error{"IsolationForestModel: score before fit"};
+  double total = 0.0;
+  for (const auto& tree : trees_) total += path_length(tree, x);
+  const double mean_path = total / static_cast<double>(trees_.size());
+  return std::pow(2.0, -mean_path / normalizer_);
+}
+
+double IsolationForestModel::anomaly_score_dense(std::span<const double> x) const {
   if (!fitted_) throw std::logic_error{"IsolationForestModel: score before fit"};
   double total = 0.0;
   for (const auto& tree : trees_) total += path_length(tree, x);

@@ -26,7 +26,8 @@ class IsolationForestModel final : public OneClassModel {
  public:
   explicit IsolationForestModel(IsolationForestConfig config = {});
 
-  void fit(std::span<const util::SparseVector> data, std::size_t dimension) override;
+  using OneClassModel::fit;
+  void fit(const util::FeatureMatrix& data, std::size_t dimension) override;
   [[nodiscard]] double decision_value(const util::SparseVector& x) const override;
   [[nodiscard]] std::string name() const override { return "isolation-forest"; }
 
@@ -51,6 +52,9 @@ class IsolationForestModel final : public OneClassModel {
 
   [[nodiscard]] double path_length(const Tree& tree,
                                    const util::SparseVector& x) const;
+  [[nodiscard]] double path_length(const Tree& tree,
+                                   std::span<const double> x) const;
+  [[nodiscard]] double anomaly_score_dense(std::span<const double> x) const;
 
   IsolationForestConfig config_;
   std::vector<Tree> trees_;

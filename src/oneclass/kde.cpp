@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace wtp::oneclass {
 
@@ -12,36 +13,43 @@ KdeModel::KdeModel(double outlier_fraction, double bandwidth_gamma)
   }
 }
 
-void KdeModel::fit(std::span<const util::SparseVector> data, std::size_t dimension) {
+void KdeModel::fit(const util::FeatureMatrix& data, std::size_t dimension) {
   if (data.empty()) throw std::invalid_argument{"KdeModel::fit: empty data"};
   if (gamma_ <= 0.0) {
     gamma_ = 1.0 / static_cast<double>(std::max<std::size_t>(1, dimension));
   }
-  points_.assign(data.begin(), data.end());
-  sq_norms_.resize(points_.size());
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    sq_norms_[i] = points_[i].squared_norm();
-  }
+  points_ = data;
   fitted_ = true;
 
   // Leave-one-out densities would be ideal; plain densities shift every
   // training score up by 1/n uniformly, which the quantile absorbs.
   std::vector<double> scores;
-  scores.reserve(points_.size());
-  for (const auto& x : points_) scores.push_back(density(x));
+  scores.reserve(points_.rows());
+  std::vector<double> dots(points_.rows());
+  for (std::size_t i = 0; i < points_.rows(); ++i) {
+    points_.dot_all(i, dots);
+    scores.push_back(density_from_dots(dots, points_.sq_norm(i)));
+  }
   threshold_ = quantile_threshold(scores, outlier_fraction_);
+}
+
+double KdeModel::density_from_dots(std::span<const double> dots,
+                                   double x_sqnorm) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < points_.rows(); ++i) {
+    const double sq_dist =
+        std::max(0.0, points_.sq_norm(i) + x_sqnorm - 2.0 * dots[i]);
+    sum += std::exp(-gamma_ * sq_dist);
+  }
+  return sum / static_cast<double>(points_.rows());
 }
 
 double KdeModel::density(const util::SparseVector& x) const {
   if (!fitted_) throw std::logic_error{"KdeModel: density before fit"};
-  const double x_sqnorm = x.squared_norm();
-  double sum = 0.0;
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    const double sq_dist =
-        std::max(0.0, sq_norms_[i] + x_sqnorm - 2.0 * points_[i].dot(x));
-    sum += std::exp(-gamma_ * sq_dist);
-  }
-  return sum / static_cast<double>(points_.size());
+  thread_local std::vector<double> dots;
+  dots.resize(points_.rows());
+  points_.dot_all(x, dots);
+  return density_from_dots(dots, x.squared_norm());
 }
 
 double KdeModel::decision_value(const util::SparseVector& x) const {

@@ -15,7 +15,8 @@ class KdeModel final : public OneClassModel {
   /// bandwidth_gamma <= 0 resolves to 1/dimension at fit time.
   explicit KdeModel(double outlier_fraction = 0.1, double bandwidth_gamma = 0.0);
 
-  void fit(std::span<const util::SparseVector> data, std::size_t dimension) override;
+  using OneClassModel::fit;
+  void fit(const util::FeatureMatrix& data, std::size_t dimension) override;
   [[nodiscard]] double decision_value(const util::SparseVector& x) const override;
   [[nodiscard]] std::string name() const override { return "kde"; }
 
@@ -23,10 +24,13 @@ class KdeModel final : public OneClassModel {
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
 
  private:
+  /// Mean RBF kernel over batched dot products (dots[i] = points_[i] . x).
+  [[nodiscard]] double density_from_dots(std::span<const double> dots,
+                                         double x_sqnorm) const;
+
   double outlier_fraction_;
   double gamma_;
-  std::vector<util::SparseVector> points_;
-  std::vector<double> sq_norms_;
+  util::FeatureMatrix points_;
   double threshold_ = 0.0;
   bool fitted_ = false;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 #include <stdexcept>
+#include <vector>
 
 namespace wtp::oneclass {
 
@@ -15,35 +16,45 @@ KnnModel::KnnModel(std::size_t k, double outlier_fraction)
   }
 }
 
-void KnnModel::fit(std::span<const util::SparseVector> data, std::size_t dimension) {
+void KnnModel::fit(const util::FeatureMatrix& data, std::size_t dimension) {
   (void)dimension;  // metric model: no dense expansion needed
   if (data.empty()) throw std::invalid_argument{"KnnModel::fit: empty data"};
-  points_.assign(data.begin(), data.end());
-  sq_norms_.resize(points_.size());
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    sq_norms_[i] = points_[i].squared_norm();
-  }
+  points_ = data;
   fitted_ = true;
 
   // Leave-one-out calibration: each training point's k-th neighbour among
-  // the *other* points.
+  // the *other* points.  One dot_all pass per point replaces n merge-join
+  // dots; the shared squared norms come cached with the matrix.
   std::vector<double> scores;
-  scores.reserve(points_.size());
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    scores.push_back(-kth_distance_internal(points_[i], i));
+  scores.reserve(points_.rows());
+  std::vector<double> sq_dists(points_.rows());
+  for (std::size_t i = 0; i < points_.rows(); ++i) {
+    points_.dot_all(i, sq_dists);
+    const double x_sqnorm = points_.sq_norm(i);
+    for (std::size_t j = 0; j < points_.rows(); ++j) {
+      sq_dists[j] = std::max(0.0, points_.sq_norm(j) + x_sqnorm - 2.0 * sq_dists[j]);
+    }
+    scores.push_back(-kth_from_sq_dists(sq_dists, i));
   }
   threshold_ = -quantile_threshold(scores, outlier_fraction_);
 }
 
-double KnnModel::kth_distance_internal(const util::SparseVector& x,
-                                       std::size_t skip_index) const {
+void KnnModel::sq_dists_to_all(const util::SparseVector& x,
+                               std::span<double> out) const {
+  points_.dot_all(x, out);
+  const double x_sqnorm = x.squared_norm();
+  for (std::size_t i = 0; i < points_.rows(); ++i) {
+    out[i] = std::max(0.0, points_.sq_norm(i) + x_sqnorm - 2.0 * out[i]);
+  }
+}
+
+double KnnModel::kth_from_sq_dists(std::span<const double> sq_dists,
+                                   std::size_t skip_index) const {
   // Max-heap of the k smallest squared distances seen so far.
   std::priority_queue<double> heap;
-  const double x_sqnorm = x.squared_norm();
-  for (std::size_t i = 0; i < points_.size(); ++i) {
+  for (std::size_t i = 0; i < sq_dists.size(); ++i) {
     if (i == skip_index) continue;
-    const double sq =
-        std::max(0.0, sq_norms_[i] + x_sqnorm - 2.0 * points_[i].dot(x));
+    const double sq = sq_dists[i];
     if (heap.size() < k_) {
       heap.push(sq);
     } else if (sq < heap.top()) {
@@ -57,7 +68,10 @@ double KnnModel::kth_distance_internal(const util::SparseVector& x,
 
 double KnnModel::kth_distance(const util::SparseVector& x) const {
   if (!fitted_) throw std::logic_error{"KnnModel: distance before fit"};
-  return kth_distance_internal(x, points_.size());
+  thread_local std::vector<double> sq_dists;
+  sq_dists.resize(points_.rows());
+  sq_dists_to_all(x, sq_dists);
+  return kth_from_sq_dists(sq_dists, points_.rows());
 }
 
 double KnnModel::decision_value(const util::SparseVector& x) const {

@@ -14,7 +14,8 @@ class KnnModel final : public OneClassModel {
  public:
   explicit KnnModel(std::size_t k = 5, double outlier_fraction = 0.1);
 
-  void fit(std::span<const util::SparseVector> data, std::size_t dimension) override;
+  using OneClassModel::fit;
+  void fit(const util::FeatureMatrix& data, std::size_t dimension) override;
   [[nodiscard]] double decision_value(const util::SparseVector& x) const override;
   [[nodiscard]] std::string name() const override { return "knn"; }
 
@@ -24,13 +25,16 @@ class KnnModel final : public OneClassModel {
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
 
  private:
-  [[nodiscard]] double kth_distance_internal(const util::SparseVector& x,
-                                             std::size_t skip_index) const;
+  /// Selects the k-th smallest of `sq_dists` (skipping `skip_index`) and
+  /// returns its square root.
+  [[nodiscard]] double kth_from_sq_dists(std::span<const double> sq_dists,
+                                         std::size_t skip_index) const;
+  /// Fills `out[i] = ||points_[i] - x||^2` from batched dot products.
+  void sq_dists_to_all(const util::SparseVector& x, std::span<double> out) const;
 
   std::size_t k_;
   double outlier_fraction_;
-  std::vector<util::SparseVector> points_;
-  std::vector<double> sq_norms_;
+  util::FeatureMatrix points_;
   double threshold_ = 0.0;
   bool fitted_ = false;
 };

@@ -13,6 +13,7 @@
 #include <span>
 #include <string>
 
+#include "util/feature_matrix.h"
 #include "util/sparse_vector.h"
 
 namespace wtp::oneclass {
@@ -21,11 +22,16 @@ class OneClassModel {
  public:
   virtual ~OneClassModel() = default;
 
-  /// Trains on the profiled user's window vectors; `dimension` is the
-  /// feature-space dimension.  Implementations throw std::invalid_argument
-  /// on empty data.
-  virtual void fit(std::span<const util::SparseVector> data,
-                   std::size_t dimension) = 0;
+  /// Trains on the profiled user's window matrix (the canonical CSR data
+  /// plane); `dimension` is the feature-space dimension.  Implementations
+  /// throw std::invalid_argument on empty data.
+  virtual void fit(const util::FeatureMatrix& data, std::size_t dimension) = 0;
+
+  /// Convenience: builds the matrix from a span of SparseVectors first.
+  /// (Derived classes re-export this overload with `using OneClassModel::fit`.)
+  void fit(std::span<const util::SparseVector> data, std::size_t dimension) {
+    fit(util::FeatureMatrix::from_rows(data), dimension);
+  }
 
   /// Signed acceptance score; >= 0 accepts.  Only valid after fit().
   [[nodiscard]] virtual double decision_value(const util::SparseVector& x) const = 0;

@@ -11,8 +11,7 @@
 
 namespace wtp::oneclass {
 
-void OcSvmAdapter::fit(std::span<const util::SparseVector> data,
-                       std::size_t dimension) {
+void OcSvmAdapter::fit(const util::FeatureMatrix& data, std::size_t dimension) {
   model_ = svm::OneClassSvmModel::train(data, config_, dimension);
 }
 
@@ -36,10 +35,9 @@ SvddAdapter SvddAdapter::with_nu(double nu, svm::KernelParams kernel) {
   return adapter;
 }
 
-void SvddAdapter::fit(std::span<const util::SparseVector> data,
-                      std::size_t dimension) {
+void SvddAdapter::fit(const util::FeatureMatrix& data, std::size_t dimension) {
   if (nu_coupling_) {
-    const double l = static_cast<double>(std::max<std::size_t>(1, data.size()));
+    const double l = static_cast<double>(std::max<std::size_t>(1, data.rows()));
     config_.c = std::clamp(1.0 / (*nu_coupling_ * l), 1.0 / l, 1.0);
   }
   model_ = svm::SvddModel::train(data, config_, dimension);

@@ -16,7 +16,8 @@ class OcSvmAdapter final : public OneClassModel {
  public:
   explicit OcSvmAdapter(svm::OneClassSvmConfig config = {}) : config_{config} {}
 
-  void fit(std::span<const util::SparseVector> data, std::size_t dimension) override;
+  using OneClassModel::fit;
+  void fit(const util::FeatureMatrix& data, std::size_t dimension) override;
   [[nodiscard]] double decision_value(const util::SparseVector& x) const override;
   [[nodiscard]] std::string name() const override { return "oc-svm"; }
 
@@ -35,7 +36,8 @@ class SvddAdapter final : public OneClassModel {
   /// C = 1/(nu*l), resolved at fit time when l is known.
   [[nodiscard]] static SvddAdapter with_nu(double nu, svm::KernelParams kernel = {});
 
-  void fit(std::span<const util::SparseVector> data, std::size_t dimension) override;
+  using OneClassModel::fit;
+  void fit(const util::FeatureMatrix& data, std::size_t dimension) override;
   [[nodiscard]] double decision_value(const util::SparseVector& x) const override;
   [[nodiscard]] std::string name() const override { return "svdd"; }
 

@@ -48,9 +48,12 @@ void ScoringEngine::accept_flags(const util::SparseVector& features,
                                  std::vector<char>& flags) const {
   const auto& profiles = store_->profiles();
   flags.assign(profiles.size(), 0);
+  // One query norm per scored window, shared across every profile's kernel
+  // rows (the RBF path otherwise recomputes it once per profile).
+  const double sqnorm = features.squared_norm();
   if (!pool_ || profiles.size() < 2) {
     for (std::size_t i = 0; i < profiles.size(); ++i) {
-      flags[i] = profiles[i].accepts(features) ? 1 : 0;
+      flags[i] = profiles[i].accepts(features, sqnorm) ? 1 : 0;
     }
     return;
   }
@@ -65,9 +68,9 @@ void ScoringEngine::accept_flags(const util::SparseVector& features,
   for (std::size_t t = 0; t < tasks; ++t) {
     const std::size_t begin = t * chunk;
     const std::size_t end = std::min(profiles.size(), begin + chunk);
-    pool_->submit([&profiles, &features, &flags, &done, begin, end] {
+    pool_->submit([&profiles, &features, &flags, &done, sqnorm, begin, end] {
       for (std::size_t i = begin; i < end; ++i) {
-        flags[i] = profiles[i].accepts(features) ? 1 : 0;
+        flags[i] = profiles[i].accepts(features, sqnorm) ? 1 : 0;
       }
       done.count_down();
     });

@@ -2,10 +2,17 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "util/strings.h"
 
 namespace wtp::svm {
+
+std::span<double> kernel_row_scratch(std::size_t size) {
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < size) scratch.resize(size);
+  return std::span<double>{scratch.data(), size};
+}
 
 std::string_view to_string(KernelType type) noexcept {
   switch (type) {
@@ -67,17 +74,75 @@ double kernel_eval(const KernelParams& params, const util::SparseVector& x,
 }
 
 double kernel_self(const KernelParams& params, const util::SparseVector& x) {
+  return kernel_self(params, x.squared_norm());
+}
+
+double kernel_self(const KernelParams& params, double sq_norm) {
   switch (params.type) {
     case KernelType::kRbf:
       return 1.0;
     case KernelType::kLinear:
-      return x.squared_norm();
+      return sq_norm;
     case KernelType::kPolynomial:
-      return powi(params.gamma * x.squared_norm() + params.coef0, params.degree);
+      return powi(params.gamma * sq_norm + params.coef0, params.degree);
     case KernelType::kSigmoid:
-      return std::tanh(params.gamma * x.squared_norm() + params.coef0);
+      return std::tanh(params.gamma * sq_norm + params.coef0);
   }
   throw std::logic_error{"kernel_self: invalid kernel type"};
+}
+
+namespace {
+
+/// Shared tail of the kernel_row overloads: `out` holds raw dot products of
+/// the query with every row; transform them in place.  The per-element
+/// arithmetic matches kernel_eval exactly (same expressions, same order).
+void apply_kernel(const KernelParams& params, const util::FeatureMatrix& matrix,
+                  double x_sqnorm, std::span<double> out) {
+  const std::size_t n = matrix.rows();
+  switch (params.type) {
+    case KernelType::kLinear:
+      return;
+    case KernelType::kPolynomial:
+      for (std::size_t j = 0; j < n; ++j) {
+        out[j] = powi(params.gamma * out[j] + params.coef0, params.degree);
+      }
+      return;
+    case KernelType::kRbf:
+      for (std::size_t j = 0; j < n; ++j) {
+        const double sq_dist = x_sqnorm + matrix.sq_norm(j) - 2.0 * out[j];
+        out[j] = std::exp(-params.gamma * (sq_dist > 0.0 ? sq_dist : 0.0));
+      }
+      return;
+    case KernelType::kSigmoid:
+      for (std::size_t j = 0; j < n; ++j) {
+        out[j] = std::tanh(params.gamma * out[j] + params.coef0);
+      }
+      return;
+  }
+  throw std::logic_error{"kernel_row: invalid kernel type"};
+}
+
+}  // namespace
+
+void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
+                std::size_t i, std::span<double> out) {
+  matrix.dot_all(i, out);
+  apply_kernel(params, matrix, matrix.sq_norm(i), out);
+}
+
+void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
+                const util::SparseVector& x, double x_sqnorm,
+                std::span<double> out) {
+  matrix.dot_all(x, out);
+  apply_kernel(params, matrix, x_sqnorm, out);
+}
+
+void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
+                std::span<const std::uint32_t> query_indices,
+                std::span<const double> query_values, double x_sqnorm,
+                std::span<double> out) {
+  matrix.dot_all(query_indices, query_values, out);
+  apply_kernel(params, matrix, x_sqnorm, out);
 }
 
 std::string describe(const KernelParams& params) {

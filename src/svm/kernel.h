@@ -7,9 +7,11 @@
 //   sigmoid     k(x,y) = tanh(gamma x.y + coef0)
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 
+#include "util/feature_matrix.h"
 #include "util/sparse_vector.h"
 
 namespace wtp::svm {
@@ -43,6 +45,34 @@ struct KernelParams {
 /// k(x, x): 1 for RBF, ||x||-dependent otherwise.
 [[nodiscard]] double kernel_self(const KernelParams& params,
                                  const util::SparseVector& x);
+/// k(x, x) from a cached squared norm (FeatureMatrix rows, scored queries).
+[[nodiscard]] double kernel_self(const KernelParams& params, double sq_norm);
+
+/// Batch kernel evaluation: one row of K against *all* rows of a
+/// FeatureMatrix in a single pass.  The query is scattered into a dense
+/// scratch once, every matrix row then streams contiguous CSR entries, and
+/// the kernel transform is applied kernel-hoisted over the whole row.
+/// Results are bit-identical to per-pair kernel_eval with cached norms.
+/// `out` must hold matrix.rows() elements.
+///
+/// Query = row i of the matrix itself:
+void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
+                std::size_t i, std::span<double> out);
+/// Query = an external vector with its squared norm precomputed (decision
+/// functions: compute the query norm once per scored vector, not once per
+/// kernel call):
+void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
+                const util::SparseVector& x, double x_sqnorm,
+                std::span<double> out);
+/// Query = a CSR row borrowed from another matrix (batch scoring):
+void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
+                std::span<const std::uint32_t> query_indices,
+                std::span<const double> query_values, double x_sqnorm,
+                std::span<double> out);
+
+/// Thread-local scratch sized for one kernel row (one value per matrix
+/// row), reused across decision-function calls on the same thread.
+[[nodiscard]] std::span<double> kernel_row_scratch(std::size_t size);
 
 /// Human-readable "rbf(gamma=0.25)" form for reports.
 [[nodiscard]] std::string describe(const KernelParams& params);

@@ -23,14 +23,16 @@ void write_kernel(std::ostream& out, const KernelParams& kernel) {
   out << "degree " << kernel.degree << '\n';
 }
 
-void write_svs(std::ostream& out, const std::vector<util::SparseVector>& svs,
+void write_svs(std::ostream& out, const util::FeatureMatrix& svs,
                const std::vector<double>& coefficients) {
-  out << "nr_sv " << svs.size() << '\n';
+  out << "nr_sv " << svs.rows() << '\n';
   out << "SV\n";
-  for (std::size_t i = 0; i < svs.size(); ++i) {
+  for (std::size_t i = 0; i < svs.rows(); ++i) {
     out << coefficients[i];
-    for (const auto& entry : svs[i].entries()) {
-      out << ' ' << entry.index << ':' << entry.value;
+    const auto indices = svs.row_indices(i);
+    const auto values = svs.row_values(i);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      out << ' ' << indices[k] << ':' << values[k];
     }
     out << '\n';
   }

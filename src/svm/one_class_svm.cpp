@@ -33,7 +33,7 @@ double compute_rho(std::span<const double> alpha, std::span<const double> gradie
   return 0.5 * (upper_limit + lower_limit);
 }
 
-OneClassSvmModel OneClassSvmModel::train(std::span<const util::SparseVector> data,
+OneClassSvmModel OneClassSvmModel::train(const util::FeatureMatrix& data,
                                          const OneClassSvmConfig& config,
                                          std::size_t dimension) {
   if (data.empty()) {
@@ -47,7 +47,7 @@ OneClassSvmModel OneClassSvmModel::train(std::span<const util::SparseVector> dat
     kernel.gamma = 1.0 / static_cast<double>(std::max<std::size_t>(1, dimension));
   }
 
-  const std::size_t l = data.size();
+  const std::size_t l = data.rows();
   QMatrix q{data, kernel, /*scale=*/1.0, config.cache_bytes};
   const std::vector<double> p(l, 0.0);
   SolverConfig solver_config;
@@ -59,30 +59,31 @@ OneClassSvmModel OneClassSvmModel::train(std::span<const util::SparseVector> dat
   OneClassSvmModel model;
   model.kernel_ = kernel;
   model.rho_ = compute_rho(solved.alpha, solved.gradient, 1.0);
+  util::FeatureMatrixBuilder svs;
   std::size_t bounded = 0;
   for (std::size_t i = 0; i < l; ++i) {
     if (solved.alpha[i] > 1e-12) {
-      model.support_vectors_.push_back(data[i]);
+      svs.add_row(data.row_vector(i));
       model.coefficients_.push_back(solved.alpha[i]);
       if (solved.alpha[i] >= 1.0 - 1e-12) ++bounded;
     }
   }
+  model.support_vectors_ = svs.build(data.cols());
   model.bounded_fraction_ = static_cast<double>(bounded) / static_cast<double>(l);
-  model.precompute_norms();
   return model;
 }
 
-void OneClassSvmModel::precompute_norms() {
-  sv_sqnorms_.resize(support_vectors_.size());
-  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
-    sv_sqnorms_[i] = support_vectors_[i].squared_norm();
-  }
+OneClassSvmModel OneClassSvmModel::train(std::span<const util::SparseVector> data,
+                                         const OneClassSvmConfig& config,
+                                         std::size_t dimension) {
+  return train(util::FeatureMatrix::from_rows(data), config, dimension);
 }
 
-OneClassSvmModel OneClassSvmModel::from_parts(
-    KernelParams kernel, std::vector<util::SparseVector> support_vectors,
-    std::vector<double> coefficients, double rho) {
-  if (support_vectors.size() != coefficients.size()) {
+OneClassSvmModel OneClassSvmModel::from_parts(KernelParams kernel,
+                                              util::FeatureMatrix support_vectors,
+                                              std::vector<double> coefficients,
+                                              double rho) {
+  if (support_vectors.rows() != coefficients.size()) {
     throw std::invalid_argument{"OneClassSvmModel::from_parts: SV/coefficient size mismatch"};
   }
   OneClassSvmModel model;
@@ -90,18 +91,39 @@ OneClassSvmModel OneClassSvmModel::from_parts(
   model.support_vectors_ = std::move(support_vectors);
   model.coefficients_ = std::move(coefficients);
   model.rho_ = rho;
-  model.precompute_norms();
   return model;
 }
 
+OneClassSvmModel OneClassSvmModel::from_parts(
+    KernelParams kernel, std::vector<util::SparseVector> support_vectors,
+    std::vector<double> coefficients, double rho) {
+  return from_parts(kernel, util::FeatureMatrix::from_rows(support_vectors),
+                    std::move(coefficients), rho);
+}
+
 double OneClassSvmModel::decision_value(const util::SparseVector& x) const {
+  return decision_value(x, x.squared_norm());
+}
+
+double OneClassSvmModel::decision_value(const util::SparseVector& x,
+                                        double x_sqnorm) const {
+  const auto k = kernel_row_scratch(support_vectors_.rows());
+  kernel_row(kernel_, support_vectors_, x, x_sqnorm, k);
   double sum = 0.0;
-  const double x_sqnorm = x.squared_norm();
-  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
-    sum += coefficients_[i] * kernel_eval(kernel_, support_vectors_[i], x,
-                                          sv_sqnorms_[i], x_sqnorm);
-  }
+  for (std::size_t i = 0; i < k.size(); ++i) sum += coefficients_[i] * k[i];
   return sum - rho_;
+}
+
+void OneClassSvmModel::decision_values(const util::FeatureMatrix& queries,
+                                       std::span<double> out) const {
+  const auto k = kernel_row_scratch(support_vectors_.rows());
+  for (std::size_t r = 0; r < queries.rows(); ++r) {
+    kernel_row(kernel_, support_vectors_, queries.row_indices(r),
+               queries.row_values(r), queries.sq_norm(r), k);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k.size(); ++i) sum += coefficients_[i] * k[i];
+    out[r] = sum - rho_;
+  }
 }
 
 }  // namespace wtp::svm

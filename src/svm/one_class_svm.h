@@ -9,6 +9,11 @@
 // (LibSVM scales the same dual so that sum(alpha) = 1, U = 1/(nu l); the
 // decision function is identical up to that constant factor.  We keep the
 // paper's normalization.)
+//
+// Training consumes a util::FeatureMatrix (the canonical CSR data plane);
+// the trained support-vector set is kept as a compact owned FeatureMatrix
+// block so decision functions stream SVs contiguously through the batch
+// kernel path.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "svm/kernel.h"
+#include "util/feature_matrix.h"
 #include "util/sparse_vector.h"
 
 namespace wtp::svm {
@@ -31,24 +37,39 @@ struct OneClassSvmConfig {
 /// x is accepted when f(x) >= 0.
 class OneClassSvmModel {
  public:
-  /// Trains on the user's window vectors.  `dimension` is the feature-space
+  /// Trains on the user's window matrix.  `dimension` is the feature-space
   /// dimension (used only to resolve gamma="auto").  Throws
   /// std::invalid_argument on empty data or nu outside (0, 1].
+  [[nodiscard]] static OneClassSvmModel train(const util::FeatureMatrix& data,
+                                              const OneClassSvmConfig& config,
+                                              std::size_t dimension);
+  /// Convenience: builds the matrix from a span of SparseVectors first.
   [[nodiscard]] static OneClassSvmModel train(
       std::span<const util::SparseVector> data, const OneClassSvmConfig& config,
       std::size_t dimension);
 
   /// Reconstructs a model from persisted parts (model_io).
   [[nodiscard]] static OneClassSvmModel from_parts(
+      KernelParams kernel, util::FeatureMatrix support_vectors,
+      std::vector<double> coefficients, double rho);
+  [[nodiscard]] static OneClassSvmModel from_parts(
       KernelParams kernel, std::vector<util::SparseVector> support_vectors,
       std::vector<double> coefficients, double rho);
 
   [[nodiscard]] double decision_value(const util::SparseVector& x) const;
+  /// Variant with the query's squared norm precomputed by the caller (it is
+  /// needed once per scored vector, not once per kernel evaluation).
+  [[nodiscard]] double decision_value(const util::SparseVector& x,
+                                      double x_sqnorm) const;
+  /// Batch: decision value of every row of `queries`, written to `out`.
+  void decision_values(const util::FeatureMatrix& queries,
+                       std::span<double> out) const;
   [[nodiscard]] bool accepts(const util::SparseVector& x) const {
     return decision_value(x) >= 0.0;
   }
 
-  [[nodiscard]] const std::vector<util::SparseVector>& support_vectors() const noexcept {
+  /// The support-vector set as an owned CSR block.
+  [[nodiscard]] const util::FeatureMatrix& support_vectors() const noexcept {
     return support_vectors_;
   }
   [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
@@ -62,12 +83,10 @@ class OneClassSvmModel {
 
  private:
   OneClassSvmModel() = default;
-  void precompute_norms();
 
   KernelParams kernel_;
-  std::vector<util::SparseVector> support_vectors_;
-  std::vector<double> coefficients_;  ///< alpha_i > 0, aligned with SVs
-  std::vector<double> sv_sqnorms_;    ///< cached ||sv_i||^2 for RBF decisions
+  util::FeatureMatrix support_vectors_;
+  std::vector<double> coefficients_;  ///< alpha_i > 0, aligned with SV rows
   double rho_ = 0.0;
   double bounded_fraction_ = 0.0;
 };

@@ -13,30 +13,28 @@ constexpr double kTau = 1e-12;  // curvature floor for non-PSD kernels
 
 }  // namespace
 
-QMatrix::QMatrix(std::span<const util::SparseVector> data, KernelParams params,
+QMatrix::QMatrix(const util::FeatureMatrix& data, KernelParams params,
                  double scale, std::size_t cache_bytes)
-    : data_{data},
+    : data_{&data},
       params_{params},
       scale_{scale},
-      cache_{std::max<std::size_t>(1, data.size()), cache_bytes} {
+      cache_{std::max<std::size_t>(1, data.rows()), cache_bytes} {
   if (data.empty()) throw std::invalid_argument{"QMatrix: empty training set"};
-  sq_norms_.resize(data.size());
-  kernel_diag_.resize(data.size());
-  diag_.resize(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    sq_norms_[i] = data[i].squared_norm();
-    kernel_diag_[i] = kernel_self(params_, data[i]);
+  const std::size_t l = data.rows();
+  kernel_diag_.resize(l);
+  diag_.resize(l);
+  row_scratch_.resize(l);
+  for (std::size_t i = 0; i < l; ++i) {
+    kernel_diag_[i] = kernel_self(params_, data.sq_norm(i));
     diag_[i] = scale_ * kernel_diag_[i];
   }
 }
 
 std::span<const float> QMatrix::row(std::size_t i) {
   return cache_.get(i, [this](std::size_t r, std::span<float> out) {
-    const auto& xi = data_[r];
-    const double ni = sq_norms_[r];
-    for (std::size_t j = 0; j < data_.size(); ++j) {
-      out[j] = static_cast<float>(
-          scale_ * kernel_eval(params_, xi, data_[j], ni, sq_norms_[j]));
+    kernel_row(params_, *data_, r, row_scratch_);
+    for (std::size_t j = 0; j < row_scratch_.size(); ++j) {
+      out[j] = static_cast<float>(scale_ * row_scratch_[j]);
     }
   });
 }

@@ -20,16 +20,19 @@
 
 #include "svm/kernel.h"
 #include "svm/kernel_cache.h"
-#include "util/sparse_vector.h"
+#include "util/feature_matrix.h"
 
 namespace wtp::svm {
 
-/// Lazily evaluated, cached kernel/Q matrix over a training set.
+/// Lazily evaluated, cached kernel/Q matrix over a CSR training set.
 /// `scale` multiplies every entry (1 for OC-SVM's K, 2 for SVDD's 2K).
+/// Rows are produced by the batch kernel_row path, streaming the training
+/// matrix contiguously; the matrix's cached squared norms serve every RBF
+/// evaluation.  The matrix must outlive the QMatrix.
 class QMatrix {
  public:
-  QMatrix(std::span<const util::SparseVector> data, KernelParams params,
-          double scale, std::size_t cache_bytes);
+  QMatrix(const util::FeatureMatrix& data, KernelParams params, double scale,
+          std::size_t cache_bytes);
 
   /// Row i of Q (length l), cached.
   [[nodiscard]] std::span<const float> row(std::size_t i);
@@ -42,16 +45,16 @@ class QMatrix {
     return kernel_diag_[i];
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_->rows(); }
   [[nodiscard]] const KernelParams& params() const noexcept { return params_; }
 
  private:
-  std::span<const util::SparseVector> data_;
+  const util::FeatureMatrix* data_;
   KernelParams params_;
   double scale_;
-  std::vector<double> sq_norms_;     // for RBF
   std::vector<double> kernel_diag_;  // k(x_i, x_i)
   std::vector<double> diag_;         // scale * k(x_i, x_i)
+  std::vector<double> row_scratch_;  // double kernel row before float cast
   KernelCache cache_;
 };
 

@@ -9,7 +9,7 @@
 
 namespace wtp::svm {
 
-SvddModel SvddModel::train(std::span<const util::SparseVector> data,
+SvddModel SvddModel::train(const util::FeatureMatrix& data,
                            const SvddConfig& config, std::size_t dimension) {
   if (data.empty()) {
     throw std::invalid_argument{"SvddModel::train: empty training set"};
@@ -21,7 +21,7 @@ SvddModel SvddModel::train(std::span<const util::SparseVector> data,
   if (kernel.gamma <= 0.0) {
     kernel.gamma = 1.0 / static_cast<double>(std::max<std::size_t>(1, dimension));
   }
-  const std::size_t l = data.size();
+  const std::size_t l = data.rows();
   // sum(alpha) = 1 with alpha_i <= C requires C*l >= 1.
   const double effective_c = std::max(config.c, 1.0 / static_cast<double>(l));
 
@@ -78,21 +78,27 @@ SvddModel SvddModel::train(std::span<const util::SparseVector> data,
   model.effective_c_ = effective_c;
   model.r_squared_ = r_squared;
   model.alpha_k_alpha_ = alpha_k_alpha;
+  util::FeatureMatrixBuilder svs;
   for (std::size_t i = 0; i < l; ++i) {
     if (solved.alpha[i] > 1e-12) {
-      model.support_vectors_.push_back(data[i]);
+      svs.add_row(data.row_vector(i));
       model.coefficients_.push_back(solved.alpha[i]);
     }
   }
-  model.precompute_norms();
+  model.support_vectors_ = svs.build(data.cols());
   return model;
 }
 
+SvddModel SvddModel::train(std::span<const util::SparseVector> data,
+                           const SvddConfig& config, std::size_t dimension) {
+  return train(util::FeatureMatrix::from_rows(data), config, dimension);
+}
+
 SvddModel SvddModel::from_parts(KernelParams kernel,
-                                std::vector<util::SparseVector> support_vectors,
+                                util::FeatureMatrix support_vectors,
                                 std::vector<double> coefficients,
                                 double r_squared, double alpha_k_alpha) {
-  if (support_vectors.size() != coefficients.size()) {
+  if (support_vectors.rows() != coefficients.size()) {
     throw std::invalid_argument{"SvddModel::from_parts: SV/coefficient size mismatch"};
   }
   SvddModel model;
@@ -101,30 +107,51 @@ SvddModel SvddModel::from_parts(KernelParams kernel,
   model.coefficients_ = std::move(coefficients);
   model.r_squared_ = r_squared;
   model.alpha_k_alpha_ = alpha_k_alpha;
-  model.precompute_norms();
   return model;
 }
 
-void SvddModel::precompute_norms() {
-  sv_sqnorms_.resize(support_vectors_.size());
-  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
-    sv_sqnorms_[i] = support_vectors_[i].squared_norm();
-  }
+SvddModel SvddModel::from_parts(KernelParams kernel,
+                                std::vector<util::SparseVector> support_vectors,
+                                std::vector<double> coefficients,
+                                double r_squared, double alpha_k_alpha) {
+  return from_parts(kernel, util::FeatureMatrix::from_rows(support_vectors),
+                    std::move(coefficients), r_squared, alpha_k_alpha);
 }
 
 double SvddModel::squared_distance_to_center(const util::SparseVector& x) const {
-  const double x_sqnorm = x.squared_norm();
+  return squared_distance_to_center(x, x.squared_norm());
+}
+
+double SvddModel::squared_distance_to_center(const util::SparseVector& x,
+                                             double x_sqnorm) const {
+  const auto k = kernel_row_scratch(support_vectors_.rows());
+  kernel_row(kernel_, support_vectors_, x, x_sqnorm, k);
   double cross = 0.0;
-  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
-    cross += coefficients_[i] * kernel_eval(kernel_, support_vectors_[i], x,
-                                            sv_sqnorms_[i], x_sqnorm);
-  }
-  const double k_xx = kernel_self(kernel_, x);
+  for (std::size_t i = 0; i < k.size(); ++i) cross += coefficients_[i] * k[i];
+  const double k_xx = kernel_self(kernel_, x_sqnorm);
   return k_xx - 2.0 * cross + alpha_k_alpha_;
 }
 
 double SvddModel::decision_value(const util::SparseVector& x) const {
   return r_squared_ - squared_distance_to_center(x);
+}
+
+double SvddModel::decision_value(const util::SparseVector& x,
+                                 double x_sqnorm) const {
+  return r_squared_ - squared_distance_to_center(x, x_sqnorm);
+}
+
+void SvddModel::decision_values(const util::FeatureMatrix& queries,
+                                std::span<double> out) const {
+  const auto k = kernel_row_scratch(support_vectors_.rows());
+  for (std::size_t r = 0; r < queries.rows(); ++r) {
+    kernel_row(kernel_, support_vectors_, queries.row_indices(r),
+               queries.row_values(r), queries.sq_norm(r), k);
+    double cross = 0.0;
+    for (std::size_t i = 0; i < k.size(); ++i) cross += coefficients_[i] * k[i];
+    const double k_xx = kernel_self(kernel_, queries.sq_norm(r));
+    out[r] = r_squared_ - (k_xx - 2.0 * cross + alpha_k_alpha_);
+  }
 }
 
 }  // namespace wtp::svm

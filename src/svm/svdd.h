@@ -9,6 +9,9 @@
 // Decision (paper eqs. 11-12): x is accepted when
 //   f(x) = R^2 - ||Phi(x) - a||^2
 //        = (R^2 - alpha^T K alpha) + 2 sum_i alpha_i k(x_i, x) - k(x, x) >= 0.
+//
+// Training consumes a util::FeatureMatrix; the support-vector set is kept
+// as a compact owned FeatureMatrix block streamed by the batch kernel path.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "svm/kernel.h"
+#include "util/feature_matrix.h"
 #include "util/sparse_vector.h"
 
 namespace wtp::svm {
@@ -32,8 +36,12 @@ struct SvddConfig {
 
 class SvddModel {
  public:
-  /// Trains on the user's window vectors.  Throws std::invalid_argument on
+  /// Trains on the user's window matrix.  Throws std::invalid_argument on
   /// empty data or c outside (0, 1].
+  [[nodiscard]] static SvddModel train(const util::FeatureMatrix& data,
+                                       const SvddConfig& config,
+                                       std::size_t dimension);
+  /// Convenience: builds the matrix from a span of SparseVectors first.
   [[nodiscard]] static SvddModel train(std::span<const util::SparseVector> data,
                                        const SvddConfig& config,
                                        std::size_t dimension);
@@ -41,19 +49,31 @@ class SvddModel {
   /// Reconstructs a model from persisted parts (model_io).  `r_squared` and
   /// `alpha_k_alpha` are the stored geometry terms.
   [[nodiscard]] static SvddModel from_parts(
+      KernelParams kernel, util::FeatureMatrix support_vectors,
+      std::vector<double> coefficients, double r_squared, double alpha_k_alpha);
+  [[nodiscard]] static SvddModel from_parts(
       KernelParams kernel, std::vector<util::SparseVector> support_vectors,
       std::vector<double> coefficients, double r_squared, double alpha_k_alpha);
 
   /// f(x) = R^2 - squared distance of Phi(x) to the center.
   [[nodiscard]] double decision_value(const util::SparseVector& x) const;
+  /// Variant with the query's squared norm precomputed by the caller.
+  [[nodiscard]] double decision_value(const util::SparseVector& x,
+                                      double x_sqnorm) const;
+  /// Batch: decision value of every row of `queries`, written to `out`.
+  void decision_values(const util::FeatureMatrix& queries,
+                       std::span<double> out) const;
   [[nodiscard]] bool accepts(const util::SparseVector& x) const {
     return decision_value(x) >= 0.0;
   }
 
   /// Squared distance ||Phi(x) - a||^2 (for diagnostics).
   [[nodiscard]] double squared_distance_to_center(const util::SparseVector& x) const;
+  [[nodiscard]] double squared_distance_to_center(const util::SparseVector& x,
+                                                  double x_sqnorm) const;
 
-  [[nodiscard]] const std::vector<util::SparseVector>& support_vectors() const noexcept {
+  /// The support-vector set as an owned CSR block.
+  [[nodiscard]] const util::FeatureMatrix& support_vectors() const noexcept {
     return support_vectors_;
   }
   [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
@@ -67,12 +87,10 @@ class SvddModel {
 
  private:
   SvddModel() = default;
-  void precompute_norms();
 
   KernelParams kernel_;
-  std::vector<util::SparseVector> support_vectors_;
+  util::FeatureMatrix support_vectors_;
   std::vector<double> coefficients_;
-  std::vector<double> sv_sqnorms_;
   double r_squared_ = 0.0;
   double alpha_k_alpha_ = 0.0;
   double effective_c_ = 0.0;

@@ -1,0 +1,148 @@
+#include "util/feature_matrix.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace wtp::util {
+
+namespace {
+
+/// Scratch for dot_all: a dense query expansion reused across calls.  The
+/// buffer is kept all-zero between calls (scatter, use, unscatter), so
+/// growing it only zero-fills the new tail.  thread_local keeps concurrent
+/// scorers (serve shards, grid-search workers) independent.
+std::vector<double>& dense_scratch(std::size_t cols) {
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < cols) scratch.resize(cols, 0.0);
+  return scratch;
+}
+
+void check_index(std::size_t index, std::size_t cols) {
+  if (index >= cols) {
+    throw std::invalid_argument{"FeatureMatrix: row index " + std::to_string(index) +
+                                " >= cols " + std::to_string(cols)};
+  }
+  if (index > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument{"FeatureMatrix: index exceeds 32-bit range"};
+  }
+}
+
+}  // namespace
+
+FeatureMatrix FeatureMatrix::from_rows(std::span<const SparseVector> rows,
+                                       std::size_t cols) {
+  FeatureMatrixBuilder builder;
+  for (const auto& row : rows) builder.add_row(row);
+  return builder.build(cols);
+}
+
+SparseVector FeatureMatrix::row_vector(std::size_t i) const {
+  std::vector<SparseVector::Entry> entries;
+  const auto indices = row_indices(i);
+  const auto values = row_values(i);
+  entries.reserve(indices.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    entries.push_back({indices[k], values[k]});
+  }
+  return SparseVector{std::move(entries)};
+}
+
+void FeatureMatrix::copy_row_dense(std::size_t i, std::span<double> out) const {
+  if (out.size() < cols_) {
+    throw std::invalid_argument{"FeatureMatrix::copy_row_dense: buffer holds " +
+                                std::to_string(out.size()) + " < cols " +
+                                std::to_string(cols_)};
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+  const auto indices = row_indices(i);
+  const auto values = row_values(i);
+  for (std::size_t k = 0; k < indices.size(); ++k) out[indices[k]] = values[k];
+}
+
+void FeatureMatrix::dot_all(std::span<const std::uint32_t> query_indices,
+                            std::span<const double> query_values,
+                            std::span<double> out) const {
+  auto& dense = dense_scratch(cols_);
+  for (std::size_t k = 0; k < query_indices.size(); ++k) {
+    if (query_indices[k] < cols_) dense[query_indices[k]] = query_values[k];
+  }
+  const std::size_t n = rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t* idx = indices_.data() + row_offsets_[r];
+    const double* val = values_.data() + row_offsets_[r];
+    const std::size_t len = row_offsets_[r + 1] - row_offsets_[r];
+    double sum = 0.0;
+    for (std::size_t k = 0; k < len; ++k) sum += val[k] * dense[idx[k]];
+    out[r] = sum;
+  }
+  for (const std::uint32_t index : query_indices) {
+    if (index < cols_) dense[index] = 0.0;
+  }
+}
+
+void FeatureMatrix::dot_all(const SparseVector& query, std::span<double> out) const {
+  auto& dense = dense_scratch(cols_);
+  for (const auto& entry : query.entries()) {
+    if (entry.index < cols_) dense[entry.index] = entry.value;
+  }
+  const std::size_t n = rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t* idx = indices_.data() + row_offsets_[r];
+    const double* val = values_.data() + row_offsets_[r];
+    const std::size_t len = row_offsets_[r + 1] - row_offsets_[r];
+    double sum = 0.0;
+    for (std::size_t k = 0; k < len; ++k) sum += val[k] * dense[idx[k]];
+    out[r] = sum;
+  }
+  for (const auto& entry : query.entries()) {
+    if (entry.index < cols_) dense[entry.index] = 0.0;
+  }
+}
+
+void FeatureMatrixBuilder::add(std::size_t index, double value) {
+  if (index > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument{"FeatureMatrixBuilder: index exceeds 32-bit range"};
+  }
+  pending_.push_back({index, value});
+}
+
+void FeatureMatrixBuilder::finish_row() {
+  // Normalize exactly like SparseVector: sort, sum duplicates, drop zeros.
+  add_row(SparseVector{std::move(pending_)});
+  pending_ = {};
+}
+
+void FeatureMatrixBuilder::add_row(const SparseVector& row) {
+  double sq_norm = 0.0;
+  for (const auto& entry : row.entries()) {
+    if (entry.index > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument{"FeatureMatrixBuilder: index exceeds 32-bit range"};
+    }
+    matrix_.indices_.push_back(static_cast<std::uint32_t>(entry.index));
+    matrix_.values_.push_back(entry.value);
+    sq_norm += entry.value * entry.value;
+  }
+  matrix_.row_offsets_.push_back(matrix_.indices_.size());
+  matrix_.sq_norms_.push_back(sq_norm);
+}
+
+FeatureMatrix FeatureMatrixBuilder::build(std::size_t cols) {
+  if (!pending_.empty()) finish_row();
+  std::size_t max_index_plus_one = 0;
+  for (const std::uint32_t index : matrix_.indices_) {
+    max_index_plus_one = std::max(max_index_plus_one, std::size_t{index} + 1);
+  }
+  if (cols == 0) {
+    matrix_.cols_ = max_index_plus_one;
+  } else {
+    if (max_index_plus_one > cols) check_index(max_index_plus_one - 1, cols);
+    matrix_.cols_ = cols;
+  }
+  FeatureMatrix result = std::move(matrix_);
+  matrix_ = {};
+  return result;
+}
+
+}  // namespace wtp::util

@@ -1,0 +1,110 @@
+// FeatureMatrix: immutable CSR batch of sparse feature rows — the canonical
+// data plane shared by training (svm/), the one-class alternatives
+// (oneclass/), the grid searches (core/) and online scoring (serve/).
+//
+// Layout is classic compressed-sparse-row: one contiguous `indices` array,
+// one contiguous `values` array, and `row_offsets` (length rows+1) slicing
+// both per row.  Per-row squared Euclidean norms are computed once at build
+// time so every RBF-style consumer shares them instead of recomputing.
+// Rows keep SparseVector's invariants (sorted indices, no duplicates, no
+// explicit zeros), which makes row-wise dot products bit-identical to
+// SparseVector::dot's merge join.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/sparse_vector.h"
+
+namespace wtp::util {
+
+class FeatureMatrix {
+ public:
+  /// Zero-row, zero-column matrix.
+  FeatureMatrix() = default;
+
+  /// Builds from normalized sparse rows.  `cols` fixes the column count;
+  /// when 0 it is deduced as max index + 1 over all rows.  Throws
+  /// std::invalid_argument when a row index exceeds an explicit `cols`.
+  [[nodiscard]] static FeatureMatrix from_rows(
+      std::span<const SparseVector> rows, std::size_t cols = 0);
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return row_offsets_.empty() ? 0 : row_offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rows() == 0; }
+
+  [[nodiscard]] std::span<const std::uint32_t> row_indices(std::size_t i) const noexcept {
+    return {indices_.data() + row_offsets_[i], row_offsets_[i + 1] - row_offsets_[i]};
+  }
+  [[nodiscard]] std::span<const double> row_values(std::size_t i) const noexcept {
+    return {values_.data() + row_offsets_[i], row_offsets_[i + 1] - row_offsets_[i]};
+  }
+  [[nodiscard]] std::size_t row_nnz(std::size_t i) const noexcept {
+    return row_offsets_[i + 1] - row_offsets_[i];
+  }
+
+  /// Cached ||row_i||^2.
+  [[nodiscard]] double sq_norm(std::size_t i) const noexcept { return sq_norms_[i]; }
+  [[nodiscard]] std::span<const double> sq_norms() const noexcept { return sq_norms_; }
+
+  /// Materializes row i as a SparseVector (persistence, tests).
+  [[nodiscard]] SparseVector row_vector(std::size_t i) const;
+
+  /// Writes row i densely into `out` (zero-filled first).  `out` must hold
+  /// at least cols() elements; throws std::invalid_argument otherwise.
+  /// Writing into a caller-reused buffer replaces the per-row allocation of
+  /// SparseVector::to_dense in hot loops.
+  void copy_row_dense(std::size_t i, std::span<double> out) const;
+
+  /// Dot product of every row with a query vector, written to out[0..rows).
+  /// The query is scattered into a dense scratch once, then each row streams
+  /// its own entries — bit-identical to SparseVector::dot per row (adding
+  /// the zero products of unmatched indices cannot change an IEEE sum).
+  /// Query indices beyond cols() cannot match any row and are skipped.
+  void dot_all(const SparseVector& query, std::span<double> out) const;
+  void dot_all(std::span<const std::uint32_t> query_indices,
+               std::span<const double> query_values, std::span<double> out) const;
+  /// Row `i` of this matrix as the query.
+  void dot_all(std::size_t i, std::span<double> out) const {
+    dot_all(row_indices(i), row_values(i), out);
+  }
+
+  friend bool operator==(const FeatureMatrix&, const FeatureMatrix&) = default;
+
+ private:
+  friend class FeatureMatrixBuilder;
+
+  std::size_t cols_ = 0;
+  std::vector<std::uint32_t> indices_;
+  std::vector<double> values_;
+  std::vector<std::size_t> row_offsets_{0};
+  std::vector<double> sq_norms_;
+};
+
+/// Incremental CSR builder for producers that stream (index, value) entries
+/// row by row (e.g. straight off WindowAggregator output) without a
+/// SparseVector detour.  Each row is normalized exactly like SparseVector:
+/// entries sorted by index, duplicates summed, zero results dropped.
+class FeatureMatrixBuilder {
+ public:
+  void add(std::size_t index, double value);
+  /// Seals the current row (empty rows are legal and kept).
+  void finish_row();
+  /// Appends an already-normalized row.
+  void add_row(const SparseVector& row);
+
+  /// Emits the matrix and resets the builder.  Pending un-finished entries
+  /// are sealed as a final row first.  `cols` as in FeatureMatrix::from_rows.
+  [[nodiscard]] FeatureMatrix build(std::size_t cols = 0);
+
+ private:
+  FeatureMatrix matrix_;
+  std::vector<SparseVector::Entry> pending_;
+};
+
+}  // namespace wtp::util

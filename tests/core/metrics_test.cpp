@@ -75,7 +75,7 @@ TEST(MeanAcceptance, IsAverageOfPerProfileRatios) {
 }
 
 TEST(MeanAcceptance, RejectsEmptyProfileSet) {
-  EXPECT_THROW((void)mean_acceptance({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)mean_acceptance({}, WindowsByUser{}), std::invalid_argument);
 }
 
 TEST(Confusion, MatrixShapeMatchesUsers) {

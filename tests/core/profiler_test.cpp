@@ -60,7 +60,8 @@ TEST(UserProfile, AcceptanceRatioOfEmptySetIsZero) {
   const auto windows = dataset.train_windows(user, kWindow);
   const UserProfile profile = UserProfile::train(
       user, windows, dataset.schema().dimension(), svdd_params());
-  EXPECT_DOUBLE_EQ(profile.acceptance_ratio({}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      profile.acceptance_ratio(std::span<const util::SparseVector>{}), 0.0);
 }
 
 TEST(UserProfile, DecisionValueConsistentWithAccepts) {
@@ -112,7 +113,8 @@ TEST(UserProfile, LoadRejectsMalformedHeader) {
 
 TEST(UserProfile, TrainRejectsEmptyWindows) {
   EXPECT_THROW(
-      (void)UserProfile::train("u", {}, 10, ocsvm_params()),
+      (void)UserProfile::train("u", std::span<const util::SparseVector>{}, 10,
+                               ocsvm_params()),
       std::invalid_argument);
 }
 

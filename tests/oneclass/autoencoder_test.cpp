@@ -100,7 +100,8 @@ TEST(Autoencoder, RejectsInvalidConfiguration) {
 
 TEST(Autoencoder, RejectsEmptyFitAndZeroDimension) {
   AutoencoderModel model;
-  EXPECT_THROW(model.fit({}, kDim), std::invalid_argument);
+  EXPECT_THROW(model.fit(std::span<const util::SparseVector>{}, kDim),
+               std::invalid_argument);
   util::Rng rng{5};
   const auto data = patterned_data(rng, 10);
   EXPECT_THROW(model.fit(data, 0), std::invalid_argument);

@@ -77,7 +77,8 @@ TEST(IsolationForest, RejectsInvalidConfigAndEmptyFit) {
   config.subsample = 1;
   EXPECT_THROW((IsolationForestModel{config}), std::invalid_argument);
   IsolationForestModel model;
-  EXPECT_THROW(model.fit({}, kDim), std::invalid_argument);
+  EXPECT_THROW(model.fit(std::span<const util::SparseVector>{}, kDim),
+               std::invalid_argument);
   EXPECT_THROW((void)model.anomaly_score(util::SparseVector{}), std::logic_error);
 }
 
@@ -129,7 +130,8 @@ TEST(Knn, RejectsInvalidParameters) {
   EXPECT_THROW((KnnModel{0, 0.1}), std::invalid_argument);
   EXPECT_THROW((KnnModel{3, 1.0}), std::invalid_argument);
   KnnModel model{3, 0.1};
-  EXPECT_THROW(model.fit({}, kDim), std::invalid_argument);
+  EXPECT_THROW(model.fit(std::span<const util::SparseVector>{}, kDim),
+               std::invalid_argument);
   EXPECT_THROW((void)model.kth_distance(util::SparseVector{}), std::logic_error);
 }
 

@@ -76,7 +76,8 @@ TEST_P(OneClassModelTest, DecisionValueOrdersByTypicality) {
 
 TEST_P(OneClassModelTest, FitRejectsEmptyData) {
   auto model = make_model(GetParam(), 0.1);
-  EXPECT_THROW(model->fit({}, kDim), std::invalid_argument);
+  EXPECT_THROW(model->fit(std::span<const util::SparseVector>{}, kDim),
+               std::invalid_argument);
 }
 
 TEST_P(OneClassModelTest, NameIsStable) {

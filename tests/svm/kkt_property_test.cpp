@@ -68,8 +68,9 @@ TEST_P(SolverKktTest, SolutionSatisfiesKkt) {
   for (int trial = 0; trial < 5; ++trial) {
     const std::size_t l = 30 + rng.uniform_index(50);
     const auto data = random_points(rng, l, 12);
+    const auto matrix = util::FeatureMatrix::from_rows(data);
     KernelParams kernel{param.kernel, 0.3, 0.5, 2};
-    QMatrix q{data, kernel, 1.0, 1 << 20};
+    QMatrix q{matrix, kernel, 1.0, 1 << 20};
     const std::vector<double> p(l, 0.0);
     SolverConfig config;
     config.eps = 1e-4;
@@ -109,10 +110,11 @@ TEST(OneClassKkt, TrainedModelsSatisfyKktAcrossNu) {
     config.eps = 1e-4;
     const auto model = OneClassSvmModel::train(data, config, 10);
     // Every free SV must sit on the decision boundary.
-    for (std::size_t i = 0; i < model.support_vectors().size(); ++i) {
+    for (std::size_t i = 0; i < model.support_vectors().rows(); ++i) {
       const double alpha = model.coefficients()[i];
       if (alpha > 1e-8 && alpha < 1.0 - 1e-8) {
-        EXPECT_NEAR(model.decision_value(model.support_vectors()[i]), 0.0, 5e-3)
+        EXPECT_NEAR(model.decision_value(model.support_vectors().row_vector(i)),
+                    0.0, 5e-3)
             << "nu=" << nu;
       }
     }
@@ -128,10 +130,11 @@ TEST(SvddKkt, FreeSupportVectorsSitOnTheSphere) {
     config.kernel = {KernelType::kRbf, 0.4, 0.0, 3};
     config.eps = 1e-6;
     const auto model = SvddModel::train(data, config, 8);
-    for (std::size_t i = 0; i < model.support_vectors().size(); ++i) {
+    for (std::size_t i = 0; i < model.support_vectors().rows(); ++i) {
       const double alpha = model.coefficients()[i];
       if (alpha > 1e-8 && alpha < model.effective_c() - 1e-8) {
-        EXPECT_NEAR(model.squared_distance_to_center(model.support_vectors()[i]),
+        EXPECT_NEAR(model.squared_distance_to_center(
+                        model.support_vectors().row_vector(i)),
                     model.r_squared(), 5e-3)
             << "C=" << c;
       }

@@ -44,7 +44,7 @@ TEST(ModelIo, OneClassRoundTripPreservesDecisions) {
 
   EXPECT_EQ(loaded.kernel(), model.kernel());
   EXPECT_DOUBLE_EQ(loaded.rho(), model.rho());
-  ASSERT_EQ(loaded.support_vectors().size(), model.support_vectors().size());
+  ASSERT_EQ(loaded.support_vectors().rows(), model.support_vectors().rows());
   for (const auto& x : probes(2)) {
     ASSERT_DOUBLE_EQ(loaded.decision_value(x), model.decision_value(x));
   }

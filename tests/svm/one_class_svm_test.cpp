@@ -51,7 +51,7 @@ TEST(OneClassSvm, NuBoundsOutlierAndSupportVectorFractions) {
     const auto model = OneClassSvmModel::train(data, config, 3);
     EXPECT_LE(model.bounded_fraction(), nu + 0.02) << "nu=" << nu;
     const double sv_fraction =
-        static_cast<double>(model.support_vectors().size()) / 200.0;
+        static_cast<double>(model.support_vectors().rows()) / 200.0;
     EXPECT_GE(sv_fraction, nu - 0.02) << "nu=" << nu;
   }
 }
@@ -83,10 +83,11 @@ TEST(OneClassSvm, FreeSupportVectorsLieNearBoundary) {
   config.eps = 1e-5;
   const auto model = OneClassSvmModel::train(data, config, 3);
   ASSERT_FALSE(model.support_vectors().empty());
-  for (std::size_t i = 0; i < model.support_vectors().size(); ++i) {
+  for (std::size_t i = 0; i < model.support_vectors().rows(); ++i) {
     const double alpha = model.coefficients()[i];
     if (alpha > 1e-6 && alpha < 1.0 - 1e-6) {  // free SV
-      EXPECT_NEAR(model.decision_value(model.support_vectors()[i]), 0.0, 1e-3);
+      EXPECT_NEAR(model.decision_value(model.support_vectors().row_vector(i)),
+                  0.0, 1e-3);
     }
   }
 }

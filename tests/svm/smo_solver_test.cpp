@@ -21,7 +21,8 @@ TEST(SmoSolver, TwoPointSymmetricProblemSplitsAlphaEvenly) {
   // U = 1.  Any feasible split is optimal; the solver must return a feasible
   // point with the known objective 0.5.
   const auto data = points_1d({1.0, 1.0});
-  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  QMatrix q{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
   const std::vector<double> p(2, 0.0);
   const auto result = solve_smo(q, p, 1.0, 1.0);
   EXPECT_TRUE(result.converged);
@@ -34,7 +35,8 @@ TEST(SmoSolver, MinimizesTowardSmallerNormPoint) {
   // weight on the x=1 point until its bound: unconstrained optimum is
   // a = (1, 0) (objective 0.5) vs a=(0,1) (objective 4.5).
   const auto data = points_1d({1.0, 3.0});
-  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  QMatrix q{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
   const std::vector<double> p(2, 0.0);
   const auto result = solve_smo(q, p, 1.0, 1.0);
   EXPECT_TRUE(result.converged);
@@ -45,7 +47,8 @@ TEST(SmoSolver, MinimizesTowardSmallerNormPoint) {
 TEST(SmoSolver, RespectsUpperBound) {
   // Same as above but U = 0.6: optimum clips at a = (0.6, 0.4).
   const auto data = points_1d({1.0, 3.0});
-  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  QMatrix q{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
   const std::vector<double> p(2, 0.0);
   const auto result = solve_smo(q, p, 0.6, 1.0);
   EXPECT_NEAR(result.alpha[0], 0.6, 1e-6);
@@ -58,7 +61,8 @@ TEST(SmoSolver, LinearTermSteersSolution) {
   // -> gradient equality a0 = a1 - 1 with sum 1 -> a = (0, 1).
   std::vector<util::SparseVector> data{util::SparseVector{{0, 1.0}},
                                        util::SparseVector{{1, 1.0}}};
-  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  QMatrix q{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
   const std::vector<double> p{0.0, -1.0};
   const auto result = solve_smo(q, p, 1.0, 1.0);
   EXPECT_NEAR(result.alpha[0], 0.0, 1e-3);
@@ -70,7 +74,8 @@ TEST(SmoSolver, ThreePointIdentityDistributesEvenly) {
   std::vector<util::SparseVector> data{util::SparseVector{{0, 1.0}},
                                        util::SparseVector{{1, 1.0}},
                                        util::SparseVector{{2, 1.0}}};
-  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  QMatrix q{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
   const std::vector<double> p(3, 0.0);
   SolverConfig config;
   config.eps = 1e-6;
@@ -88,7 +93,8 @@ TEST(SmoSolver, GradientMatchesDefinitionAtSolution) {
     data.push_back(util::SparseVector::from_dense(dense));
   }
   const KernelParams kernel{KernelType::kRbf, 0.5, 0.0, 3};
-  QMatrix q{data, kernel, 1.0, 1 << 20};
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  QMatrix q{matrix, kernel, 1.0, 1 << 20};
   const std::vector<double> p(20, 0.0);
   const auto result = solve_smo(q, p, 1.0, 10.0);
   // G_i must equal sum_j Q_ij a_j + p_i.
@@ -113,7 +119,8 @@ TEST_P(SmoConstraintTest, FeasibilityPreservedOnRandomProblems) {
     for (int k = 0; k < 5; ++k) dense[rng.uniform_index(10)] = rng.uniform();
     data.push_back(util::SparseVector::from_dense(dense));
   }
-  QMatrix q{data, {KernelType::kRbf, 0.3, 0.0, 3}, 1.0, 1 << 20};
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  QMatrix q{matrix, {KernelType::kRbf, 0.3, 0.0, 3}, 1.0, 1 << 20};
   const std::vector<double> p(kPoints, 0.0);
   const double alpha_sum = sum_fraction * upper_bound * kPoints;
   const auto result = solve_smo(q, p, upper_bound, alpha_sum);
@@ -142,7 +149,8 @@ TEST(SmoSolver, SolutionIsNoWorseThanRandomFeasiblePoints) {
     data.push_back(util::SparseVector::from_dense(dense));
   }
   const KernelParams kernel{KernelType::kLinear, 1.0, 0.0, 3};
-  QMatrix q{data, kernel, 1.0, 1 << 20};
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  QMatrix q{matrix, kernel, 1.0, 1 << 20};
   const std::vector<double> p(kPoints, 0.0);
   const double alpha_sum = 3.0;
   const auto result = solve_smo(q, p, 1.0, alpha_sum);
@@ -179,7 +187,8 @@ TEST(SmoSolver, SolutionIsNoWorseThanRandomFeasiblePoints) {
 
 TEST(SmoSolver, RejectsInfeasibleConstraints) {
   const auto data = points_1d({1.0, 2.0});
-  QMatrix q{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  QMatrix q{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
   const std::vector<double> p(2, 0.0);
   EXPECT_THROW((void)solve_smo(q, p, 1.0, 3.0), std::invalid_argument);  // sum > U*l
   EXPECT_THROW((void)solve_smo(q, p, 0.0, 0.5), std::invalid_argument);  // U = 0
@@ -190,8 +199,9 @@ TEST(SmoSolver, RejectsInfeasibleConstraints) {
 
 TEST(SmoSolver, ScaleFactorDoublesQ) {
   const auto data = points_1d({1.0, 2.0});
-  QMatrix q1{data, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
-  QMatrix q2{data, {KernelType::kLinear, 1.0, 0.0, 3}, 2.0, 1 << 20};
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  QMatrix q1{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+  QMatrix q2{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 2.0, 1 << 20};
   EXPECT_DOUBLE_EQ(q1.diag(1), 4.0);
   EXPECT_DOUBLE_EQ(q2.diag(1), 8.0);
   EXPECT_DOUBLE_EQ(q1.kernel_diag(1), 4.0);  // unscaled kernel diagonal
@@ -200,7 +210,7 @@ TEST(SmoSolver, ScaleFactorDoublesQ) {
 }
 
 TEST(QMatrixTest, RejectsEmptyData) {
-  const std::vector<util::SparseVector> empty;
+  const util::FeatureMatrix empty;
   EXPECT_THROW((QMatrix{empty, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1024}),
                std::invalid_argument);
 }

@@ -1,0 +1,231 @@
+#include "util/feature_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/sparse_vector.h"
+
+namespace wtp::util {
+namespace {
+
+std::vector<SparseVector> sample_rows() {
+  return {
+      SparseVector{{0, 1.0}, {2, -2.0}, {5, 0.5}},
+      SparseVector{},  // empty row
+      SparseVector{{1, 3.0}},
+      SparseVector{{0, -1.0}, {5, 4.0}},
+  };
+}
+
+TEST(FeatureMatrix, DefaultConstructedIsEmpty) {
+  const FeatureMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FeatureMatrix, FromRowsPreservesLayout) {
+  const auto rows = sample_rows();
+  const auto m = FeatureMatrix::from_rows(rows);
+  ASSERT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 6u);  // deduced: max index 5 -> 6 columns
+  EXPECT_EQ(m.nnz(), 6u);
+  EXPECT_FALSE(m.empty());
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto indices = m.row_indices(i);
+    const auto values = m.row_values(i);
+    ASSERT_EQ(indices.size(), rows[i].nnz());
+    ASSERT_EQ(values.size(), rows[i].nnz());
+    const auto entries = rows[i].entries();
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      EXPECT_EQ(indices[k], entries[k].index);
+      EXPECT_EQ(values[k], entries[k].value);
+    }
+  }
+}
+
+TEST(FeatureMatrix, EmptyRowsAreKept) {
+  const std::vector<SparseVector> rows{SparseVector{}, SparseVector{{3, 2.0}},
+                                       SparseVector{}};
+  const auto m = FeatureMatrix::from_rows(rows);
+  ASSERT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.row_nnz(0), 0u);
+  EXPECT_EQ(m.row_nnz(1), 1u);
+  EXPECT_EQ(m.row_nnz(2), 0u);
+  EXPECT_EQ(m.sq_norm(0), 0.0);
+  EXPECT_EQ(m.sq_norm(2), 0.0);
+  EXPECT_TRUE(m.row_vector(0).empty());
+}
+
+TEST(FeatureMatrix, SqNormsMatchSparseVectorExactly) {
+  const auto rows = sample_rows();
+  const auto m = FeatureMatrix::from_rows(rows);
+  ASSERT_EQ(m.sq_norms().size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    // Bit-exact: the builder accumulates in entry order, matching
+    // SparseVector::squared_norm's iteration order.
+    EXPECT_EQ(m.sq_norm(i), rows[i].squared_norm());
+  }
+}
+
+TEST(FeatureMatrix, RowVectorRoundTrips) {
+  const auto rows = sample_rows();
+  const auto m = FeatureMatrix::from_rows(rows);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(m.row_vector(i), rows[i]);
+  }
+}
+
+TEST(FeatureMatrix, ExplicitColsValidated) {
+  const std::vector<SparseVector> rows{SparseVector{{7, 1.0}}};
+  const auto m = FeatureMatrix::from_rows(rows, 10);
+  EXPECT_EQ(m.cols(), 10u);
+  EXPECT_THROW((void)FeatureMatrix::from_rows(rows, 7), std::invalid_argument);
+}
+
+TEST(FeatureMatrix, DotAllMatchesSparseDotExactly) {
+  const auto rows = sample_rows();
+  const auto m = FeatureMatrix::from_rows(rows);
+  const SparseVector query{{0, 2.0}, {2, 1.5}, {4, -1.0}, {5, 3.0}};
+  std::vector<double> dots(m.rows());
+  m.dot_all(query, dots);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(dots[i], rows[i].dot(query));
+  }
+}
+
+TEST(FeatureMatrix, DotAllRowQueryMatchesSparseDot) {
+  const auto rows = sample_rows();
+  const auto m = FeatureMatrix::from_rows(rows);
+  std::vector<double> dots(m.rows());
+  for (std::size_t q = 0; q < rows.size(); ++q) {
+    m.dot_all(q, dots);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(dots[i], rows[i].dot(rows[q])) << "q=" << q << " i=" << i;
+    }
+  }
+}
+
+TEST(FeatureMatrix, DotAllIgnoresQueryIndicesBeyondCols) {
+  // A query from a wider feature space: indices >= cols() contribute zero
+  // products against every row and must be skipped, not crash.
+  const std::vector<SparseVector> rows{SparseVector{{0, 1.0}, {1, 2.0}}};
+  const auto m = FeatureMatrix::from_rows(rows);  // cols == 2
+  const SparseVector query{{0, 3.0}, {9, 4.0}};
+  std::vector<double> dots(1);
+  m.dot_all(query, dots);
+  EXPECT_EQ(dots[0], 3.0);
+}
+
+TEST(FeatureMatrix, CopyRowDenseMatchesToDense) {
+  const auto rows = sample_rows();
+  const auto m = FeatureMatrix::from_rows(rows, 8);
+  std::vector<double> dense(8, -7.0);  // poison: must be fully overwritten
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    m.copy_row_dense(i, dense);
+    EXPECT_EQ(dense, rows[i].to_dense(8));
+  }
+}
+
+TEST(FeatureMatrix, CopyRowDenseRejectsShortBuffer) {
+  const auto m = FeatureMatrix::from_rows(sample_rows(), 8);
+  std::vector<double> dense(7);
+  EXPECT_THROW(m.copy_row_dense(0, dense), std::invalid_argument);
+}
+
+TEST(FeatureMatrix, EqualityComparesFullLayout) {
+  const auto rows = sample_rows();
+  const auto a = FeatureMatrix::from_rows(rows);
+  const auto b = FeatureMatrix::from_rows(rows);
+  EXPECT_EQ(a, b);
+  const auto wider = FeatureMatrix::from_rows(rows, 10);
+  EXPECT_NE(a, wider);
+}
+
+TEST(FeatureMatrixBuilder, SumsDuplicateIndicesPerRow) {
+  FeatureMatrixBuilder builder;
+  builder.add(3, 1.0);
+  builder.add(1, 2.0);
+  builder.add(3, 4.0);  // duplicate of index 3 -> summed to 5.0
+  builder.finish_row();
+  const auto m = builder.build();
+  ASSERT_EQ(m.rows(), 1u);
+  ASSERT_EQ(m.row_nnz(0), 2u);
+  EXPECT_EQ(m.row_indices(0)[0], 1u);
+  EXPECT_EQ(m.row_values(0)[0], 2.0);
+  EXPECT_EQ(m.row_indices(0)[1], 3u);
+  EXPECT_EQ(m.row_values(0)[1], 5.0);
+}
+
+TEST(FeatureMatrixBuilder, DropsEntriesThatSumToZero) {
+  FeatureMatrixBuilder builder;
+  builder.add(2, 1.5);
+  builder.add(2, -1.5);  // cancels out -> dropped
+  builder.add(4, 0.0);   // explicit zero -> dropped
+  builder.add(0, 1.0);
+  builder.finish_row();
+  const auto m = builder.build();
+  ASSERT_EQ(m.rows(), 1u);
+  ASSERT_EQ(m.row_nnz(0), 1u);
+  EXPECT_EQ(m.row_indices(0)[0], 0u);
+  EXPECT_EQ(m.row_values(0)[0], 1.0);
+  EXPECT_EQ(m.sq_norm(0), 1.0);
+}
+
+TEST(FeatureMatrixBuilder, SortsUnsortedInput) {
+  FeatureMatrixBuilder builder;
+  builder.add(5, 1.0);
+  builder.add(0, 2.0);
+  builder.add(3, 3.0);
+  builder.finish_row();
+  const auto m = builder.build();
+  ASSERT_EQ(m.row_nnz(0), 3u);
+  EXPECT_EQ(m.row_indices(0)[0], 0u);
+  EXPECT_EQ(m.row_indices(0)[1], 3u);
+  EXPECT_EQ(m.row_indices(0)[2], 5u);
+}
+
+TEST(FeatureMatrixBuilder, PendingEntriesSealedByBuild) {
+  FeatureMatrixBuilder builder;
+  builder.add(1, 1.0);  // no finish_row(): build() seals the pending row
+  const auto m = builder.build();
+  ASSERT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.row_nnz(0), 1u);
+}
+
+TEST(FeatureMatrixBuilder, AddRowMatchesFromRows) {
+  const auto rows = sample_rows();
+  FeatureMatrixBuilder builder;
+  for (const auto& row : rows) builder.add_row(row);
+  const auto built = builder.build();
+  EXPECT_EQ(built, FeatureMatrix::from_rows(rows));
+}
+
+TEST(FeatureMatrixBuilder, ResetsAfterBuild) {
+  FeatureMatrixBuilder builder;
+  builder.add_row(SparseVector{{0, 1.0}});
+  (void)builder.build();
+  const auto second = builder.build();
+  EXPECT_EQ(second.rows(), 0u);
+  EXPECT_TRUE(second.empty());
+}
+
+TEST(FeatureMatrixBuilder, EmptyFinishedRowsCount) {
+  FeatureMatrixBuilder builder;
+  builder.finish_row();
+  builder.add(2, 1.0);
+  builder.finish_row();
+  builder.finish_row();
+  const auto m = builder.build();
+  ASSERT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.row_nnz(0), 0u);
+  EXPECT_EQ(m.row_nnz(1), 1u);
+  EXPECT_EQ(m.row_nnz(2), 0u);
+}
+
+}  // namespace
+}  // namespace wtp::util

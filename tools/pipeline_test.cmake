@@ -61,4 +61,36 @@ if(found EQUAL -1)
   message(FATAL_ERROR "wtp_serve printed no metrics object:\n${last_output}")
 endif()
 
+# Second configuration: build the serving tool and the FeatureMatrix
+# equivalence suite with -DWTP_SANITIZE=ON and re-run both on the same trace
+# and profile store.  ASan/UBSan guard the CSR scatter/gather hot paths
+# (thread-local scratch reuse, borrowed row spans) that the fast build
+# exercises without instrumentation.  Skipped when the outer build is
+# already sanitized — the plain run above then covers it.
+if(NOT SANITIZED AND SOURCE_DIR)
+  set(san_build "${WORK}/sanitized_build")
+  run_step(${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${san_build}
+           -DCMAKE_BUILD_TYPE=Release
+           -DCMAKE_CXX_COMPILER=${CXX_COMPILER}
+           -DWTP_SANITIZE=ON)
+  include(ProcessorCount)
+  ProcessorCount(cores)
+  if(cores EQUAL 0)
+    set(cores 4)
+  endif()
+  run_step(${CMAKE_COMMAND} --build ${san_build} --parallel ${cores}
+           --target wtp_serve equivalence_tests)
+
+  run_step(${san_build}/tools/wtp_serve
+           --log ${trace} --store ${store} --smooth 3 --shards 4)
+  string(FIND "${last_output}" "\"correct\":true" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+            "sanitized wtp_serve emitted no correct identification event:\n${last_output}")
+  endif()
+
+  run_step(${san_build}/tests/equivalence_tests)
+  message(STATUS "sanitized serve + equivalence OK")
+endif()
+
 message(STATUS "tools pipeline OK")
