@@ -1,6 +1,7 @@
 #include "core/grid_search.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -44,6 +45,124 @@ AcceptanceRatios training_set_ratios(
     // degenerate training set): maximally bad score, keeps the sweep going.
     return {.acc_self = 0.0, .acc_other = 100.0};
   }
+}
+
+/// The {0, 100} sentinel: maximally bad ratios marking a cell whose
+/// training failed (infeasible or degenerate configuration).
+constexpr AcceptanceRatios untrainable_ratios() {
+  return {.acc_self = 0.0, .acc_other = 100.0};
+}
+
+/// Stage-2 cells solve tighter than the production default and score with a
+/// small acceptance slack.  Free support vectors sit exactly on the decision
+/// boundary, so at slack 0 their accept/reject sign — and therefore ACC —
+/// depends on which near-optimal point a solve happened to stop at.  Solver
+/// noise at kGridCellEps is orders of magnitude below kGridAcceptSlack while
+/// genuine rejections clear the slack by a real margin, making warm-path and
+/// cold per-cell scores (and the selected argmax) identical.
+constexpr double kGridCellEps = 1e-6;
+constexpr double kGridAcceptSlack = 1e-4;
+
+bool is_trainable(const AcceptanceRatios& ratios) {
+  return !(ratios.acc_self == 0.0 && ratios.acc_other == 100.0);
+}
+
+/// One stage-2 cell trained from scratch (the cold reference): same solver
+/// tolerance and acceptance slack as the warm path, so the two modes differ
+/// only in how the solution is reached.
+AcceptanceRatios grid_cell_ratios(const std::string& user,
+                                  const ProfileParams& params,
+                                  const MatrixByUser& train_windows,
+                                  std::size_t dimension) {
+  const auto& own_windows = *train_windows.at(user);
+  if (own_windows.empty()) return untrainable_ratios();
+  try {
+    const auto train = [&]() -> svm::AnySvmModel {
+      if (params.type == ClassifierType::kOcSvm) {
+        svm::OneClassSvmConfig config;
+        config.nu = params.regularizer;
+        config.kernel = params.kernel;
+        config.eps = kGridCellEps;
+        return svm::OneClassSvmModel::train(own_windows, config, dimension);
+      }
+      svm::SvddConfig config;
+      config.c = params.regularizer;
+      config.kernel = params.kernel;
+      config.eps = kGridCellEps;
+      return svm::SvddModel::train(own_windows, config, dimension);
+    };
+    const UserProfile profile = UserProfile::from_model(user, params, train());
+    return profile_acceptance(profile, train_windows, kGridAcceptSlack);
+  } catch (const std::invalid_argument&) {
+    return untrainable_ratios();
+  }
+}
+
+/// One kernel's regularizer column for one user, trained as a single
+/// warm-started fit_path sweep: the QMatrix (and its kernel-row cache) is
+/// built once, each cell's solve seeded from the previous alpha.  `gram`
+/// (may be null) shares the raw dot-product rows across every kernel column
+/// of the same user, so concurrent columns pay only the scalar kernel
+/// transform after the first one computes a row.  Scores are identical to
+/// per-cell cold fits (same converged QP, same decision thresholding); only
+/// the route there is cheaper.  Failures mark the whole column untrainable —
+/// feasibility depends on the shared training matrix, not on the
+/// regularizer value.
+std::vector<ParamGridEntry> regularizer_path_entries(
+    const std::string& user, ClassifierType type,
+    const svm::KernelParams& kernel, std::span<const double> regularizers,
+    const MatrixByUser& train_windows, std::size_t dimension,
+    const std::shared_ptr<svm::GramCache>& gram) {
+  std::vector<ParamGridEntry> entries(regularizers.size());
+  for (std::size_t r = 0; r < regularizers.size(); ++r) {
+    entries[r].params.type = type;
+    entries[r].params.kernel = kernel;
+    entries[r].params.regularizer = regularizers[r];
+  }
+  const auto mark_untrainable = [&entries] {
+    for (auto& entry : entries) {
+      entry.ratios = untrainable_ratios();
+      entry.trainable = false;
+    }
+  };
+  const auto& own_windows = *train_windows.at(user);
+  if (own_windows.empty()) {
+    mark_untrainable();
+    return entries;
+  }
+  try {
+    const auto score = [&](std::size_t r, svm::AnySvmModel model) {
+      const UserProfile profile = UserProfile::from_model(
+          user, entries[r].params, std::move(model));
+      entries[r].ratios =
+          profile_acceptance(profile, train_windows, kGridAcceptSlack);
+      entries[r].trainable = is_trainable(entries[r].ratios);
+    };
+    if (type == ClassifierType::kOcSvm) {
+      svm::OneClassSvmConfig config;
+      config.kernel = kernel;
+      config.eps = kGridCellEps;
+      config.gram_cache = gram;
+      auto models = svm::OneClassSvmModel::fit_path(own_windows, config,
+                                                    regularizers, dimension);
+      for (std::size_t r = 0; r < models.size(); ++r) {
+        score(r, std::move(models[r]));
+      }
+    } else {
+      svm::SvddConfig config;
+      config.kernel = kernel;
+      config.eps = kGridCellEps;
+      config.gram_cache = gram;
+      auto models =
+          svm::SvddModel::fit_path(own_windows, config, regularizers, dimension);
+      for (std::size_t r = 0; r < models.size(); ++r) {
+        score(r, std::move(models[r]));
+      }
+    }
+  } catch (const std::invalid_argument&) {
+    mark_untrainable();
+  }
+  return entries;
 }
 
 /// Each (window, user) pair is windowed into a CSR matrix exactly once: the
@@ -114,9 +233,27 @@ std::vector<ParamGridEntry> param_grid_search(
     const ProfilingDataset& dataset, const std::string& user,
     const features::WindowConfig& window, ClassifierType type,
     std::span<const svm::KernelParams> kernels,
-    std::span<const double> regularizers, util::ThreadPool& pool) {
+    std::span<const double> regularizers, util::ThreadPool& pool,
+    GridSearchMode mode) {
   const MatrixByUser train_windows = all_train_matrices(dataset, window, pool);
   std::vector<ParamGridEntry> entries(kernels.size() * regularizers.size());
+  if (mode == GridSearchMode::kWarmPath) {
+    // One task per kernel: the regularizer column is a single warm path.
+    // All columns transform the same Gram rows, so they share one dot cache.
+    const auto& own_windows = *train_windows.at(user);
+    const auto gram = own_windows.empty()
+                          ? nullptr
+                          : std::make_shared<svm::GramCache>(own_windows);
+    util::parallel_for(pool, kernels.size(), [&](std::size_t k) {
+      auto column = regularizer_path_entries(user, type, kernels[k],
+                                             regularizers, train_windows,
+                                             dataset.schema().dimension(), gram);
+      std::move(column.begin(), column.end(),
+                entries.begin() +
+                    static_cast<std::ptrdiff_t>(k * regularizers.size()));
+    });
+    return entries;
+  }
   util::parallel_for(pool, entries.size(), [&](std::size_t index) {
     const std::size_t k = index / regularizers.size();
     const std::size_t r = index % regularizers.size();
@@ -124,10 +261,9 @@ std::vector<ParamGridEntry> param_grid_search(
     entry.params.type = type;
     entry.params.kernel = kernels[k];
     entry.params.regularizer = regularizers[r];
-    entry.ratios = training_set_ratios(user, entry.params, train_windows,
-                                       dataset.schema().dimension());
-    entry.trainable =
-        !(entry.ratios.acc_self == 0.0 && entry.ratios.acc_other == 100.0);
+    entry.ratios = grid_cell_ratios(user, entry.params, train_windows,
+                                    dataset.schema().dimension());
+    entry.trainable = is_trainable(entry.ratios);
   });
   return entries;
 }
@@ -147,26 +283,50 @@ const ParamGridEntry& best_params(std::span<const ParamGridEntry> entries) {
 std::vector<ProfileParams> optimize_all_users(
     const ProfilingDataset& dataset, const features::WindowConfig& window,
     ClassifierType type, std::span<const svm::KernelParams> kernels,
-    std::span<const double> regularizers, util::ThreadPool& pool) {
+    std::span<const double> regularizers, util::ThreadPool& pool,
+    GridSearchMode mode) {
   const MatrixByUser train_windows = all_train_matrices(dataset, window, pool);
   const auto& users = dataset.user_ids();
   const std::size_t grid_size = kernels.size() * regularizers.size();
   std::vector<std::vector<ParamGridEntry>> grids(
       users.size(), std::vector<ParamGridEntry>(grid_size));
-  util::parallel_for(pool, users.size() * grid_size, [&](std::size_t index) {
-    const std::size_t u = index / grid_size;
-    const std::size_t g = index % grid_size;
-    const std::size_t k = g / regularizers.size();
-    const std::size_t r = g % regularizers.size();
-    ParamGridEntry& entry = grids[u][g];
-    entry.params.type = type;
-    entry.params.kernel = kernels[k];
-    entry.params.regularizer = regularizers[r];
-    entry.ratios = training_set_ratios(users[u], entry.params, train_windows,
-                                       dataset.schema().dimension());
-    entry.trainable =
-        !(entry.ratios.acc_self == 0.0 && entry.ratios.acc_other == 100.0);
-  });
+  if (mode == GridSearchMode::kWarmPath) {
+    // One task per (user, kernel); results land in fixed slots, so the
+    // selection below is independent of scheduling and pool size.  Kernel
+    // columns of the same user share that user's dot-row cache.
+    std::vector<std::shared_ptr<svm::GramCache>> grams(users.size());
+    for (std::size_t u = 0; u < users.size(); ++u) {
+      const auto& own_windows = *train_windows.at(users[u]);
+      if (!own_windows.empty()) {
+        grams[u] = std::make_shared<svm::GramCache>(own_windows);
+      }
+    }
+    util::parallel_for(pool, users.size() * kernels.size(), [&](std::size_t index) {
+      const std::size_t u = index / kernels.size();
+      const std::size_t k = index % kernels.size();
+      auto column = regularizer_path_entries(users[u], type, kernels[k],
+                                             regularizers, train_windows,
+                                             dataset.schema().dimension(),
+                                             grams[u]);
+      std::move(column.begin(), column.end(),
+                grids[u].begin() +
+                    static_cast<std::ptrdiff_t>(k * regularizers.size()));
+    });
+  } else {
+    util::parallel_for(pool, users.size() * grid_size, [&](std::size_t index) {
+      const std::size_t u = index / grid_size;
+      const std::size_t g = index % grid_size;
+      const std::size_t k = g / regularizers.size();
+      const std::size_t r = g % regularizers.size();
+      ParamGridEntry& entry = grids[u][g];
+      entry.params.type = type;
+      entry.params.kernel = kernels[k];
+      entry.params.regularizer = regularizers[r];
+      entry.ratios = grid_cell_ratios(users[u], entry.params, train_windows,
+                                      dataset.schema().dimension());
+      entry.trainable = is_trainable(entry.ratios);
+    });
+  }
   std::vector<ProfileParams> chosen;
   chosen.reserve(users.size());
   for (const auto& grid : grids) chosen.push_back(best_params(grid).params);

@@ -58,6 +58,15 @@ struct ParamGridEntry {
   bool trainable = true;  ///< false when training failed (infeasible config)
 };
 
+/// How stage 2 trains the cells of one kernel's regularizer column.
+///   kWarmPath:    one fit_path sweep per (user, kernel) — a shared QMatrix
+///                 and kernel cache across the column, each solve seeded
+///                 from the previous cell (the production path).
+///   kColdPerCell: every cell trains from scratch (the seed behaviour);
+///                 kept as the reference the determinism regression test
+///                 compares the warm path against.
+enum class GridSearchMode : std::uint8_t { kWarmPath, kColdPerCell };
+
 /// Stage 2 (Tab. III): full kernel x regularizer grid for one user at a
 /// fixed window configuration.  Ratios are computed on training windows, as
 /// in stage 1.  Results are ordered kernel-major, regularizer-minor.
@@ -65,7 +74,8 @@ struct ParamGridEntry {
     const ProfilingDataset& dataset, const std::string& user,
     const features::WindowConfig& window, ClassifierType type,
     std::span<const svm::KernelParams> kernels,
-    std::span<const double> regularizers, util::ThreadPool& pool);
+    std::span<const double> regularizers, util::ThreadPool& pool,
+    GridSearchMode mode = GridSearchMode::kWarmPath);
 
 /// Best trainable entry by ACC (ties: first in grid order).  Throws
 /// std::runtime_error when nothing was trainable.
@@ -77,7 +87,8 @@ struct ParamGridEntry {
 [[nodiscard]] std::vector<ProfileParams> optimize_all_users(
     const ProfilingDataset& dataset, const features::WindowConfig& window,
     ClassifierType type, std::span<const svm::KernelParams> kernels,
-    std::span<const double> regularizers, util::ThreadPool& pool);
+    std::span<const double> regularizers, util::ThreadPool& pool,
+    GridSearchMode mode = GridSearchMode::kWarmPath);
 
 /// Trains final profiles for all users with their optimized parameters.
 [[nodiscard]] std::vector<UserProfile> train_profiles(

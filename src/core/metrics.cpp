@@ -23,12 +23,12 @@ AcceptanceRatios profile_acceptance(const UserProfile& profile,
 }
 
 AcceptanceRatios profile_acceptance(const UserProfile& profile,
-                                    const MatrixByUser& windows) {
+                                    const MatrixByUser& windows, double slack) {
   AcceptanceRatios ratios;
   double other_sum = 0.0;
   std::size_t other_count = 0;
   for (const auto& [user, matrix] : windows) {
-    const double accepted = profile.acceptance_ratio(*matrix) * 100.0;
+    const double accepted = profile.acceptance_ratio(*matrix, slack) * 100.0;
     if (user == profile.user_id()) {
       ratios.acc_self = accepted;
     } else {

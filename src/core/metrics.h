@@ -35,8 +35,12 @@ using MatrixByUser =
 /// averages per-user ratios).  Users absent from `windows` are skipped.
 [[nodiscard]] AcceptanceRatios profile_acceptance(const UserProfile& profile,
                                                   const WindowsByUser& windows);
+/// `slack` widens the acceptance test to decision >= -slack (see
+/// UserProfile::acceptance_ratio); grid scoring uses it to decouple ACC
+/// from which near-optimal point a solve stopped at.
 [[nodiscard]] AcceptanceRatios profile_acceptance(const UserProfile& profile,
-                                                  const MatrixByUser& windows);
+                                                  const MatrixByUser& windows,
+                                                  double slack = 0.0);
 
 /// Mean ratios over a set of profiles (the paper's "averages of the 25 user
 /// results").

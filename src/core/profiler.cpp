@@ -62,7 +62,8 @@ double UserProfile::acceptance_ratio(
   return static_cast<double>(accepted) / static_cast<double>(windows.size());
 }
 
-double UserProfile::acceptance_ratio(const util::FeatureMatrix& windows) const {
+double UserProfile::acceptance_ratio(const util::FeatureMatrix& windows,
+                                     double slack) const {
   if (windows.empty()) return 0.0;
   thread_local std::vector<double> values;
   values.resize(windows.rows());
@@ -70,7 +71,7 @@ double UserProfile::acceptance_ratio(const util::FeatureMatrix& windows) const {
              model_);
   std::size_t accepted = 0;
   for (std::size_t i = 0; i < windows.rows(); ++i) {
-    if (values[i] >= 0.0) ++accepted;
+    if (values[i] >= -slack) ++accepted;
   }
   return static_cast<double>(accepted) / static_cast<double>(windows.rows());
 }

@@ -47,6 +47,15 @@ class UserProfile {
                                          std::size_t dimension,
                                          const ProfileParams& params);
 
+  /// Wraps an already-trained model (e.g. one cell of a warm-started
+  /// fit_path sweep) into a profile.  `params` must describe how the model
+  /// was trained; no validation against the model is possible here.
+  [[nodiscard]] static UserProfile from_model(std::string user_id,
+                                              const ProfileParams& params,
+                                              svm::AnySvmModel model) {
+    return UserProfile{std::move(user_id), params, std::move(model)};
+  }
+
   [[nodiscard]] double decision_value(const util::SparseVector& window) const;
   /// Same, with the query's squared norm precomputed by the caller (serving:
   /// one norm per scored window shared across all profiles).
@@ -64,7 +73,12 @@ class UserProfile {
   [[nodiscard]] double acceptance_ratio(
       std::span<const util::SparseVector> windows) const;
   /// Batch form over a window matrix: one kernel-row pass per window.
-  [[nodiscard]] double acceptance_ratio(const util::FeatureMatrix& windows) const;
+  /// `slack` widens the acceptance test to decision >= -slack; grid scoring
+  /// uses it so training windows that are free support vectors (decision
+  /// exactly 0 at the optimum) count as accepted regardless of which
+  /// near-optimal point the solver stopped at.
+  [[nodiscard]] double acceptance_ratio(const util::FeatureMatrix& windows,
+                                        double slack = 0.0) const;
 
   [[nodiscard]] const std::string& user_id() const noexcept { return user_id_; }
   [[nodiscard]] const ProfileParams& params() const noexcept { return params_; }

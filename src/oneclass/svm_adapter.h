@@ -22,6 +22,11 @@ class OcSvmAdapter final : public OneClassModel {
   [[nodiscard]] std::string name() const override { return "oc-svm"; }
 
   [[nodiscard]] const svm::OneClassSvmModel& model() const;
+  /// SMO instrumentation of the last fit (iterations, shrink events, cache
+  /// traffic); throws std::logic_error before fit.
+  [[nodiscard]] const svm::SolverStats& solver_stats() const {
+    return model().solver_stats();
+  }
 
  private:
   svm::OneClassSvmConfig config_;
@@ -42,6 +47,10 @@ class SvddAdapter final : public OneClassModel {
   [[nodiscard]] std::string name() const override { return "svdd"; }
 
   [[nodiscard]] const svm::SvddModel& model() const;
+  /// SMO instrumentation of the last fit; throws std::logic_error before fit.
+  [[nodiscard]] const svm::SolverStats& solver_stats() const {
+    return model().solver_stats();
+  }
 
  private:
   svm::SvddConfig config_;

@@ -91,13 +91,12 @@ double kernel_self(const KernelParams& params, double sq_norm) {
   throw std::logic_error{"kernel_self: invalid kernel type"};
 }
 
-namespace {
-
-/// Shared tail of the kernel_row overloads: `out` holds raw dot products of
-/// the query with every row; transform them in place.  The per-element
+/// Shared tail of the kernel_row overloads: `inout` holds raw dot products
+/// of the query with every row; transform them in place.  The per-element
 /// arithmetic matches kernel_eval exactly (same expressions, same order).
-void apply_kernel(const KernelParams& params, const util::FeatureMatrix& matrix,
-                  double x_sqnorm, std::span<double> out) {
+void kernel_transform(const KernelParams& params,
+                      const util::FeatureMatrix& matrix, double x_sqnorm,
+                      std::span<double> out) {
   const std::size_t n = matrix.rows();
   switch (params.type) {
     case KernelType::kLinear:
@@ -122,19 +121,17 @@ void apply_kernel(const KernelParams& params, const util::FeatureMatrix& matrix,
   throw std::logic_error{"kernel_row: invalid kernel type"};
 }
 
-}  // namespace
-
 void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 std::size_t i, std::span<double> out) {
   matrix.dot_all(i, out);
-  apply_kernel(params, matrix, matrix.sq_norm(i), out);
+  kernel_transform(params, matrix, matrix.sq_norm(i), out);
 }
 
 void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 const util::SparseVector& x, double x_sqnorm,
                 std::span<double> out) {
   matrix.dot_all(x, out);
-  apply_kernel(params, matrix, x_sqnorm, out);
+  kernel_transform(params, matrix, x_sqnorm, out);
 }
 
 void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
@@ -142,7 +139,7 @@ void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 std::span<const double> query_values, double x_sqnorm,
                 std::span<double> out) {
   matrix.dot_all(query_indices, query_values, out);
-  apply_kernel(params, matrix, x_sqnorm, out);
+  kernel_transform(params, matrix, x_sqnorm, out);
 }
 
 std::string describe(const KernelParams& params) {

@@ -70,6 +70,15 @@ void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 std::span<const double> query_values, double x_sqnorm,
                 std::span<double> out);
 
+/// In-place kernel transform of a raw dot-product row: `inout[j]` holds
+/// x . row_j on entry and k(x, row_j) on return.  This is the cheap scalar
+/// tail of kernel_row — every grid-search kernel is such a transform of the
+/// same Gram row, which is what lets a sweep share dot products across
+/// kernels (GramCache).  Bit-identical to kernel_row given the same dots.
+void kernel_transform(const KernelParams& params,
+                      const util::FeatureMatrix& matrix, double x_sqnorm,
+                      std::span<double> inout);
+
 /// Thread-local scratch sized for one kernel row (one value per matrix
 /// row), reused across decision-function calls on the same thread.
 [[nodiscard]] std::span<double> kernel_row_scratch(std::size_t size);

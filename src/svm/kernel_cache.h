@@ -8,8 +8,11 @@
 #include <cstddef>
 #include <functional>
 #include <list>
+#include <mutex>
 #include <span>
 #include <vector>
+
+#include "util/feature_matrix.h"
 
 namespace wtp::svm {
 
@@ -39,6 +42,51 @@ class KernelCache {
 
   std::size_t rows_;
   std::size_t max_cached_rows_;
+  std::vector<Slot> slots_;
+  std::list<std::size_t> lru_;  // front = most recent
+  std::size_t cached_count_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// LRU cache of raw dot-product rows (row_i . row_j for all j) of one
+/// training matrix.  Every grid-search kernel is a cheap scalar transform
+/// of the same Gram row (kernel_transform), so a sweep that shares one
+/// GramCache across its per-kernel QMatrix instances computes each row's
+/// sparse dots once and pays only the transform per kernel.  Rows are
+/// stored in double so transform inputs are bit-identical to the direct
+/// dot_all path.  The matrix must outlive the cache.
+///
+/// Thread-safe: the grid sweep solves its kernel columns as parallel tasks
+/// that share one cache, so row() copies out under an internal mutex
+/// instead of handing out spans into evictable slots.
+class GramCache {
+ public:
+  explicit GramCache(const util::FeatureMatrix& data,
+                     std::size_t budget_bytes = std::size_t{32} << 20);
+
+  /// Copies dot-product row `i` into `out` (size = rows), computing it on
+  /// first access.
+  void row(std::size_t i, std::span<double> out);
+
+  [[nodiscard]] const util::FeatureMatrix& data() const noexcept {
+    return *data_;
+  }
+  [[nodiscard]] std::size_t hits() const noexcept;
+  [[nodiscard]] std::size_t misses() const noexcept;
+
+ private:
+  struct Slot {
+    std::vector<double> data;
+    std::list<std::size_t>::iterator lru_pos;
+    bool cached = false;
+  };
+
+  void evict_one();
+
+  const util::FeatureMatrix* data_;
+  std::size_t max_cached_rows_;
+  mutable std::mutex mutex_;
   std::vector<Slot> slots_;
   std::list<std::size_t> lru_;  // front = most recent
   std::size_t cached_count_ = 0;

@@ -33,37 +33,19 @@ double compute_rho(std::span<const double> alpha, std::span<const double> gradie
   return 0.5 * (upper_limit + lower_limit);
 }
 
-OneClassSvmModel OneClassSvmModel::train(const util::FeatureMatrix& data,
-                                         const OneClassSvmConfig& config,
-                                         std::size_t dimension) {
-  if (data.empty()) {
-    throw std::invalid_argument{"OneClassSvmModel::train: empty training set"};
-  }
-  if (config.nu <= 0.0 || config.nu > 1.0) {
-    throw std::invalid_argument{"OneClassSvmModel::train: nu must be in (0, 1]"};
-  }
-  KernelParams kernel = config.kernel;
-  if (kernel.gamma <= 0.0) {
-    kernel.gamma = 1.0 / static_cast<double>(std::max<std::size_t>(1, dimension));
-  }
-
+OneClassSvmModel OneClassSvmModel::from_solution(const util::FeatureMatrix& data,
+                                                 const KernelParams& kernel,
+                                                 const SolverResult& solved) {
   const std::size_t l = data.rows();
-  QMatrix q{data, kernel, /*scale=*/1.0, config.cache_bytes};
-  const std::vector<double> p(l, 0.0);
-  SolverConfig solver_config;
-  solver_config.eps = config.eps;
-  const SolverResult solved =
-      solve_smo(q, p, /*upper_bound=*/1.0, /*alpha_sum=*/config.nu * static_cast<double>(l),
-                solver_config);
-
   OneClassSvmModel model;
   model.kernel_ = kernel;
   model.rho_ = compute_rho(solved.alpha, solved.gradient, 1.0);
+  model.solver_stats_ = solved.stats;
   util::FeatureMatrixBuilder svs;
   std::size_t bounded = 0;
   for (std::size_t i = 0; i < l; ++i) {
     if (solved.alpha[i] > 1e-12) {
-      svs.add_row(data.row_vector(i));
+      svs.add_row(data, i);
       model.coefficients_.push_back(solved.alpha[i]);
       if (solved.alpha[i] >= 1.0 - 1e-12) ++bounded;
     }
@@ -71,6 +53,67 @@ OneClassSvmModel OneClassSvmModel::train(const util::FeatureMatrix& data,
   model.support_vectors_ = svs.build(data.cols());
   model.bounded_fraction_ = static_cast<double>(bounded) / static_cast<double>(l);
   return model;
+}
+
+std::vector<OneClassSvmModel> OneClassSvmModel::fit_path(
+    const util::FeatureMatrix& data, const OneClassSvmConfig& config,
+    std::span<const double> nus, std::size_t dimension, PathStats* stats) {
+  if (data.empty()) {
+    throw std::invalid_argument{"OneClassSvmModel::fit_path: empty training set"};
+  }
+  for (const double nu : nus) {
+    if (nu <= 0.0 || nu > 1.0) {
+      throw std::invalid_argument{"OneClassSvmModel::fit_path: nu must be in (0, 1]"};
+    }
+  }
+  KernelParams kernel = config.kernel;
+  if (kernel.gamma <= 0.0) {
+    kernel.gamma = 1.0 / static_cast<double>(std::max<std::size_t>(1, dimension));
+  }
+
+  const std::size_t l = data.rows();
+  QMatrix q{data, kernel, /*scale=*/1.0, config.cache_bytes, config.gram_cache};
+  const std::vector<double> p(l, 0.0);
+  SolverConfig solver_config;
+  solver_config.eps = config.eps;
+  solver_config.shrinking = config.shrinking;
+  solver_config.shrink_interval = config.shrink_interval;
+
+  std::vector<OneClassSvmModel> models;
+  models.reserve(nus.size());
+  SolverResult previous;
+  for (const double nu : nus) {
+    const double delta = nu * static_cast<double>(l);
+    // Subsequent cells seed from the previous solution (alpha, gradient and
+    // G_bar), so the solver pays only for what the projection changed.
+    SolverResult solved =
+        previous.alpha.empty()
+            ? solve_smo(q, p, /*upper_bound=*/1.0, delta, solver_config)
+            : solve_smo(q, p, /*upper_bound=*/1.0, delta, solver_config,
+                        WarmSeed{previous.alpha, previous.gradient,
+                                 previous.g_bar, /*upper_bound=*/1.0});
+    if (stats != nullptr) stats->cells.push_back(solved.stats);
+    models.push_back(from_solution(data, kernel, solved));
+    previous = std::move(solved);
+  }
+  if (stats != nullptr) {
+    stats->cache_hits = q.cache_hits();
+    stats->cache_misses = q.cache_misses();
+  }
+  return models;
+}
+
+OneClassSvmModel OneClassSvmModel::train(const util::FeatureMatrix& data,
+                                         const OneClassSvmConfig& config,
+                                         std::size_t dimension) {
+  if (config.nu <= 0.0 || config.nu > 1.0) {
+    throw std::invalid_argument{"OneClassSvmModel::train: nu must be in (0, 1]"};
+  }
+  if (data.empty()) {
+    throw std::invalid_argument{"OneClassSvmModel::train: empty training set"};
+  }
+  const double nu[] = {config.nu};
+  return std::move(fit_path(data, config, nu, dimension).front());
 }
 
 OneClassSvmModel OneClassSvmModel::train(std::span<const util::SparseVector> data,

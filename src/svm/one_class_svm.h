@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "svm/kernel.h"
+#include "svm/smo_solver.h"
 #include "util/feature_matrix.h"
 #include "util/sparse_vector.h"
 
@@ -31,6 +32,11 @@ struct OneClassSvmConfig {
   KernelParams kernel;        ///< gamma <= 0 resolves to 1/dimension
   double eps = 1e-3;          ///< SMO stopping tolerance
   std::size_t cache_bytes = std::size_t{32} << 20;
+  bool shrinking = true;      ///< SolverConfig::shrinking passthrough
+  std::size_t shrink_interval = 0;  ///< SolverConfig::shrink_interval passthrough
+  /// Optional dot-row cache shared across the kernel columns of one grid
+  /// sweep (must be built over the same training matrix).  Null = none.
+  std::shared_ptr<GramCache> gram_cache;
 };
 
 /// Trained model: decision f(x) = sum_i alpha_i k(sv_i, x) - rho  (eq. 6);
@@ -47,6 +53,18 @@ class OneClassSvmModel {
   [[nodiscard]] static OneClassSvmModel train(
       std::span<const util::SparseVector> data, const OneClassSvmConfig& config,
       std::size_t dimension);
+
+  /// Warm-started regularizer path: trains one model per nu in `nus` (in
+  /// the given order) for the fixed kernel of `config`, sharing a single
+  /// QMatrix — and therefore one hot kernel-row cache — across the whole
+  /// sweep, and seeding each solve from the previous cell's alpha projected
+  /// onto the new feasible set (sum nu*l).  Returns models aligned with
+  /// `nus`; `config.nu` is ignored.  Per-cell solver statistics and the
+  /// shared cache totals land in `*stats` when given.
+  [[nodiscard]] static std::vector<OneClassSvmModel> fit_path(
+      const util::FeatureMatrix& data, const OneClassSvmConfig& config,
+      std::span<const double> nus, std::size_t dimension,
+      PathStats* stats = nullptr);
 
   /// Reconstructs a model from persisted parts (model_io).
   [[nodiscard]] static OneClassSvmModel from_parts(
@@ -80,15 +98,25 @@ class OneClassSvmModel {
   /// Fraction of training points with alpha at the upper bound (outliers);
   /// bounded above by nu.
   [[nodiscard]] double bounded_fraction() const noexcept { return bounded_fraction_; }
+  /// Instrumentation of the SMO solve that produced this model (zeros for
+  /// models reconstructed via from_parts).
+  [[nodiscard]] const SolverStats& solver_stats() const noexcept {
+    return solver_stats_;
+  }
 
  private:
   OneClassSvmModel() = default;
+
+  static OneClassSvmModel from_solution(const util::FeatureMatrix& data,
+                                        const KernelParams& kernel,
+                                        const SolverResult& solved);
 
   KernelParams kernel_;
   util::FeatureMatrix support_vectors_;
   std::vector<double> coefficients_;  ///< alpha_i > 0, aligned with SV rows
   double rho_ = 0.0;
   double bounded_fraction_ = 0.0;
+  SolverStats solver_stats_;
 };
 
 /// Shared helper: rho such that free SVs sit on the boundary.  `gradient`

@@ -9,31 +9,78 @@
 
 namespace wtp::svm {
 
-SvddModel SvddModel::train(const util::FeatureMatrix& data,
-                           const SvddConfig& config, std::size_t dimension) {
+std::vector<SvddModel> SvddModel::fit_path(const util::FeatureMatrix& data,
+                                           const SvddConfig& config,
+                                           std::span<const double> cs,
+                                           std::size_t dimension,
+                                           PathStats* stats) {
   if (data.empty()) {
-    throw std::invalid_argument{"SvddModel::train: empty training set"};
+    throw std::invalid_argument{"SvddModel::fit_path: empty training set"};
   }
-  if (config.c <= 0.0 || config.c > 1.0) {
-    throw std::invalid_argument{"SvddModel::train: c must be in (0, 1]"};
+  for (const double c : cs) {
+    if (c <= 0.0 || c > 1.0) {
+      throw std::invalid_argument{"SvddModel::fit_path: c must be in (0, 1]"};
+    }
   }
   KernelParams kernel = config.kernel;
   if (kernel.gamma <= 0.0) {
     kernel.gamma = 1.0 / static_cast<double>(std::max<std::size_t>(1, dimension));
   }
   const std::size_t l = data.rows();
-  // sum(alpha) = 1 with alpha_i <= C requires C*l >= 1.
-  const double effective_c = std::max(config.c, 1.0 / static_cast<double>(l));
 
-  QMatrix q{data, kernel, /*scale=*/2.0, config.cache_bytes};
+  QMatrix q{data, kernel, /*scale=*/2.0, config.cache_bytes, config.gram_cache};
   std::vector<double> p(l);
   for (std::size_t i = 0; i < l; ++i) p[i] = -q.kernel_diag(i);
 
   SolverConfig solver_config;
   solver_config.eps = config.eps;
-  const SolverResult solved =
-      solve_smo(q, p, effective_c, /*alpha_sum=*/1.0, solver_config);
+  solver_config.shrinking = config.shrinking;
+  solver_config.shrink_interval = config.shrink_interval;
 
+  std::vector<SvddModel> models;
+  models.reserve(cs.size());
+  SolverResult previous;
+  double previous_c = 0.0;
+  for (const double c : cs) {
+    // sum(alpha) = 1 with alpha_i <= C requires C*l >= 1.
+    const double effective_c = std::max(c, 1.0 / static_cast<double>(l));
+    // Subsequent cells seed from the previous solution (alpha, gradient and
+    // G_bar), so the solver pays only for what the projection changed.
+    SolverResult solved =
+        previous.alpha.empty()
+            ? solve_smo(q, p, effective_c, /*alpha_sum=*/1.0, solver_config)
+            : solve_smo(q, p, effective_c, /*alpha_sum=*/1.0, solver_config,
+                        WarmSeed{previous.alpha, previous.gradient,
+                                 previous.g_bar, previous_c});
+    if (stats != nullptr) stats->cells.push_back(solved.stats);
+    models.push_back(from_solution(data, kernel, effective_c, q, solved));
+    previous = std::move(solved);
+    previous_c = effective_c;
+  }
+  if (stats != nullptr) {
+    stats->cache_hits = q.cache_hits();
+    stats->cache_misses = q.cache_misses();
+  }
+  return models;
+}
+
+SvddModel SvddModel::train(const util::FeatureMatrix& data,
+                           const SvddConfig& config, std::size_t dimension) {
+  if (config.c <= 0.0 || config.c > 1.0) {
+    throw std::invalid_argument{"SvddModel::train: c must be in (0, 1]"};
+  }
+  if (data.empty()) {
+    throw std::invalid_argument{"SvddModel::train: empty training set"};
+  }
+  const double c[] = {config.c};
+  return std::move(fit_path(data, config, c, dimension).front());
+}
+
+SvddModel SvddModel::from_solution(const util::FeatureMatrix& data,
+                                   const KernelParams& kernel,
+                                   double effective_c, const QMatrix& q,
+                                   const SolverResult& solved) {
+  const std::size_t l = data.rows();
   // Geometry terms.  With G_i = 2 (K alpha)_i - K_ii:
   //   alpha^T K alpha = sum_i alpha_i (G_i + K_ii) / 2
   //   squared distance of x_i to center: r_i = K_ii - 2 (K alpha)_i + aKa
@@ -78,10 +125,11 @@ SvddModel SvddModel::train(const util::FeatureMatrix& data,
   model.effective_c_ = effective_c;
   model.r_squared_ = r_squared;
   model.alpha_k_alpha_ = alpha_k_alpha;
+  model.solver_stats_ = solved.stats;
   util::FeatureMatrixBuilder svs;
   for (std::size_t i = 0; i < l; ++i) {
     if (solved.alpha[i] > 1e-12) {
-      svs.add_row(data.row_vector(i));
+      svs.add_row(data, i);
       model.coefficients_.push_back(solved.alpha[i]);
     }
   }

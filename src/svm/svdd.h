@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "svm/kernel.h"
+#include "svm/smo_solver.h"
 #include "util/feature_matrix.h"
 #include "util/sparse_vector.h"
 
@@ -32,6 +33,11 @@ struct SvddConfig {
   KernelParams kernel;  ///< gamma <= 0 resolves to 1/dimension
   double eps = 1e-3;
   std::size_t cache_bytes = std::size_t{32} << 20;
+  bool shrinking = true;  ///< SolverConfig::shrinking passthrough
+  std::size_t shrink_interval = 0;  ///< SolverConfig::shrink_interval passthrough
+  /// Optional dot-row cache shared across the kernel columns of one grid
+  /// sweep (must be built over the same training matrix).  Null = none.
+  std::shared_ptr<GramCache> gram_cache;
 };
 
 class SvddModel {
@@ -45,6 +51,17 @@ class SvddModel {
   [[nodiscard]] static SvddModel train(std::span<const util::SparseVector> data,
                                        const SvddConfig& config,
                                        std::size_t dimension);
+
+  /// Warm-started regularizer path: one model per C in `cs` (in the given
+  /// order) for the fixed kernel of `config`, sharing a single QMatrix (and
+  /// hot kernel-row cache) across the sweep and seeding each solve from the
+  /// previous alpha projected onto the new box [0, max(C, 1/l)].  Returns
+  /// models aligned with `cs`; `config.c` is ignored.  Per-cell solver
+  /// statistics and the shared cache totals land in `*stats` when given.
+  [[nodiscard]] static std::vector<SvddModel> fit_path(
+      const util::FeatureMatrix& data, const SvddConfig& config,
+      std::span<const double> cs, std::size_t dimension,
+      PathStats* stats = nullptr);
 
   /// Reconstructs a model from persisted parts (model_io).  `r_squared` and
   /// `alpha_k_alpha` are the stored geometry terms.
@@ -84,9 +101,18 @@ class SvddModel {
   [[nodiscard]] const KernelParams& kernel() const noexcept { return kernel_; }
   /// C after feasibility clamping (max(c, 1/l)).
   [[nodiscard]] double effective_c() const noexcept { return effective_c_; }
+  /// Instrumentation of the SMO solve that produced this model (zeros for
+  /// models reconstructed via from_parts).
+  [[nodiscard]] const SolverStats& solver_stats() const noexcept {
+    return solver_stats_;
+  }
 
  private:
   SvddModel() = default;
+
+  static SvddModel from_solution(const util::FeatureMatrix& data,
+                                 const KernelParams& kernel, double effective_c,
+                                 const QMatrix& q, const SolverResult& solved);
 
   KernelParams kernel_;
   util::FeatureMatrix support_vectors_;
@@ -94,6 +120,7 @@ class SvddModel {
   double r_squared_ = 0.0;
   double alpha_k_alpha_ = 0.0;
   double effective_c_ = 0.0;
+  SolverStats solver_stats_;
 };
 
 }  // namespace wtp::svm

@@ -128,6 +128,15 @@ void FeatureMatrixBuilder::add_row(const SparseVector& row) {
   matrix_.sq_norms_.push_back(sq_norm);
 }
 
+void FeatureMatrixBuilder::add_row(const FeatureMatrix& src, std::size_t row) {
+  const auto indices = src.row_indices(row);
+  const auto values = src.row_values(row);
+  matrix_.indices_.insert(matrix_.indices_.end(), indices.begin(), indices.end());
+  matrix_.values_.insert(matrix_.values_.end(), values.begin(), values.end());
+  matrix_.row_offsets_.push_back(matrix_.indices_.size());
+  matrix_.sq_norms_.push_back(src.sq_norm(row));
+}
+
 FeatureMatrix FeatureMatrixBuilder::build(std::size_t cols) {
   if (!pending_.empty()) finish_row();
   std::size_t max_index_plus_one = 0;

@@ -97,6 +97,11 @@ class FeatureMatrixBuilder {
   void finish_row();
   /// Appends an already-normalized row.
   void add_row(const SparseVector& row);
+  /// Appends row `row` of `src` directly from its CSR storage, reusing the
+  /// cached squared norm.  Avoids the SparseVector round-trip (two heap
+  /// allocations per row) when extracting a row subset — e.g. the support
+  /// vectors of every grid-search cell.
+  void add_row(const FeatureMatrix& src, std::size_t row);
 
   /// Emits the matrix and resets the builder.  Pending un-finished entries
   /// are sealed as a final row first.  `cols` as in FeatureMatrix::from_rows.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/test_trace.h"
 
 namespace wtp::core {
@@ -116,6 +118,67 @@ TEST(OptimizeAllUsers, ReturnsParamsPerUser) {
   for (const auto& p : params) {
     EXPECT_EQ(p.type, ClassifierType::kOcSvm);
     EXPECT_TRUE(p.regularizer == 0.5 || p.regularizer == 0.1);
+  }
+}
+
+// Determinism regression: the warm-started fit_path refactor parallelizes
+// stage 2 over (user, kernel) columns writing into fixed result slots, so
+// the grid — and therefore the selected parameters — must be bit-identical
+// whatever the pool width, and identical to the cold per-cell reference.
+TEST(OptimizeAllUsers, SelectionDeterministicAcrossPoolSizesAndModes) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const auto kernels = paper_kernel_grid();
+  const std::vector<double> regs{0.9, 0.5, 0.1};
+
+  auto run = [&](std::size_t threads, GridSearchMode mode) {
+    util::ThreadPool local_pool{threads};
+    return optimize_all_users(dataset, {60, 30}, ClassifierType::kSvdd,
+                              kernels, regs, local_pool, mode);
+  };
+
+  const std::size_t hw = std::max<std::size_t>(
+      2, std::thread::hardware_concurrency());
+  const auto warm1 = run(1, GridSearchMode::kWarmPath);
+  const auto warm2 = run(2, GridSearchMode::kWarmPath);
+  const auto warm_hw = run(hw, GridSearchMode::kWarmPath);
+  const auto cold = run(2, GridSearchMode::kColdPerCell);
+
+  ASSERT_EQ(warm1.size(), dataset.user_count());
+  ASSERT_EQ(warm2.size(), warm1.size());
+  ASSERT_EQ(warm_hw.size(), warm1.size());
+  ASSERT_EQ(cold.size(), warm1.size());
+  for (std::size_t u = 0; u < warm1.size(); ++u) {
+    EXPECT_EQ(warm2[u], warm1[u]) << "pool width 2 vs 1, user " << u;
+    EXPECT_EQ(warm_hw[u], warm1[u]) << "pool width hw vs 1, user " << u;
+    EXPECT_EQ(cold[u], warm1[u]) << "cold vs warm path, user " << u;
+  }
+}
+
+// The full per-cell grids (scores included) must agree between the warm
+// path and the cold reference, not just the argmax.
+TEST(ParamGridSearch, WarmPathGridMatchesColdReference) {
+  const ProfilingDataset& dataset = testing::tiny_dataset();
+  const auto kernels = paper_kernel_grid();
+  const std::vector<double> regs{0.9, 0.5, 0.1};
+  const auto& user = dataset.user_ids().front();
+
+  const auto warm =
+      param_grid_search(dataset, user, {60, 30}, ClassifierType::kOcSvm,
+                        kernels, regs, pool(), GridSearchMode::kWarmPath);
+  const auto cold =
+      param_grid_search(dataset, user, {60, 30}, ClassifierType::kOcSvm,
+                        kernels, regs, pool(), GridSearchMode::kColdPerCell);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(warm[i].params, cold[i].params) << "cell " << i;
+    EXPECT_EQ(warm[i].trainable, cold[i].trainable) << "cell " << i;
+    // Warm solves stop at the same tolerance as cold ones; acceptance is a
+    // counting metric, so the scores must agree exactly on ties of the
+    // underlying accept/reject decisions.
+    EXPECT_NEAR(warm[i].ratios.acc_self, cold[i].ratios.acc_self, 1e-9)
+        << "cell " << i;
+    EXPECT_NEAR(warm[i].ratios.acc_other, cold[i].ratios.acc_other, 1e-9)
+        << "cell " << i;
   }
 }
 

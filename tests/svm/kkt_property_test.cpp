@@ -58,6 +58,7 @@ struct KktCase {
   KernelType kernel;
   double upper_bound;
   double sum_fraction;  // alpha_sum = fraction * U * l
+  bool shrinking;
 };
 
 class SolverKktTest : public ::testing::TestWithParam<KktCase> {};
@@ -74,6 +75,8 @@ TEST_P(SolverKktTest, SolutionSatisfiesKkt) {
     const std::vector<double> p(l, 0.0);
     SolverConfig config;
     config.eps = 1e-4;
+    config.shrinking = param.shrinking;
+    config.shrink_interval = param.shrinking ? 8 : 0;  // force frequent passes
     const double alpha_sum =
         param.sum_fraction * param.upper_bound * static_cast<double>(l);
     const auto result = solve_smo(q, p, param.upper_bound, alpha_sum, config);
@@ -87,18 +90,67 @@ TEST_P(SolverKktTest, SolutionSatisfiesKkt) {
   }
 }
 
+std::vector<KktCase> kkt_cases() {
+  std::vector<KktCase> cases;
+  for (const bool shrinking : {false, true}) {
+    cases.push_back({KernelType::kLinear, 1.0, 0.3, shrinking});
+    cases.push_back({KernelType::kRbf, 1.0, 0.5, shrinking});
+    cases.push_back({KernelType::kRbf, 0.1, 0.8, shrinking});
+    cases.push_back({KernelType::kPolynomial, 1.0, 0.4, shrinking});
+    cases.push_back({KernelType::kSigmoid, 1.0, 0.5, shrinking});
+  }
+  return cases;
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    KernelsAndBounds, SolverKktTest,
-    ::testing::Values(KktCase{KernelType::kLinear, 1.0, 0.3},
-                      KktCase{KernelType::kRbf, 1.0, 0.5},
-                      KktCase{KernelType::kRbf, 0.1, 0.8},
-                      KktCase{KernelType::kPolynomial, 1.0, 0.4},
-                      KktCase{KernelType::kSigmoid, 1.0, 0.5}),
+    KernelsAndBounds, SolverKktTest, ::testing::ValuesIn(kkt_cases()),
     [](const ::testing::TestParamInfo<KktCase>& info) {
       return std::string{to_string(info.param.kernel)} + "_U" +
              std::to_string(static_cast<int>(info.param.upper_bound * 10)) +
-             "_S" + std::to_string(static_cast<int>(info.param.sum_fraction * 10));
+             "_S" + std::to_string(static_cast<int>(info.param.sum_fraction * 10)) +
+             (info.param.shrinking ? "_shrink" : "_noshrink");
     });
+
+// Post-reconstruction invariant: after a shrunk solve terminates, the
+// returned gradient is the exact full-length G = Q alpha + p, and every
+// variable the solver ever shrunk out (necessarily at a bound) still
+// satisfies its KKT condition against that final gradient.  A problem large
+// enough — with a short shrink interval — to guarantee shrinking triggers.
+TEST(ShrinkingKkt, ShrunkOutVariablesSatisfyKktOnReconstructedGradient) {
+  util::Rng rng{4242};
+  const auto data = random_points(rng, 160, 10);
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  const std::size_t l = matrix.rows();
+  const std::vector<double> p(l, 0.0);
+  KernelParams kernel{KernelType::kRbf, 0.5, 0.0, 3};
+
+  SolverConfig config;
+  config.eps = 1e-6;
+  config.shrinking = true;
+  config.shrink_interval = 4;
+  QMatrix q{matrix, kernel, 1.0, 1 << 22};
+  const auto result = solve_smo(q, p, 1.0, 0.2 * static_cast<double>(l), config);
+
+  ASSERT_TRUE(result.stats.converged);
+  EXPECT_GT(result.stats.shrink_events, 0u)
+      << "test must actually exercise shrinking";
+  EXPECT_GT(result.stats.shrunk_variables, 0u);
+  EXPECT_GT(result.stats.reconstructions, 0u)
+      << "exit from a shrunk state must rebuild the full gradient";
+
+  // The returned gradient must equal Q alpha + p recomputed from scratch —
+  // the reconstruction is exact, not approximate.
+  for (std::size_t i = 0; i < l; ++i) {
+    const auto row = q.row(i);
+    double g = p[i];
+    for (std::size_t j = 0; j < l; ++j) g += result.alpha[j] * row[j];
+    EXPECT_NEAR(result.gradient[i], g, 1e-9) << "gradient entry " << i;
+  }
+
+  // Full-problem KKT on the final gradient: shrunk-out variables are the
+  // bounded ones, so the bound branches of this check cover exactly them.
+  EXPECT_LE(kkt_violation(result.alpha, result.gradient, 1.0), 5e-3);
+}
 
 TEST(OneClassKkt, TrainedModelsSatisfyKktAcrossNu) {
   util::Rng rng{99};

@@ -25,7 +25,7 @@ TEST(SmoSolver, TwoPointSymmetricProblemSplitsAlphaEvenly) {
   QMatrix q{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
   const std::vector<double> p(2, 0.0);
   const auto result = solve_smo(q, p, 1.0, 1.0);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.stats.converged);
   EXPECT_NEAR(result.alpha[0] + result.alpha[1], 1.0, 1e-9);
   EXPECT_NEAR(result.objective, 0.5, 1e-6);
 }
@@ -39,7 +39,7 @@ TEST(SmoSolver, MinimizesTowardSmallerNormPoint) {
   QMatrix q{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
   const std::vector<double> p(2, 0.0);
   const auto result = solve_smo(q, p, 1.0, 1.0);
-  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.stats.converged);
   EXPECT_NEAR(result.alpha[0], 1.0, 1e-3);
   EXPECT_NEAR(result.alpha[1], 0.0, 1e-3);
 }
@@ -207,6 +207,133 @@ TEST(SmoSolver, ScaleFactorDoublesQ) {
   EXPECT_DOUBLE_EQ(q1.kernel_diag(1), 4.0);  // unscaled kernel diagonal
   EXPECT_DOUBLE_EQ(q2.kernel_diag(1), 4.0);
   EXPECT_FLOAT_EQ(q2.row(0)[1], 2.0f * q1.row(0)[1]);
+}
+
+// --- Degenerate-shape edge cases: the solver must terminate cleanly (and
+// --- identically with shrinking on or off) when the feasible set is a
+// --- single point or the problem has one variable.
+
+TEST(SmoSolverEdge, SingleVariableProblemIsFixedBySumConstraint) {
+  // l = 1: alpha_0 = Delta is the only feasible point; the solver must
+  // return it without ever selecting a working pair.
+  const auto data = points_1d({2.0});
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  const std::vector<double> p{0.5};
+  for (const bool shrinking : {false, true}) {
+    for (const double delta : {0.0, 0.3, 1.0}) {
+      QMatrix q{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+      SolverConfig config;
+      config.shrinking = shrinking;
+      const auto result = solve_smo(q, p, 1.0, delta, config);
+      EXPECT_TRUE(result.stats.converged);
+      ASSERT_EQ(result.alpha.size(), 1u);
+      EXPECT_NEAR(result.alpha[0], delta, 1e-12);
+      // G_0 = Q_00 * a_0 + p_0 with Q_00 = 4.
+      EXPECT_NEAR(result.gradient[0], 4.0 * delta + 0.5, 1e-6);
+    }
+  }
+}
+
+TEST(SmoSolverEdge, ZeroSumYieldsAllZeroAlpha) {
+  const auto data = points_1d({1.0, 2.0, 3.0});
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  const std::vector<double> p(3, 0.0);
+  for (const bool shrinking : {false, true}) {
+    QMatrix q{matrix, {KernelType::kRbf, 0.5, 0.0, 3}, 1.0, 1 << 20};
+    SolverConfig config;
+    config.shrinking = shrinking;
+    const auto result = solve_smo(q, p, 1.0, 0.0, config);
+    EXPECT_TRUE(result.stats.converged);
+    for (const double a : result.alpha) EXPECT_EQ(a, 0.0);
+    EXPECT_NEAR(result.objective, 0.0, 1e-12);
+  }
+}
+
+TEST(SmoSolverEdge, FullySaturatedSumPinsEveryVariableAtUpperBound) {
+  // Delta = U * l: the only feasible point is alpha_i = U for all i.
+  const auto data = points_1d({1.0, 2.0, 3.0, 4.0});
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  const std::vector<double> p(4, 0.0);
+  for (const bool shrinking : {false, true}) {
+    QMatrix q{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+    SolverConfig config;
+    config.shrinking = shrinking;
+    const auto result = solve_smo(q, p, 0.25, 1.0, config);
+    EXPECT_TRUE(result.stats.converged);
+    for (const double a : result.alpha) EXPECT_NEAR(a, 0.25, 1e-12);
+  }
+}
+
+TEST(SmoSolverEdge, DuplicateRowsConvergeWithEqualObjective) {
+  // Exact duplicates make Q singular (rank-deficient): alpha mass can move
+  // freely inside a duplicate group without changing the objective.  Both
+  // solver paths must still converge, stay feasible, and agree on the
+  // (unique) optimal objective and per-group alpha mass.
+  std::vector<util::SparseVector> data;
+  for (int rep = 0; rep < 4; ++rep) {
+    data.push_back(util::SparseVector{{0, 1.0}});
+    data.push_back(util::SparseVector{{1, 2.0}});
+  }
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  const std::vector<double> p(matrix.rows(), 0.0);
+
+  double objectives[2];
+  double group_mass[2][2] = {};
+  for (const bool shrinking : {false, true}) {
+    QMatrix q{matrix, {KernelType::kLinear, 1.0, 0.0, 3}, 1.0, 1 << 20};
+    SolverConfig config;
+    config.eps = 1e-8;
+    config.shrinking = shrinking;
+    config.shrink_interval = shrinking ? 4 : 0;
+    const auto result = solve_smo(q, p, 1.0, 3.0, config);
+    EXPECT_TRUE(result.stats.converged);
+    double total = 0.0;
+    for (std::size_t i = 0; i < result.alpha.size(); ++i) {
+      ASSERT_GE(result.alpha[i], -1e-12);
+      ASSERT_LE(result.alpha[i], 1.0 + 1e-12);
+      total += result.alpha[i];
+      group_mass[shrinking ? 1 : 0][i % 2] += result.alpha[i];
+    }
+    EXPECT_NEAR(total, 3.0, 1e-9);
+    objectives[shrinking ? 1 : 0] = result.objective;
+  }
+  EXPECT_NEAR(objectives[0], objectives[1], 1e-9);
+  EXPECT_NEAR(group_mass[0][0], group_mass[1][0], 1e-6);
+  EXPECT_NEAR(group_mass[0][1], group_mass[1][1], 1e-6);
+}
+
+TEST(SmoSolverEdge, CacheSmallerThanOneRowStillSolvesExactly) {
+  // cache_bytes = 1 is far below one kernel row; KernelCache clamps to two
+  // row slots, so the solve thrashes but must produce the same solution as
+  // an uncapped cache.
+  util::Rng rng{77};
+  std::vector<util::SparseVector> data;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<double> dense(8, 0.0);
+    for (int k = 0; k < 4; ++k) dense[rng.uniform_index(8)] = rng.uniform();
+    data.push_back(util::SparseVector::from_dense(dense));
+  }
+  const auto matrix = util::FeatureMatrix::from_rows(data);
+  const KernelParams kernel{KernelType::kRbf, 0.4, 0.0, 3};
+  const std::vector<double> p(30, 0.0);
+  SolverConfig config;
+  config.eps = 1e-8;
+
+  QMatrix q_big{matrix, kernel, 1.0, 1 << 22};
+  const auto big = solve_smo(q_big, p, 1.0, 9.0, config);
+  QMatrix q_tiny{matrix, kernel, 1.0, 1};
+  const auto tiny = solve_smo(q_tiny, p, 1.0, 9.0, config);
+
+  EXPECT_TRUE(big.stats.converged);
+  EXPECT_TRUE(tiny.stats.converged);
+  EXPECT_NEAR(tiny.objective, big.objective, 1e-9);
+  for (std::size_t i = 0; i < 30; ++i) {
+    ASSERT_NEAR(tiny.alpha[i], big.alpha[i], 1e-9) << "alpha " << i;
+  }
+  // The tiny cache cannot hold the working set: it must report misses well
+  // beyond the row count.
+  EXPECT_GT(tiny.stats.cache_misses, 30u);
+  EXPECT_GE(big.stats.cache_hits, tiny.stats.cache_hits);
 }
 
 TEST(QMatrixTest, RejectsEmptyData) {
