@@ -5,12 +5,18 @@
 // on a desktop CPU, with SVDD markedly faster than OC-SVM (fewer support
 // vectors / simpler surface).  We report google-benchmark timings plus an
 // explicit box-plot summary over per-window measurements.
+// Every per-window measurement is also recorded into the global metrics
+// registry (fig4.prediction{model=...}), so the paper figure and the serve
+// telemetry share one measurement path; the exit code asserts the registry
+// histogram saw exactly the Stopwatch values (count, min, max identical).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.h"
 #include "core/profiler.h"
+#include "obs/registry.h"
 #include "util/stats.h"
 
 using namespace wtp;
@@ -78,16 +84,21 @@ void BM_SvddPrediction(benchmark::State& state) {
 BENCHMARK(BM_SvddPrediction);
 
 /// Explicit per-window timing distribution, printed as the box-plot numbers
-/// behind Fig. 4.
-void report_box_plot(core::ClassifierType type) {
+/// behind Fig. 4.  Returns false when the registry timer did not see exactly
+/// the Stopwatch measurements.
+bool report_box_plot(core::ClassifierType type) {
   const auto& fixture = Fixture::get();
   const auto profile = train_profile(type);
+  const obs::Label label{"model", std::string{core::to_string(type)}};
+  obs::Timer& timer =
+      obs::Registry::global().timer("fig4.prediction", {&label, 1});
   std::vector<double> micros;
   micros.reserve(fixture.probes.size());
   for (const auto& probe : fixture.probes) {
     util::Stopwatch stopwatch;
     benchmark::DoNotOptimize(profile.decision_value(probe));
     micros.push_back(stopwatch.elapsed_micros());
+    timer.record_ns(micros.back() * 1e3);
   }
   const util::BoxPlot box = util::box_plot(micros);
   std::printf("%s prediction time (us): median=%.2f q1=%.2f q3=%.2f "
@@ -95,6 +106,17 @@ void report_box_plot(core::ClassifierType type) {
               std::string{core::to_string(type)}.c_str(), box.median, box.q1,
               box.q3, box.whisker_low, box.whisker_high, box.outliers,
               profile.support_vector_count());
+  // One measurement path: the registry histogram must agree bit-for-bit
+  // with the Stopwatch vector on everything it stores exactly.
+  const util::LatencyHistogram histogram = timer.collect(/*reset=*/true);
+  const auto [min_it, max_it] = std::minmax_element(micros.begin(), micros.end());
+  const bool identical = histogram.count() == micros.size() &&
+                         histogram.min() == *min_it * 1e3 &&
+                         histogram.max() == *max_it * 1e3;
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: registry timer diverges from Stopwatch values\n");
+  }
+  return identical;
 }
 
 }  // namespace
@@ -106,7 +128,7 @@ int main(int argc, char** argv) {
 
   std::printf("\nFig. 4 — prediction-time box plots (paper: both < 100us, "
               "SVDD faster than OC-SVM)\n");
-  report_box_plot(core::ClassifierType::kOcSvm);
-  report_box_plot(core::ClassifierType::kSvdd);
-  return 0;
+  const bool ocsvm_ok = report_box_plot(core::ClassifierType::kOcSvm);
+  const bool svdd_ok = report_box_plot(core::ClassifierType::kSvdd);
+  return ocsvm_ok && svdd_ok ? 0 : 1;
 }

@@ -6,6 +6,9 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace wtp::core {
 
 std::vector<features::WindowConfig> paper_window_grid() {
@@ -29,11 +32,37 @@ std::vector<svm::KernelParams> paper_kernel_grid(double gamma) {
 
 namespace {
 
+/// Grid-search counters on the global registry.  Handles are resolved once
+/// (the registry keeps them stable), so per-cell cost is a relaxed add.
+struct GridMetrics {
+  obs::Counter& window_cells;
+  obs::Counter& warm_columns;
+  obs::Counter& warm_cells;
+  obs::Counter& cold_cells;
+  obs::Counter& untrainable_cells;
+
+  static const GridMetrics& get() {
+    static const GridMetrics metrics = [] {
+      obs::Registry& r = obs::Registry::global();
+      const obs::Label warm{"mode", "warm"};
+      const obs::Label cold{"mode", "cold"};
+      return GridMetrics{r.counter("grid.window_cells"),
+                         r.counter("grid.columns"),
+                         r.counter("grid.cells", {&warm, 1}),
+                         r.counter("grid.cells", {&cold, 1}),
+                         r.counter("grid.untrainable_cells")};
+    }();
+    return metrics;
+  }
+};
+
 /// Trains a profile and scores it against every user's training windows;
 /// returns the paper's stage-1 ratios for one (user, config) cell.
 AcceptanceRatios training_set_ratios(
     const std::string& user, const ProfileParams& params,
     const MatrixByUser& train_windows, std::size_t dimension) {
+  const obs::TraceSpan span{"grid.window_cell", "grid"};
+  GridMetrics::get().window_cells.add(1);
   const auto& own_windows = *train_windows.at(user);
   if (own_windows.empty()) return {.acc_self = 0.0, .acc_other = 100.0};
   try {
@@ -74,8 +103,14 @@ AcceptanceRatios grid_cell_ratios(const std::string& user,
                                   const ProfileParams& params,
                                   const MatrixByUser& train_windows,
                                   std::size_t dimension) {
+  const obs::TraceSpan span{"grid.cell", "grid"};
+  const GridMetrics& metrics = GridMetrics::get();
+  metrics.cold_cells.add(1);
   const auto& own_windows = *train_windows.at(user);
-  if (own_windows.empty()) return untrainable_ratios();
+  if (own_windows.empty()) {
+    metrics.untrainable_cells.add(1);
+    return untrainable_ratios();
+  }
   try {
     const auto train = [&]() -> svm::AnySvmModel {
       if (params.type == ClassifierType::kOcSvm) {
@@ -94,6 +129,7 @@ AcceptanceRatios grid_cell_ratios(const std::string& user,
     const UserProfile profile = UserProfile::from_model(user, params, train());
     return profile_acceptance(profile, train_windows, kGridAcceptSlack);
   } catch (const std::invalid_argument&) {
+    metrics.untrainable_cells.add(1);
     return untrainable_ratios();
   }
 }
@@ -113,6 +149,11 @@ std::vector<ParamGridEntry> regularizer_path_entries(
     const svm::KernelParams& kernel, std::span<const double> regularizers,
     const MatrixByUser& train_windows, std::size_t dimension,
     const std::shared_ptr<svm::GramCache>& gram) {
+  const obs::TraceSpan span{"grid.column", "grid",
+                            static_cast<std::uint64_t>(regularizers.size())};
+  const GridMetrics& metrics = GridMetrics::get();
+  metrics.warm_columns.add(1);
+  metrics.warm_cells.add(regularizers.size());
   std::vector<ParamGridEntry> entries(regularizers.size());
   for (std::size_t r = 0; r < regularizers.size(); ++r) {
     entries[r].params.type = type;
@@ -161,6 +202,9 @@ std::vector<ParamGridEntry> regularizer_path_entries(
     }
   } catch (const std::invalid_argument&) {
     mark_untrainable();
+  }
+  for (const auto& entry : entries) {
+    if (!entry.trainable) metrics.untrainable_cells.add(1);
   }
   return entries;
 }

@@ -1,0 +1,297 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "util/strings.h"
+
+namespace wtp::obs {
+namespace {
+
+constexpr double kNanosPerMicro = 1000.0;
+
+/// Round-robin stripe assignment: each thread grabs the next slot on first
+/// use and keeps it for life, so a thread always hits the same stripe.
+std::size_t thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot % Timer::kStripes;
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void Timer::record_ns(double ns) noexcept {
+  Stripe& stripe = stripes_[thread_stripe()];
+  std::lock_guard lock(stripe.mutex);
+  stripe.histogram.record(ns);
+}
+
+util::LatencyHistogram Timer::collect(bool reset) const {
+  util::LatencyHistogram merged;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard lock(stripe.mutex);
+    merged.merge(stripe.histogram);
+    if (reset) stripe.histogram.reset();
+  }
+  return merged;
+}
+
+std::string canonical_key(std::string_view name,
+                          std::span<const Label> labels) {
+  std::string key(name);
+  if (!labels.empty()) {
+    key += '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) key += ',';
+      key += labels[i].key;
+      key += '=';
+      key += labels[i].value;
+    }
+    key += '}';
+  }
+  return key;
+}
+
+template <typename Metric>
+Metric& Registry::resolve(
+    std::unordered_map<std::string, Series<Metric>> Shard::* map,
+    std::string_view name, std::span<const Label> labels) {
+  std::string key = canonical_key(name, labels);
+  Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
+  std::lock_guard lock(shard.mutex);
+  auto& series_map = shard.*map;
+  auto it = series_map.find(key);
+  if (it == series_map.end()) {
+    Series<Metric> series;
+    series.name.assign(name);
+    series.labels.assign(labels.begin(), labels.end());
+    series.metric = std::make_unique<Metric>();
+    it = series_map.emplace(std::move(key), std::move(series)).first;
+  }
+  return *it->second.metric;
+}
+
+Counter& Registry::counter(std::string_view name,
+                           std::span<const Label> labels) {
+  return resolve(&Shard::counters, name, labels);
+}
+
+Gauge& Registry::gauge(std::string_view name, std::span<const Label> labels) {
+  return resolve(&Shard::gauges, name, labels);
+}
+
+Timer& Registry::timer(std::string_view name, std::span<const Label> labels) {
+  return resolve(&Shard::timers, name, labels);
+}
+
+Snapshot Registry::snapshot(bool reset) const {
+  Snapshot out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [key, series] : shard.counters) {
+      out.counters.push_back(
+          {series.name, series.labels, series.metric->collect(reset)});
+    }
+    for (const auto& [key, series] : shard.gauges) {
+      out.gauges.push_back({series.name, series.labels,
+                            series.metric->value()});
+    }
+    for (const auto& [key, series] : shard.timers) {
+      out.timers.push_back(
+          {series.name, series.labels, series.metric->collect(reset)});
+    }
+  }
+  auto by_key = [](const auto& a, const auto& b) {
+    return canonical_key(a.name, a.labels) < canonical_key(b.name, b.labels);
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_key);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_key);
+  std::sort(out.timers.begin(), out.timers.end(), by_key);
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+namespace {
+
+void append_labels_json(std::string& out, const std::vector<Label>& labels) {
+  out += "\"labels\":{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += util::json_escape(labels[i].key);
+    out += "\":\"";
+    out += util::json_escape(labels[i].value);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\"type\":\"metrics_snapshot\",\"counters\":[";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& entry = snapshot.counters[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"";
+    out += util::json_escape(entry.name);
+    out += "\",";
+    append_labels_json(out, entry.labels);
+    out += ",\"value\":";
+    out += std::to_string(entry.value);
+    out += '}';
+  }
+  out += "],\"gauges\":[";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& entry = snapshot.gauges[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"";
+    out += util::json_escape(entry.name);
+    out += "\",";
+    append_labels_json(out, entry.labels);
+    out += ",\"value\":";
+    out += format_double(entry.value);
+    out += '}';
+  }
+  out += "],\"timers\":[";
+  for (std::size_t i = 0; i < snapshot.timers.size(); ++i) {
+    const auto& entry = snapshot.timers[i];
+    const util::LatencyHistogram& h = entry.histogram;
+    if (i > 0) out += ',';
+    out += "{\"name\":\"";
+    out += util::json_escape(entry.name);
+    out += "\",";
+    append_labels_json(out, entry.labels);
+    out += ",\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"mean_us\":";
+    out += format_double(h.mean() / kNanosPerMicro);
+    out += ",\"min_us\":";
+    out += format_double(h.count() == 0 ? 0.0 : h.min() / kNanosPerMicro);
+    out += ",\"p50_us\":";
+    out += format_double(h.quantile(0.50) / kNanosPerMicro);
+    out += ",\"p90_us\":";
+    out += format_double(h.quantile(0.90) / kNanosPerMicro);
+    out += ",\"p99_us\":";
+    out += format_double(h.quantile(0.99) / kNanosPerMicro);
+    out += ",\"max_us\":";
+    out += format_double(h.count() == 0 ? 0.0 : h.max() / kNanosPerMicro);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; map everything else to '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "wtp_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Label values escape backslash, double-quote, and newline per the
+/// exposition-format spec.
+std::string prometheus_label_value(std::string_view value) {
+  std::string out;
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_labels(const std::vector<Label>& labels,
+                              std::string_view extra_key = {},
+                              std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_name(label.key).substr(4);  // no wtp_ prefix on labels
+    out += "=\"";
+    out += prometheus_label_value(label.value);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  constexpr double kNanosPerSecond = 1e9;
+  std::string out;
+  for (const auto& entry : snapshot.counters) {
+    out += prometheus_name(entry.name);
+    out += "_total";
+    out += prometheus_labels(entry.labels);
+    out += ' ';
+    out += std::to_string(entry.value);
+    out += '\n';
+  }
+  for (const auto& entry : snapshot.gauges) {
+    out += prometheus_name(entry.name);
+    out += prometheus_labels(entry.labels);
+    out += ' ';
+    out += format_double(entry.value);
+    out += '\n';
+  }
+  for (const auto& entry : snapshot.timers) {
+    const util::LatencyHistogram& h = entry.histogram;
+    const std::string base = prometheus_name(entry.name) + "_seconds";
+    for (double q : {0.5, 0.9, 0.99}) {
+      out += base;
+      out += prometheus_labels(entry.labels, "quantile", format_double(q));
+      out += ' ';
+      out += format_double(h.quantile(q) / kNanosPerSecond);
+      out += '\n';
+    }
+    out += base;
+    out += "_sum";
+    out += prometheus_labels(entry.labels);
+    out += ' ';
+    out += format_double(h.mean() * static_cast<double>(h.count()) /
+                         kNanosPerSecond);
+    out += '\n';
+    out += base;
+    out += "_count";
+    out += prometheus_labels(entry.labels);
+    out += ' ';
+    out += std::to_string(h.count());
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wtp::obs

@@ -1,0 +1,190 @@
+// Process-wide metrics registry: the one pipe every layer reports through
+// (ROADMAP telemetry for the paper's timing claims, Figs. 4-5, and the
+// serving deployment).  Named counters, gauges, and latency timers with
+// optional labels ("solver.iterations{kernel=rbf}"), snapshot-and-reset
+// semantics, and JSON / Prometheus-style exporters.
+//
+// Concurrency model: the name -> metric maps are lock-sharded (a handle
+// lookup takes one shard mutex); the returned handles are lock-free on the
+// hot path — counters and gauges are relaxed atomics, timers stripe their
+// histograms by thread so concurrent recorders rarely share a lock.  Hot
+// paths resolve their handles once and keep the pointer; a handle stays
+// valid for the registry's lifetime.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace wtp::obs {
+
+/// One metric label.  Labels are order-significant: "a=1,b=2" and "b=2,a=1"
+/// are distinct series, so call sites agree on one order per metric name.
+struct Label {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const Label&, const Label&) = default;
+};
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Returns the current value; with `reset`, atomically zeroes it (the
+  /// returned count is owned by exactly one snapshot, so interval deltas
+  /// from concurrent bumpers sum exactly).
+  std::uint64_t collect(bool reset) noexcept {
+    return reset ? value_.exchange(0, std::memory_order_relaxed) : value();
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A settable level (resident sessions, queue depth).  Snapshots never
+/// reset gauges — a level has no "since last snapshot" meaning.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency distribution (nanoseconds by convention), striped across
+/// kStripes histograms so concurrent threads rarely contend on one mutex.
+/// Threads are assigned stripes round-robin on first use.
+class Timer {
+ public:
+  static constexpr std::size_t kStripes = 8;
+
+  void record_ns(double ns) noexcept;
+
+  /// Merged view of all stripes; with `reset`, clears them (each recorded
+  /// value lands in exactly one snapshot).
+  [[nodiscard]] util::LatencyHistogram collect(bool reset = false) const;
+
+ private:
+  struct alignas(64) Stripe {
+    mutable std::mutex mutex;
+    mutable util::LatencyHistogram histogram;  // collect(reset) drains it
+  };
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// Point-in-time view of a registry, sorted by canonical key so exports
+/// and run summaries are stable across runs and shard layouts.
+struct Snapshot {
+  struct CounterEntry {
+    std::string name;
+    std::vector<Label> labels;
+    std::uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    std::vector<Label> labels;
+    double value = 0.0;
+  };
+  struct TimerEntry {
+    std::string name;
+    std::vector<Label> labels;
+    util::LatencyHistogram histogram;
+  };
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<TimerEntry> timers;
+};
+
+/// Lock-sharded metric registry.  Thread-safe; handles are stable for the
+/// registry's lifetime.  `global()` is the process-wide instance the tools
+/// export; subsystems accept a registry pointer so tests isolate their
+/// counts.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name,
+                                 std::span<const Label> labels = {});
+  [[nodiscard]] Gauge& gauge(std::string_view name,
+                             std::span<const Label> labels = {});
+  [[nodiscard]] Timer& timer(std::string_view name,
+                             std::span<const Label> labels = {});
+
+  /// Collects every metric, sorted by canonical key.  With `reset`,
+  /// counters and timers are zeroed as they are read (interval semantics:
+  /// concurrent increments land in this snapshot or the next, never both);
+  /// gauges are levels and are never reset.
+  [[nodiscard]] Snapshot snapshot(bool reset = false) const;
+
+  /// The process-wide registry (what `wtp_serve --metrics-out` exports).
+  [[nodiscard]] static Registry& global();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  template <typename Metric>
+  struct Series {
+    std::string name;
+    std::vector<Label> labels;
+    std::unique_ptr<Metric> metric;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Series<Counter>> counters;
+    std::unordered_map<std::string, Series<Gauge>> gauges;
+    std::unordered_map<std::string, Series<Timer>> timers;
+  };
+
+  template <typename Metric>
+  Metric& resolve(std::unordered_map<std::string, Series<Metric>> Shard::* map,
+                  std::string_view name, std::span<const Label> labels);
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// "name{k=v,...}" (plain name when unlabeled) — the registry's map key and
+/// the exporters' display form.
+[[nodiscard]] std::string canonical_key(std::string_view name,
+                                        std::span<const Label> labels);
+
+/// One JSON object: {"type":"metrics_snapshot","counters":[...],
+/// "gauges":[...],"timers":[...]}.  Timer digests are microseconds
+/// (count/mean/min/p50/p90/p99/max), matching serve::LatencySummary.  All
+/// names and label strings are JSON-escaped.
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+
+/// Prometheus text exposition: names are prefixed "wtp_" with dots mapped
+/// to underscores; timers become summaries in seconds with quantile lines
+/// plus _sum/_count.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snapshot);
+
+}  // namespace wtp::obs

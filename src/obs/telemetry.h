@@ -1,0 +1,61 @@
+// Telemetry glue for the CLI tools: a background metrics-snapshot writer
+// (`--metrics-out`), a trace-file exporter (`--trace-out`), the common
+// metric families every tool pre-registers so exported snapshots always
+// carry a stable schema, and an end-of-run summary table.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace wtp::obs {
+
+/// Pre-registers the counter/timer families the serving and training
+/// planes report through (serve.*, solver.*, grid.*), so a snapshot taken
+/// before — or without — any traffic still exposes the full schema with
+/// zero values.  Idempotent.
+void register_common_metrics(Registry& registry);
+
+/// Periodically writes `to_json(registry.snapshot())` to `path`.  Each
+/// write goes to a temp file renamed into place, so readers always see a
+/// complete JSON document.  A final snapshot is written on stop()/dtor.
+/// Snapshots are cumulative (no reset): the file is a live view of the run.
+class MetricsFileWriter {
+ public:
+  MetricsFileWriter(Registry& registry, std::string path,
+                    double interval_seconds);
+  ~MetricsFileWriter();
+
+  MetricsFileWriter(const MetricsFileWriter&) = delete;
+  MetricsFileWriter& operator=(const MetricsFileWriter&) = delete;
+
+  /// Writes the final snapshot and joins the writer thread.  Idempotent.
+  void stop();
+
+ private:
+  void run(double interval_seconds);
+  [[nodiscard]] bool write_snapshot() const;
+
+  Registry& registry_;
+  std::string path_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+/// Writes the recorder's Chrome trace JSON to `path`.  Returns false (and
+/// logs to stderr) on I/O failure.
+bool write_trace_file(const TraceRecorder& recorder, const std::string& path);
+
+/// Renders the non-zero metrics of a snapshot as an aligned text table for
+/// end-of-run stderr summaries (counters and gauges as name/value rows,
+/// timers as count/mean/p50/p99/max microsecond rows).
+[[nodiscard]] std::string summary_table(const Snapshot& snapshot);
+
+}  // namespace wtp::obs

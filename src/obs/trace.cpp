@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "util/strings.h"
+
+// Thread buffers are intentionally never freed (header comment); tell
+// LeakSanitizer so the sanitized CI job doesn't report them.
+#if defined(__SANITIZE_ADDRESS__)
+#define WTP_OBS_HAS_LSAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define WTP_OBS_HAS_LSAN 1
+#endif
+#endif
+#ifdef WTP_OBS_HAS_LSAN
+#include <sanitizer/lsan_interface.h>
+#endif
+
+namespace wtp::obs {
+namespace {
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void TraceRecorder::enable(std::size_t capacity) {
+  clear();
+  capacity_.store(capacity == 0 ? 1 : capacity, std::memory_order_relaxed);
+  epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard registry_lock(registry_mutex_);
+  for (ThreadBuffer* buffer : buffers_) {
+    std::lock_guard lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard registry_lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const ThreadBuffer* buffer : buffers_) {
+    std::lock_guard lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  // One buffer per (thread, recorder).  Buffers are never freed: the
+  // recorder keeps the pointer registered so export works after the thread
+  // exits, and the thread keeps its pointer valid across clear()/enable().
+  thread_local ThreadBuffer* buffer = nullptr;
+  thread_local TraceRecorder* owner = nullptr;
+  if (buffer == nullptr || owner != this) {
+    auto* fresh = new ThreadBuffer();
+#ifdef WTP_OBS_HAS_LSAN
+    __lsan_ignore_object(fresh);
+#endif
+    std::lock_guard registry_lock(registry_mutex_);
+    fresh->tid = next_tid_++;
+    buffers_.push_back(fresh);
+    buffer = fresh;
+    owner = this;
+  }
+  return *buffer;
+}
+
+void TraceRecorder::append(const Event& event) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard lock(buffer.mutex);
+  if (buffer.events.size() >= capacity_.load(std::memory_order_relaxed)) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(event);
+}
+
+std::int64_t TraceRecorder::now_ns() const noexcept {
+  return steady_now_ns() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  std::lock_guard registry_lock(registry_mutex_);
+  for (const ThreadBuffer* buffer : buffers_) {
+    std::lock_guard lock(buffer->mutex);
+    for (const Event& event : buffer->events) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"";
+      out += util::json_escape(event.name);
+      out += "\",\"cat\":\"";
+      out += util::json_escape(event.category);
+      out += "\",\"ph\":\"X\",\"pid\":1";
+      std::snprintf(buf, sizeof buf, ",\"tid\":%llu,\"ts\":%.3f,\"dur\":%.3f",
+                    static_cast<unsigned long long>(buffer->tid),
+                    static_cast<double>(event.start_ns) / 1e3,
+                    static_cast<double>(event.duration_ns) / 1e3);
+      out += buf;
+      if (event.has_arg) {
+        std::snprintf(buf, sizeof buf, ",\"args\":{\"value\":%llu}",
+                      static_cast<unsigned long long>(event.arg));
+        out += buf;
+      }
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder instance;
+  return instance;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category, std::uint64_t arg,
+                     bool has_arg) noexcept
+    : name_(name),
+      category_(category),
+      start_ns_(0),
+      arg_(arg),
+      has_arg_(has_arg),
+      active_(TraceRecorder::global().enabled()) {
+  if (active_) start_ns_ = TraceRecorder::global().now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceRecorder& recorder = TraceRecorder::global();
+  if (!recorder.enabled()) return;  // disabled mid-span: drop it
+  TraceRecorder::Event event;
+  event.name = name_;
+  event.category = category_;
+  event.start_ns = start_ns_;
+  event.duration_ns = recorder.now_ns() - start_ns_;
+  event.arg = arg_;
+  event.has_arg = has_arg_;
+  recorder.append(event);
+}
+
+}  // namespace wtp::obs

@@ -1,0 +1,112 @@
+// Scoped tracing with Chrome trace_event export.  TraceSpan is an RAII
+// timer: construction stamps a start time, destruction appends a complete
+// ("ph":"X") event to the calling thread's buffer.  The recorder is off by
+// default; a disabled span costs one relaxed atomic load and nothing else,
+// so spans stay compiled into the hot paths (ingest, score fan-out, grid
+// cells, fit_path columns) permanently.
+//
+// Memory is bounded: each thread buffer holds at most `capacity` events;
+// past that, events are counted as dropped instead of recorded.  Thread
+// buffers are heap-allocated once per thread and intentionally leaked (the
+// recorder keeps them registered so a trace can be exported after worker
+// threads exit; clear() empties events but never frees buffers, keeping
+// thread_local pointers valid).
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the recorder) — events store the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wtp::obs {
+
+class TraceRecorder {
+ public:
+  struct Event {
+    const char* name = nullptr;
+    const char* category = nullptr;
+    std::int64_t start_ns = 0;   // relative to the recorder epoch
+    std::int64_t duration_ns = 0;
+    std::uint64_t arg = 0;       // optional payload (window size, cell id)
+    bool has_arg = false;
+  };
+
+  /// Starts recording.  `capacity` bounds each thread's event buffer.
+  /// Re-enabling clears previously recorded events.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Discards all recorded events (buffers stay registered).
+  void clear();
+
+  /// Total events dropped because a thread buffer was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Serializes everything recorded so far as Chrome trace_event JSON
+  /// ({"traceEvents":[...]}), loadable in chrome://tracing or Perfetto.
+  /// Timestamps and durations are microseconds.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// The process-wide recorder all TraceSpans report to.
+  [[nodiscard]] static TraceRecorder& global();
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 18;
+
+ private:
+  friend class TraceSpan;
+
+  struct ThreadBuffer {
+    mutable std::mutex mutex;  // guards events against concurrent export/clear
+    std::vector<Event> events;
+    std::uint64_t dropped = 0;
+    std::uint64_t tid = 0;
+  };
+
+  /// The calling thread's buffer, registering it on first use.
+  ThreadBuffer& local_buffer();
+  void append(const Event& event);
+  [[nodiscard]] std::int64_t now_ns() const noexcept;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> epoch_ns_{0};
+  std::atomic<std::size_t> capacity_{kDefaultCapacity};
+
+  mutable std::mutex registry_mutex_;  // guards buffers_ / next_tid_
+  std::vector<ThreadBuffer*> buffers_;
+  std::uint64_t next_tid_ = 1;
+};
+
+/// RAII scoped timer.  Usage:
+///   obs::TraceSpan span("svm.solve", "svm");
+/// Overhead when tracing is disabled: one relaxed atomic load.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "wtp") noexcept
+      : TraceSpan(name, category, 0, false) {}
+  TraceSpan(const char* name, const char* category, std::uint64_t arg) noexcept
+      : TraceSpan(name, category, arg, true) {}
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSpan(const char* name, const char* category, std::uint64_t arg,
+            bool has_arg) noexcept;
+
+  const char* name_;
+  const char* category_;
+  std::int64_t start_ns_;
+  std::uint64_t arg_;
+  bool has_arg_;
+  bool active_;
+};
+
+}  // namespace wtp::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace wtp::serve {
@@ -15,9 +16,27 @@ constexpr double kNanosPerMicro = 1e3;
 
 }  // namespace
 
+ScoringEngine::Metrics::Metrics(obs::Registry& registry)
+    : transactions{registry.counter("serve.transactions_ingested")},
+      windows{registry.counter("serve.windows_scored")},
+      decisions{registry.counter("serve.decisions_emitted")},
+      correct{registry.counter("serve.correct_decisions")},
+      created{registry.counter("serve.sessions_created")},
+      evicted{registry.counter("serve.sessions_evicted")},
+      sessions_active{registry.gauge("serve.sessions_active")},
+      ingest_ns{registry.timer("serve.ingest")},
+      score_ns{registry.timer("serve.score")} {}
+
 ScoringEngine::ScoringEngine(const core::ProfileStore& store,
                              EngineConfig config, EventSink sink)
-    : store_{&store}, config_{config}, sink_{std::move(sink)} {
+    : store_{&store},
+      config_{config},
+      sink_{std::move(sink)},
+      owned_registry_{config.registry == nullptr
+                          ? std::make_unique<obs::Registry>()
+                          : nullptr},
+      metrics_{config.registry != nullptr ? *config.registry
+                                          : *owned_registry_} {
   if (config_.shards == 0) {
     throw std::invalid_argument{"ScoringEngine: shards must be >= 1"};
   }
@@ -78,9 +97,12 @@ void ScoringEngine::accept_flags(const util::SparseVector& features,
   done.wait();
 }
 
-void ScoringEngine::score_and_emit(Shard& shard, DeviceSession& session,
+void ScoringEngine::score_and_emit(DeviceSession& session,
                                    const PendingWindow& pending,
                                    EventSource source) {
+  const obs::TraceSpan span{
+      "serve.score", "serve",
+      static_cast<std::uint64_t>(pending.window.transaction_count)};
   const util::Stopwatch stopwatch;
   core::IdentificationEvent event;
   event.window_start = pending.window.start;
@@ -105,12 +127,12 @@ void ScoringEngine::score_and_emit(Shard& shard, DeviceSession& session,
   out.accepted_by = std::move(event.accepted_by);
   out.source = source;
 
-  ++shard.windows;
+  metrics_.windows.add(1);
   if (out.decided()) {
-    ++shard.decisions;
-    if (out.correct()) ++shard.correct;
+    metrics_.decisions.add(1);
+    if (out.correct()) metrics_.correct.add(1);
   }
-  shard.score_ns.record(stopwatch.elapsed_micros() * kNanosPerMicro);
+  metrics_.score_ns.record_ns(stopwatch.elapsed_micros() * kNanosPerMicro);
   sink_(out);
 }
 
@@ -118,11 +140,12 @@ void ScoringEngine::evict(Shard& shard, const std::string& device_id) {
   const auto it = shard.sessions.find(device_id);
   if (it == shard.sessions.end()) return;
   for (const auto& pending : it->second.session.flush()) {
-    score_and_emit(shard, it->second.session, pending, EventSource::kEviction);
+    score_and_emit(it->second.session, pending, EventSource::kEviction);
   }
   shard.lru.erase(it->second.lru_position);
   shard.sessions.erase(it);
-  ++shard.evicted;
+  metrics_.evicted.add(1);
+  metrics_.sessions_active.add(-1.0);
 }
 
 void ScoringEngine::evict_expired(Shard& shard, util::UnixSeconds now) {
@@ -143,6 +166,7 @@ void ScoringEngine::enforce_capacity(Shard& shard) {
 }
 
 void ScoringEngine::ingest(const log::WebTransaction& txn) {
+  const obs::TraceSpan span{"serve.ingest", "serve"};
   Shard& shard = shard_for(txn.device_id);
   const std::lock_guard lock{shard.mutex};
 
@@ -155,17 +179,18 @@ void ScoringEngine::ingest(const log::WebTransaction& txn) {
     it = shard.sessions.emplace(txn.device_id, std::move(entry)).first;
     it->second.lru_position =
         shard.lru.insert(shard.lru.end(), txn.device_id);
-    ++shard.created;
+    metrics_.created.add(1);
+    metrics_.sessions_active.add(1.0);
   } else {
     // Touch: most recently active moves to the back.
     shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_position);
   }
   const auto completed = it->second.session.push(txn);
-  ++shard.transactions;
-  shard.ingest_ns.record(stopwatch.elapsed_micros() * kNanosPerMicro);
+  metrics_.transactions.add(1);
+  metrics_.ingest_ns.record_ns(stopwatch.elapsed_micros() * kNanosPerMicro);
 
   for (const auto& pending : completed) {
-    score_and_emit(shard, it->second.session, pending, EventSource::kStream);
+    score_and_emit(it->second.session, pending, EventSource::kStream);
   }
   evict_expired(shard, txn.timestamp);
   enforce_capacity(shard);
@@ -182,9 +207,11 @@ void ScoringEngine::flush() {
     for (const auto& device : devices) {
       Entry& entry = shard.sessions.at(device);
       for (const auto& pending : entry.session.flush()) {
-        score_and_emit(shard, entry.session, pending, EventSource::kFlush);
+        score_and_emit(entry.session, pending, EventSource::kFlush);
       }
     }
+    metrics_.sessions_active.add(
+        -static_cast<double>(shard.sessions.size()));
     shard.sessions.clear();
     shard.lru.clear();
   }
@@ -192,23 +219,21 @@ void ScoringEngine::flush() {
 
 EngineMetrics ScoringEngine::metrics() const {
   EngineMetrics metrics;
-  util::LatencyHistogram ingest_ns;
-  util::LatencyHistogram score_ns;
+  metrics.transactions_ingested = metrics_.transactions.value();
+  metrics.windows_scored = metrics_.windows.value();
+  metrics.decisions_emitted = metrics_.decisions.value();
+  metrics.correct_decisions = metrics_.correct.value();
+  metrics.sessions_created = metrics_.created.value();
+  metrics.sessions_evicted = metrics_.evicted.value();
+  // Resident count from the shard tables themselves, not the gauge: exact
+  // under concurrent ingest (the gauge is for exported snapshots).
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     const std::lock_guard lock{shard.mutex};
-    metrics.transactions_ingested += shard.transactions;
-    metrics.windows_scored += shard.windows;
-    metrics.decisions_emitted += shard.decisions;
-    metrics.correct_decisions += shard.correct;
     metrics.sessions_active += shard.sessions.size();
-    metrics.sessions_created += shard.created;
-    metrics.sessions_evicted += shard.evicted;
-    ingest_ns.merge(shard.ingest_ns);
-    score_ns.merge(shard.score_ns);
   }
-  metrics.ingest = LatencySummary::from(ingest_ns);
-  metrics.score = LatencySummary::from(score_ns);
+  metrics.ingest = LatencySummary::from(metrics_.ingest_ns.collect());
+  metrics.score = LatencySummary::from(metrics_.score_ns.collect());
   return metrics;
 }
 

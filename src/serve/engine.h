@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/profile_store.h"
+#include "obs/registry.h"
 #include "serve/event.h"
 #include "serve/metrics.h"
 #include "serve/session.h"
@@ -41,6 +42,11 @@ struct EngineConfig {
   /// Worker threads for the per-window profile fan-out.  0 = score serially
   /// on the ingesting thread.
   std::size_t score_threads = 0;
+  /// Where serve.* metrics are published.  nullptr (default) gives the
+  /// engine a private registry, so metrics() stays exact per engine; tools
+  /// pass &obs::Registry::global() to fold the engine into their exported
+  /// snapshots.  Must outlive the engine.
+  obs::Registry* registry = nullptr;
 };
 
 class ScoringEngine {
@@ -75,22 +81,31 @@ class ScoringEngine {
     mutable std::mutex mutex;
     std::unordered_map<std::string, Entry> sessions;
     std::list<std::string> lru;  ///< device ids, front = least recently active
-    std::size_t transactions = 0;
-    std::size_t windows = 0;
-    std::size_t decisions = 0;
-    std::size_t correct = 0;
-    std::size_t created = 0;
-    std::size_t evicted = 0;
-    util::LatencyHistogram ingest_ns;
-    util::LatencyHistogram score_ns;
+  };
+
+  /// serve.* handles on the configured registry, resolved once at
+  /// construction.  Counters are atomics, so shards bump them without
+  /// extra locking; timers stripe internally.
+  struct Metrics {
+    obs::Counter& transactions;
+    obs::Counter& windows;
+    obs::Counter& decisions;
+    obs::Counter& correct;
+    obs::Counter& created;
+    obs::Counter& evicted;
+    obs::Gauge& sessions_active;
+    obs::Timer& ingest_ns;
+    obs::Timer& score_ns;
+
+    explicit Metrics(obs::Registry& registry);
   };
 
   [[nodiscard]] Shard& shard_for(const std::string& device_id);
 
   /// Scores one pending window and emits its event.  Caller holds the
   /// shard lock.
-  void score_and_emit(Shard& shard, DeviceSession& session,
-                      const PendingWindow& pending, EventSource source);
+  void score_and_emit(DeviceSession& session, const PendingWindow& pending,
+                      EventSource source);
 
   /// accepts() of every profile over the vector, in store order; fans out
   /// across the pool when one is configured.
@@ -108,6 +123,8 @@ class ScoringEngine {
   EventSink sink_;
   std::size_t per_shard_capacity_ = 0;  ///< 0 = unbounded
   std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<obs::Registry> owned_registry_;  ///< when config.registry==nullptr
+  Metrics metrics_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

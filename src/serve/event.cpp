@@ -1,6 +1,6 @@
 #include "serve/event.h"
 
-#include <cstdio>
+#include "util/strings.h"
 
 namespace wtp::serve {
 
@@ -13,28 +13,7 @@ std::string_view to_string(EventSource source) noexcept {
   return "unknown";
 }
 
-std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(std::string_view text) { return util::json_escape(text); }
 
 std::string to_json_line(const DecisionEvent& event) {
   std::string out = "{\"type\":\"decision\"";

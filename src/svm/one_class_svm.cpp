@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "svm/smo_solver.h"
 
 namespace wtp::svm {
@@ -70,6 +72,10 @@ std::vector<OneClassSvmModel> OneClassSvmModel::fit_path(
   if (kernel.gamma <= 0.0) {
     kernel.gamma = 1.0 / static_cast<double>(std::max<std::size_t>(1, dimension));
   }
+
+  const obs::TraceSpan path_span{"svm.fit_path", "svm",
+                                 static_cast<std::uint64_t>(nus.size())};
+  obs::Registry::global().counter("solver.path_columns").add(1);
 
   const std::size_t l = data.rows();
   QMatrix q{data, kernel, /*scale=*/1.0, config.cache_bytes, config.gram_cache};

@@ -1,16 +1,67 @@
 #include "svm/smo_solver.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 
 namespace wtp::svm {
 
 namespace {
 
 constexpr double kTau = 1e-12;  // curvature floor for non-PSD kernels
+
+/// Publishes one solve's stats to the global registry, labeled by kernel.
+/// Handles are resolved once per kernel type and cached (the registry keeps
+/// them stable for process lifetime), so per-solve cost is a few relaxed
+/// atomic adds plus one striped histogram record.
+void publish_solver_stats(KernelType kernel, const SolverStats& stats,
+                          double elapsed_ns) {
+  struct Handles {
+    obs::Counter* solves;
+    obs::Counter* iterations;
+    obs::Counter* shrink_events;
+    obs::Counter* shrunk_variables;
+    obs::Counter* reconstructions;
+    obs::Counter* cache_hits;
+    obs::Counter* cache_misses;
+    obs::Timer* solve_time;
+  };
+  static constexpr std::size_t kKernelCount = 4;
+  static std::array<Handles, kKernelCount> handles = [] {
+    std::array<Handles, kKernelCount> out;
+    obs::Registry& registry = obs::Registry::global();
+    for (std::size_t k = 0; k < kKernelCount; ++k) {
+      const obs::Label label{
+          "kernel", std::string{to_string(static_cast<KernelType>(k))}};
+      const std::span<const obs::Label> labels{&label, 1};
+      out[k] = {&registry.counter("solver.solves", labels),
+                &registry.counter("solver.iterations", labels),
+                &registry.counter("solver.shrink_events", labels),
+                &registry.counter("solver.shrunk_variables", labels),
+                &registry.counter("solver.reconstructions", labels),
+                &registry.counter("solver.cache_hits", labels),
+                &registry.counter("solver.cache_misses", labels),
+                &registry.timer("solver.solve", labels)};
+    }
+    return out;
+  }();
+  const Handles& h = handles[static_cast<std::size_t>(kernel) % kKernelCount];
+  h.solves->add(1);
+  h.iterations->add(stats.iterations);
+  if (stats.shrink_events > 0) h.shrink_events->add(stats.shrink_events);
+  if (stats.shrunk_variables > 0) h.shrunk_variables->add(stats.shrunk_variables);
+  if (stats.reconstructions > 0) h.reconstructions->add(stats.reconstructions);
+  if (stats.cache_hits > 0) h.cache_hits->add(stats.cache_hits);
+  if (stats.cache_misses > 0) h.cache_misses->add(stats.cache_misses);
+  h.solve_time->record_ns(elapsed_ns);
+}
 
 }  // namespace
 
@@ -364,6 +415,9 @@ SolverResult solve_smo_impl(QMatrix& q, std::span<const double> p,
     throw std::invalid_argument{"solve_smo: warm_start size mismatch"};
   }
 
+  const obs::TraceSpan span{"svm.solve", "svm",
+                            static_cast<std::uint64_t>(l)};
+  const util::Stopwatch stopwatch;
   const std::size_t hits_before = q.cache_hits();
   const std::size_t misses_before = q.cache_misses();
 
@@ -453,6 +507,8 @@ SolverResult solve_smo_impl(QMatrix& q, std::span<const double> p,
 
   result.stats.cache_hits = q.cache_hits() - hits_before;
   result.stats.cache_misses = q.cache_misses() - misses_before;
+  publish_solver_stats(q.params().type, result.stats,
+                       stopwatch.elapsed_seconds() * 1e9);
   return result;
 }
 

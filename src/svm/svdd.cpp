@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "svm/smo_solver.h"
 
 namespace wtp::svm {
@@ -26,6 +28,10 @@ std::vector<SvddModel> SvddModel::fit_path(const util::FeatureMatrix& data,
   if (kernel.gamma <= 0.0) {
     kernel.gamma = 1.0 / static_cast<double>(std::max<std::size_t>(1, dimension));
   }
+  const obs::TraceSpan path_span{"svm.fit_path", "svm",
+                                 static_cast<std::uint64_t>(cs.size())};
+  obs::Registry::global().counter("solver.path_columns").add(1);
+
   const std::size_t l = data.rows();
 
   QMatrix q{data, kernel, /*scale=*/2.0, config.cache_bytes, config.gram_cache};

@@ -25,4 +25,10 @@ namespace wtp::util {
 /// Fixed-precision formatting ("%.1f" style) without iostream state leakage.
 [[nodiscard]] std::string format_double(double value, int decimals);
 
+/// Escapes text for embedding inside a JSON string literal: double quotes,
+/// backslashes, \n \r \t, and remaining control characters (as \u00XX).
+/// Every user-controlled string (device/user ids, metric labels) must pass
+/// through here before being spliced into JSON output.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
 }  // namespace wtp::util

@@ -1,0 +1,168 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wtp::obs {
+namespace {
+
+TEST(CanonicalKey, PlainAndLabeled) {
+  EXPECT_EQ(canonical_key("serve.ingest", {}), "serve.ingest");
+  const std::vector<Label> labels{{"kernel", "rbf"}, {"mode", "warm"}};
+  EXPECT_EQ(canonical_key("solver.solves", labels),
+            "solver.solves{kernel=rbf,mode=warm}");
+}
+
+TEST(Registry, HandlesAreStableAndSeriesDistinct) {
+  Registry registry;
+  Counter& plain = registry.counter("requests");
+  EXPECT_EQ(&plain, &registry.counter("requests"));
+
+  const std::vector<Label> rbf{{"kernel", "rbf"}};
+  const std::vector<Label> linear{{"kernel", "linear"}};
+  Counter& a = registry.counter("requests", rbf);
+  Counter& b = registry.counter("requests", linear);
+  EXPECT_NE(&a, &plain);
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &registry.counter("requests", rbf));
+
+  a.add(3);
+  plain.add(1);
+  const Snapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  // Sorted by canonical key: "requests" < "requests{kernel=linear}" < rbf.
+  EXPECT_EQ(snapshot.counters[0].name, "requests");
+  EXPECT_TRUE(snapshot.counters[0].labels.empty());
+  EXPECT_EQ(snapshot.counters[0].value, 1u);
+  EXPECT_EQ(snapshot.counters[1].labels[0].value, "linear");
+  EXPECT_EQ(snapshot.counters[1].value, 0u);
+  EXPECT_EQ(snapshot.counters[2].labels[0].value, "rbf");
+  EXPECT_EQ(snapshot.counters[2].value, 3u);
+}
+
+TEST(Registry, SnapshotResetGivesIntervalSemantics) {
+  Registry registry;
+  registry.counter("c").add(5);
+  registry.timer("t").record_ns(1000.0);
+  registry.gauge("g").set(7.0);
+
+  Snapshot first = registry.snapshot(/*reset=*/true);
+  EXPECT_EQ(first.counters[0].value, 5u);
+  EXPECT_EQ(first.timers[0].histogram.count(), 1u);
+  EXPECT_DOUBLE_EQ(first.gauges[0].value, 7.0);
+
+  // Counters and timers restart from zero; the gauge is a level and persists.
+  Snapshot second = registry.snapshot(/*reset=*/true);
+  EXPECT_EQ(second.counters[0].value, 0u);
+  EXPECT_EQ(second.timers[0].histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(second.gauges[0].value, 7.0);
+}
+
+TEST(Registry, TimerPoolsStripesExactly) {
+  Registry registry;
+  Timer& timer = registry.timer("t");
+  // Record from more threads than stripes so several stripes merge.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 12; ++t) {
+    threads.emplace_back([&timer, t] {
+      timer.record_ns(100.0 * (t + 1));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const util::LatencyHistogram pooled = timer.collect();
+  EXPECT_EQ(pooled.count(), 12u);
+  EXPECT_DOUBLE_EQ(pooled.min(), 100.0);
+  EXPECT_DOUBLE_EQ(pooled.max(), 1200.0);
+}
+
+// The satellite's concurrency contract: N writer threads hammer one counter
+// and one timer while another thread snapshots with reset; afterwards the
+// sum of everything the snapshots saw plus the residue equals the exact
+// number of increments.  Run under WTP_SANITIZE this also proves the
+// lock-sharded maps and striped histograms are race-free.
+TEST(Registry, ConcurrentBumpAndSnapshotLosesNothing) {
+  Registry registry;
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry] {
+      Counter& counter = registry.counter("hits");
+      Timer& timer = registry.timer("lat");
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        counter.add(1);
+        timer.record_ns(50.0);
+      }
+    });
+  }
+
+  std::uint64_t snapshotted_hits = 0;
+  std::uint64_t snapshotted_lat = 0;
+  std::thread reader{[&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const Snapshot snapshot = registry.snapshot(/*reset=*/true);
+      for (const auto& entry : snapshot.counters) {
+        if (entry.name == "hits") snapshotted_hits += entry.value;
+      }
+      for (const auto& entry : snapshot.timers) {
+        if (entry.name == "lat") snapshotted_lat += entry.histogram.count();
+      }
+    }
+  }};
+
+  for (auto& writer : writers) writer.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const Snapshot residue = registry.snapshot();
+  for (const auto& entry : residue.counters) snapshotted_hits += entry.value;
+  for (const auto& entry : residue.timers) {
+    snapshotted_lat += entry.histogram.count();
+  }
+  EXPECT_EQ(snapshotted_hits, kWriters * kPerWriter);
+  EXPECT_EQ(snapshotted_lat, kWriters * kPerWriter);
+}
+
+TEST(JsonExport, WellFormedAndEscaped) {
+  Registry registry;
+  const std::vector<Label> hostile{{"user", "a\"b\\c\n"}};
+  registry.counter("serve.decisions", hostile).add(2);
+  registry.gauge("serve.sessions_active").set(3.0);
+  registry.timer("serve.ingest").record_ns(2000.0);  // 2us
+
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"type\":\"metrics_snapshot\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"serve.decisions\""), std::string::npos);
+  EXPECT_NE(json.find("\"user\":\"a\\\"b\\\\c\\n\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_us\":2"), std::string::npos);
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control byte";
+  }
+}
+
+TEST(PrometheusExport, NamesSuffixesAndSeconds) {
+  Registry registry;
+  const std::vector<Label> kernel{{"kernel", "rbf"}};
+  registry.counter("solver.solves", kernel).add(4);
+  registry.gauge("serve.sessions_active").set(2.0);
+  registry.timer("serve.score").record_ns(1e6);  // 1ms = 1e-3 s
+
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("wtp_solver_solves_total{kernel=\"rbf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("wtp_serve_sessions_active 2"), std::string::npos);
+  EXPECT_NE(text.find("wtp_serve_score_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("wtp_serve_score_seconds_sum 0.001"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wtp::obs

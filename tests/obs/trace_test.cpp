@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wtp::obs {
+namespace {
+
+/// Tests share the process-wide recorder (TraceSpan always reports to
+/// global()), so each test enables it fresh and disables it on exit.
+struct TraceTest : ::testing::Test {
+  void SetUp() override { TraceRecorder::global().enable(); }
+  void TearDown() override { TraceRecorder::global().disable(); }
+};
+
+std::size_t count_events(const std::string& json, const std::string& name) {
+  const std::string needle = "\"name\":\"" + name + "\"";
+  std::size_t count = 0;
+  for (std::size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.disable();
+  { const TraceSpan span{"quiet", "test"}; }
+  recorder.enable();
+  EXPECT_EQ(count_events(recorder.chrome_trace_json(), "quiet"), 0u);
+}
+
+TEST_F(TraceTest, SpansBecomeCompleteEvents) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  {
+    const TraceSpan outer{"outer", "test"};
+    const TraceSpan inner{"inner", "test", /*arg=*/42};
+  }
+  const std::string json = recorder.chrome_trace_json();
+  EXPECT_EQ(count_events(json, "outer"), 1u);
+  EXPECT_EQ(count_events(json, "inner"), 1u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":42}"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] { const TraceSpan span{"worker", "test"}; });
+  }
+  for (auto& thread : threads) thread.join();
+  // All four spans survive their threads exiting (buffers are kept
+  // registered), and at least two distinct tids appear.
+  const std::string json = recorder.chrome_trace_json();
+  EXPECT_EQ(count_events(json, "worker"), 4u);
+}
+
+TEST_F(TraceTest, CapacityBoundsMemoryAndCountsDrops) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.enable(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    const TraceSpan span{"burst", "test"};
+  }
+  EXPECT_EQ(count_events(recorder.chrome_trace_json(), "burst"), 8u);
+  EXPECT_EQ(recorder.dropped(), 12u);
+}
+
+TEST_F(TraceTest, ReenableClearsOldEvents) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  { const TraceSpan span{"old", "test"}; }
+  recorder.enable();
+  { const TraceSpan span{"new", "test"}; }
+  const std::string json = recorder.chrome_trace_json();
+  EXPECT_EQ(count_events(json, "old"), 0u);
+  EXPECT_EQ(count_events(json, "new"), 1u);
+}
+
+TEST_F(TraceTest, SpanOpenAcrossDisableIsDropped) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  {
+    const TraceSpan span{"straddler", "test"};
+    recorder.disable();
+  }
+  recorder.enable();
+  EXPECT_EQ(count_events(recorder.chrome_trace_json(), "straddler"), 0u);
+}
+
+}  // namespace
+}  // namespace wtp::obs

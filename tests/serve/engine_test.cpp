@@ -304,5 +304,27 @@ TEST(DecisionEventJson, EscapesAndSerializesAllFields) {
   EXPECT_NE(undecided.find("\"identity\":\"\""), std::string::npos);
 }
 
+// A hostile user id (log injection attempt: quote-close, backslash, newline,
+// control byte) must come out as one clean JSON line — no raw control bytes
+// and every quote inside string values escaped.
+TEST(DecisionEventJson, HostileUserIdCannotBreakTheLine) {
+  DecisionEvent event;
+  event.device_id = "dev\\1\n";
+  event.true_user = "alice\"},{\"type\":\"fake\x01";
+  event.accepted_by = {event.true_user};
+  event.identity = event.true_user;
+  event.source = EventSource::kFlush;
+  const std::string line = to_json_line(event);
+  for (const char c : line) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control byte leaked";
+  }
+  EXPECT_EQ(line.find("\"type\":\"fake"), std::string::npos);
+  EXPECT_NE(line.find("\\\"type\\\":\\\"fake\\u0001"), std::string::npos);
+  EXPECT_NE(line.find("\"device\":\"dev\\\\1\\n\""), std::string::npos);
+  // The smoothed identity equals the hostile true user, so the decision is
+  // still judged correct — escaping must not perturb comparison semantics.
+  EXPECT_NE(line.find("\"correct\":true"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wtp::serve

@@ -89,6 +89,29 @@ TEST(LatencyHistogram, MergePoolsShards) {
   EXPECT_DOUBLE_EQ(empty.max(), 1000.0);
 }
 
+// Regression: merging a populated shard into a fresh (empty) histogram must
+// adopt the source's min, not keep the default 0.0 — otherwise pooled p0/min
+// reads as zero whenever the first shard visited was idle.
+TEST(LatencyHistogram, MergeIntoEmptyAdoptsMinAndMax) {
+  LatencyHistogram shard;
+  shard.record(250.0);
+  shard.record(900.0);
+
+  LatencyHistogram pooled;
+  pooled.merge(shard);
+  EXPECT_EQ(pooled.count(), 2u);
+  EXPECT_DOUBLE_EQ(pooled.min(), 250.0);
+  EXPECT_DOUBLE_EQ(pooled.max(), 900.0);
+  EXPECT_DOUBLE_EQ(pooled.quantile(0.0), 250.0);
+
+  // Merging an empty histogram the other way stays a no-op.
+  const LatencyHistogram empty;
+  pooled.merge(empty);
+  EXPECT_EQ(pooled.count(), 2u);
+  EXPECT_DOUBLE_EQ(pooled.min(), 250.0);
+  EXPECT_DOUBLE_EQ(pooled.max(), 900.0);
+}
+
 TEST(LatencyHistogram, ResetClears) {
   LatencyHistogram histogram;
   histogram.record(42.0);

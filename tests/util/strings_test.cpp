@@ -42,5 +42,35 @@ TEST(FormatDouble, FixedDecimals) {
   EXPECT_EQ(format_double(-0.5, 3), "-0.500");
 }
 
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("alice@corp"), "alice@corp");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("C:\\path"), "C:\\\\path");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape(std::string_view{"\x01\x1f", 2}), "\\u0001\\u001f");
+  EXPECT_EQ(json_escape(std::string_view{"\0", 1}), "\\u0000");
+}
+
+// A hostile identifier mixing every escape class must stay one valid JSON
+// string token: every quote and backslash gets escaped and no raw control
+// byte survives.
+TEST(JsonEscape, HostileIdentifierStaysOneToken) {
+  const std::string hostile = "evil\"},\\\n{\"user\":\"\x02";
+  const std::string escaped = json_escape(hostile);
+  EXPECT_EQ(escaped, "evil\\\"},\\\\\\n{\\\"user\\\":\\\"\\u0002");
+  for (const char c : escaped) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
 }  // namespace
 }  // namespace wtp::util

@@ -6,20 +6,29 @@
 //   wtp_serve --store profiles.wtp [--log monitored.csv]
 //             [--smooth K] [--shards N] [--threads N]
 //             [--ttl SECONDS] [--max-sessions N] [--replay-speed X]
+//             [--metrics-out FILE] [--metrics-interval S] [--trace-out FILE]
 //
 // Reads the log file (or stdin when --log is omitted) and feeds every
 // transaction to the ScoringEngine.  One JSON-lines event is printed per
 // scored window; the final line is an engine-metrics object (formats in
 // docs/FORMATS.md).  --replay-speed X paces ingestion at X times real time
 // (0, the default, replays as fast as possible).
+//
+// Telemetry: --metrics-out writes a JSON metrics snapshot of the global
+// registry every --metrics-interval seconds (default 1; atomic rename, so
+// the file always parses) and once at exit; --trace-out enables scoped
+// tracing and writes Chrome trace_event JSON loadable in chrome://tracing
+// or Perfetto.  Either flag also prints a run summary table to stderr.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "core/profile_store.h"
 #include "log/log_io.h"
+#include "obs/telemetry.h"
 #include "serve/engine.h"
 #include "tool_common.h"
 
@@ -29,7 +38,8 @@ int main(int argc, char** argv) {
   const tools::Args args{argc, argv,
                          "--store FILE [--log FILE] [--smooth K] [--shards N] "
                          "[--threads N] [--ttl SECONDS] [--max-sessions N] "
-                         "[--replay-speed X]"};
+                         "[--replay-speed X] [--metrics-out FILE] "
+                         "[--metrics-interval S] [--trace-out FILE]"};
   const auto store = core::ProfileStore::load_file(args.require("store"));
 
   serve::EngineConfig config;
@@ -40,6 +50,20 @@ int main(int argc, char** argv) {
   config.score_threads = static_cast<std::size_t>(args.get_int(
       "threads", static_cast<long>(std::thread::hardware_concurrency())));
   const double replay_speed = args.get_double("replay-speed", 0.0);
+
+  // Telemetry plane: publish the engine into the global registry, start the
+  // periodic snapshot writer, and turn on tracing when an export is wanted.
+  obs::Registry& registry = obs::Registry::global();
+  obs::register_common_metrics(registry);
+  config.registry = &registry;
+  const bool telemetry = args.has("metrics-out") || args.has("trace-out");
+  std::unique_ptr<obs::MetricsFileWriter> metrics_writer;
+  if (args.has("metrics-out")) {
+    metrics_writer = std::make_unique<obs::MetricsFileWriter>(
+        registry, args.require("metrics-out"),
+        args.get_double("metrics-interval", 1.0));
+  }
+  if (args.has("trace-out")) obs::TraceRecorder::global().enable();
 
   serve::ScoringEngine engine{store, config, [](const serve::DecisionEvent& event) {
                                 std::puts(serve::to_json_line(event).c_str());
@@ -90,5 +114,16 @@ int main(int argc, char** argv) {
                metrics.transactions_ingested, metrics.windows_scored,
                metrics.decisions_emitted, metrics.correct_decisions,
                metrics.sessions_created, metrics.sessions_evicted);
+
+  if (metrics_writer != nullptr) metrics_writer->stop();
+  if (args.has("trace-out")) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.disable();
+    if (!obs::write_trace_file(recorder, args.require("trace-out"))) return 1;
+  }
+  if (telemetry) {
+    std::fprintf(stderr, "%s",
+                 obs::summary_table(registry.snapshot(false)).c_str());
+  }
   return 0;
 }

@@ -5,14 +5,22 @@
 //             [--classifier oc-svm|svdd] [--duration 60] [--shift 30]
 //             [--min-transactions 200] [--max-users 25] [--optimize]
 //             [--nu 0.1] [--kernel rbf] [--threads 0]
+//             [--metrics-out FILE] [--metrics-interval S] [--trace-out FILE]
 //
 // With --optimize, each user's kernel and nu/C are grid-searched as in the
 // paper (§IV-C); otherwise the fixed --kernel/--nu are used for everyone.
+//
+// Telemetry: --metrics-out writes a JSON snapshot of the solver/grid-search
+// registry every --metrics-interval seconds (default 1) and once at exit;
+// --trace-out captures per-solve and per-grid-cell trace spans as Chrome
+// trace_event JSON.  Either flag also prints a run summary table to stderr.
 #include <cstdio>
+#include <memory>
 
 #include "core/grid_search.h"
 #include "core/profile_store.h"
 #include "log/log_io.h"
+#include "obs/telemetry.h"
 #include "tool_common.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -24,9 +32,21 @@ int main(int argc, char** argv) {
                          "--log FILE --out FILE [--classifier oc-svm|svdd] "
                          "[--duration S] [--shift S] [--min-transactions N] "
                          "[--max-users N] [--optimize] [--nu F] [--kernel K] "
-                         "[--threads N]"};
+                         "[--threads N] [--metrics-out FILE] "
+                         "[--metrics-interval S] [--trace-out FILE]"};
   const std::string log_path = args.require("log");
   const std::string out_path = args.require("out");
+
+  obs::Registry& registry = obs::Registry::global();
+  obs::register_common_metrics(registry);
+  const bool telemetry = args.has("metrics-out") || args.has("trace-out");
+  std::unique_ptr<obs::MetricsFileWriter> metrics_writer;
+  if (args.has("metrics-out")) {
+    metrics_writer = std::make_unique<obs::MetricsFileWriter>(
+        registry, args.require("metrics-out"),
+        args.get_double("metrics-interval", 1.0));
+  }
+  if (args.has("trace-out")) obs::TraceRecorder::global().enable();
 
   util::Stopwatch stopwatch;
   auto transactions = log::read_log_file(log_path);
@@ -86,5 +106,16 @@ int main(int argc, char** argv) {
   const core::ProfileStore store{window, dataset.schema(), std::move(profiles)};
   store.save_file(out_path);
   std::printf("profile store written to %s\n", out_path.c_str());
+
+  if (metrics_writer != nullptr) metrics_writer->stop();
+  if (args.has("trace-out")) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.disable();
+    if (!obs::write_trace_file(recorder, args.require("trace-out"))) return 1;
+  }
+  if (telemetry) {
+    std::fprintf(stderr, "%s",
+                 obs::summary_table(registry.snapshot(false)).c_str());
+  }
   return 0;
 }
