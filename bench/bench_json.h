@@ -1,0 +1,139 @@
+// Minimal JSON emitter for the BENCH_*.json checkpoints: benches append
+// flat records (numbers, strings, bools, nested objects/arrays) and write
+// one file per run, so the perf trajectory lives on disk next to the
+// binaries instead of only in scrollback.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wtp::bench {
+
+class JsonBuilder {
+ public:
+  JsonBuilder& begin_object() { return open('{', '}'); }
+  JsonBuilder& end_object() { return close('}'); }
+  JsonBuilder& begin_array() { return open('[', ']'); }
+  JsonBuilder& end_array() { return close(']'); }
+
+  JsonBuilder& key(std::string_view name) {
+    comma();
+    append_string(name);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonBuilder& value(std::string_view text) {
+    comma();
+    append_string(text);
+    return done();
+  }
+  JsonBuilder& value(const char* text) { return value(std::string_view{text}); }
+  JsonBuilder& value(bool flag) {
+    comma();
+    out_ += flag ? "true" : "false";
+    return done();
+  }
+  JsonBuilder& value(double number) {
+    comma();
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+    out_ += buffer;
+    return done();
+  }
+  JsonBuilder& value(std::uint64_t number) {
+    comma();
+    out_ += std::to_string(number);
+    return done();
+  }
+  JsonBuilder& value(std::int64_t number) {
+    comma();
+    out_ += std::to_string(number);
+    return done();
+  }
+  JsonBuilder& value(int number) { return value(static_cast<std::int64_t>(number)); }
+
+  [[nodiscard]] const std::string& str() const {
+    if (!stack_.empty()) {
+      throw std::logic_error{"JsonBuilder: unterminated object/array"};
+    }
+    return out_;
+  }
+
+  /// Writes the (complete) document to `path`; throws on I/O failure.
+  void write_file(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      throw std::runtime_error{"JsonBuilder: cannot open '" + path + "'"};
+    }
+    const std::string& text = str();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+    std::fclose(file);
+    if (!ok) throw std::runtime_error{"JsonBuilder: write failed on '" + path + "'"};
+  }
+
+ private:
+  JsonBuilder& open(char opener, char closer) {
+    comma();
+    out_ += opener;
+    stack_.push_back(closer);
+    need_comma_ = false;
+    pending_value_ = false;
+    return *this;
+  }
+
+  JsonBuilder& close(char closer) {
+    if (stack_.empty() || stack_.back() != closer) {
+      throw std::logic_error{"JsonBuilder: mismatched close"};
+    }
+    stack_.pop_back();
+    out_ += closer;
+    need_comma_ = true;
+    return *this;
+  }
+
+  void comma() {
+    if (pending_value_) return;  // the comma was emitted before the key
+    if (need_comma_) out_ += ',';
+  }
+
+  JsonBuilder& done() {
+    need_comma_ = true;
+    pending_value_ = false;
+    return *this;
+  }
+
+  void append_string(std::string_view text) {
+    out_ += '"';
+    for (const char c : text) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ += buffer;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<char> stack_;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
+
+}  // namespace wtp::bench

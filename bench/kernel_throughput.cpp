@@ -11,8 +11,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "bench_json.h"
 #include "svm/kernel.h"
 #include "util/feature_matrix.h"
 #include "util/rng.h"
@@ -114,9 +117,16 @@ void BM_BatchKernelRow(benchmark::State& state) {
 BENCHMARK(BM_PerPairKernelEval)->DenseRange(0, 3)->ArgNames({"kernel"});
 BENCHMARK(BM_BatchKernelRow)->DenseRange(0, 3)->ArgNames({"kernel"});
 
+struct ReportRow {
+  std::string kernel;
+  double per_pair_mevals = 0.0;
+  double kernel_row_mevals = 0.0;
+  double speedup = 0.0;
+};
+
 /// Explicit before/after summary: kernel evaluations per second for each
 /// path, plus the speedup, verified bit-identical first.
-void report(svm::KernelType type) {
+ReportRow report(svm::KernelType type) {
   const auto& f = Fixture::get();
   const auto params = kernel_params(type);
   std::vector<double> before(f.rows.size());
@@ -153,11 +163,23 @@ void report(svm::KernelType type) {
               "speedup %.2fx\n",
               svm::describe(params).c_str(), evals / before_s * 1e-6,
               evals / after_s * 1e-6, before_s / after_s);
+  return {svm::describe(params), evals / before_s * 1e-6,
+          evals / after_s * 1e-6, before_s / after_s};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_out;  // empty = no BENCH_*.json checkpoint
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--json-out" && i + 1 < argc) {
+      json_out = argv[i + 1];
+      // Splice the flag + value out before google-benchmark sees them.
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -165,10 +187,32 @@ int main(int argc, char** argv) {
   std::printf("\nKernel-row throughput — %zu-dim rows, ~%zu nnz, %zu-row "
               "matrix (bit-identical outputs)\n",
               kDim, kMeanNnz, kRows);
+  std::vector<ReportRow> rows;
   for (const auto type :
        {svm::KernelType::kLinear, svm::KernelType::kPolynomial,
         svm::KernelType::kRbf, svm::KernelType::kSigmoid}) {
-    report(type);
+    rows.push_back(report(type));
+  }
+
+  if (!json_out.empty()) {
+    wtp::bench::JsonBuilder json;
+    json.begin_object();
+    json.key("bench").value("kernel_throughput");
+    json.key("dimension").value(kDim);
+    json.key("matrix_rows").value(kRows);
+    json.key("kernels").begin_array();
+    for (const auto& row : rows) {
+      json.begin_object();
+      json.key("kernel").value(row.kernel);
+      json.key("per_pair_mevals_per_s").value(row.per_pair_mevals);
+      json.key("kernel_row_mevals_per_s").value(row.kernel_row_mevals);
+      json.key("speedup").value(row.speedup);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    json.write_file(json_out);
+    std::printf("# wrote %s\n", json_out.c_str());
   }
   return 0;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/profile_store.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
@@ -106,8 +107,12 @@ int run_overhead_mode(const core::ProfileStore& store,
 
 int main(int argc, char** argv) {
   bool overhead_mode = false;
+  std::string json_out;  // empty = no BENCH_*.json checkpoint
   for (int i = 1; i < argc; ++i) {
     if (std::string_view{argv[i]} == "--overhead") overhead_mode = true;
+    if (std::string_view{argv[i]} == "--json-out" && i + 1 < argc) {
+      json_out = argv[i + 1];
+    }
   }
   const auto options = bench::BenchOptions::parse(argc, argv);
   const auto trace = bench::make_trace(options);
@@ -195,5 +200,38 @@ int main(int argc, char** argv) {
               scored ? "PASS" : "FAIL");
   std::printf("shape check (all configurations score identically): %s\n",
               counts_agree ? "PASS" : "FAIL");
-  return enough_devices && scored && counts_agree ? 0 : 1;
+  const bool ok = enough_devices && scored && counts_agree;
+
+  if (!json_out.empty()) {
+    bench::JsonBuilder json;
+    json.begin_object();
+    json.key("bench").value("serve_throughput");
+    json.key("transactions").value(trace.transactions.size());
+    json.key("devices").value(devices.size());
+    json.key("profiles").value(store.profiles().size());
+    json.key("configs").begin_array();
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const RunResult& result = results[i];
+      json.begin_object();
+      json.key("label").value(configs[i].label);
+      json.key("shards").value(configs[i].shards);
+      json.key("score_threads").value(configs[i].score_threads);
+      json.key("ingest_threads").value(configs[i].ingest_threads);
+      json.key("seconds").value(result.seconds);
+      json.key("transactions_per_s").value(
+          static_cast<double>(result.metrics.transactions_ingested) /
+          result.seconds);
+      json.key("windows_per_s").value(
+          static_cast<double>(result.metrics.windows_scored) / result.seconds);
+      json.key("score_p50_us").value(result.metrics.score.p50_us);
+      json.key("score_p99_us").value(result.metrics.score.p99_us);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("ok").value(ok);
+    json.end_object();
+    json.write_file(json_out);
+    std::printf("# wrote %s\n", json_out.c_str());
+  }
+  return ok ? 0 : 1;
 }

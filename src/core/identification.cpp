@@ -123,4 +123,25 @@ std::vector<SmoothingPoint> smoothing_sweep(
   return points;
 }
 
+ArgmaxDecision argmax_decision(std::span<const UserProfile> profiles,
+                               const util::SparseVector& window,
+                               double window_sqnorm) {
+  ArgmaxDecision best;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const double value = profiles[i].decision_value(window, window_sqnorm);
+    // Strictly-greater keeps the first of tied profiles, matching the
+    // cascade's ascending-order scoring (index/cascade.cpp).
+    if (best.index == ArgmaxDecision::npos || value > best.value) {
+      best.index = i;
+      best.value = value;
+    }
+  }
+  return best;
+}
+
+ArgmaxDecision argmax_decision(std::span<const UserProfile> profiles,
+                               const util::SparseVector& window) {
+  return argmax_decision(profiles, window, window.squared_norm());
+}
+
 }  // namespace wtp::core

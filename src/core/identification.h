@@ -57,6 +57,21 @@ class UserIdentifier {
   features::WindowConfig window_;
 };
 
+/// Argmax identification: the profile with the highest decision value for
+/// one window (the identification plane's ground-truth decision rule; ties
+/// go to the first profile in store order).
+struct ArgmaxDecision {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t index = npos;  ///< into `profiles`, npos when empty
+  double value = 0.0;
+};
+
+[[nodiscard]] ArgmaxDecision argmax_decision(std::span<const UserProfile> profiles,
+                                             const util::SparseVector& window,
+                                             double window_sqnorm);
+[[nodiscard]] ArgmaxDecision argmax_decision(std::span<const UserProfile> profiles,
+                                             const util::SparseVector& window);
+
 /// Accuracy summary of an identification run.
 struct IdentificationMetrics {
   std::size_t windows = 0;

@@ -104,7 +104,14 @@ ProfileStore ProfileStore::load_file(const std::string& path) {
   if (!in) {
     throw std::runtime_error{"ProfileStore::load_file: cannot open '" + path + "'"};
   }
-  return load(in);
+  try {
+    return load(in);
+  } catch (const std::exception& e) {
+    // Parse errors name the malformed line but not which file it came from;
+    // tools loading several stores need the offending path.
+    throw std::runtime_error{std::string{e.what()} + " (while loading '" + path +
+                             "')"};
+  }
 }
 
 }  // namespace wtp::core

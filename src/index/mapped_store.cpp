@@ -1,0 +1,274 @@
+#include "index/mapped_store.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "features/schema_io.h"
+
+namespace wtp::index {
+
+namespace {
+
+constexpr std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+[[noreturn]] void store_error(const std::string& path, const std::string& what) {
+  throw std::runtime_error{"MappedProfileStore: " + what + " in '" + path + "'"};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+struct MappedStoreWriter::Impl {
+  std::string path;
+  std::ofstream out;
+  std::string pool;           ///< user-id string pool, appended as users come
+  std::string schema_text;
+  std::uint64_t offset = 0;   ///< current absolute write offset
+  features::WindowConfig window;
+  std::uint64_t dimension = 0;
+  bool finished = false;
+
+  void write(const void* data, std::size_t size) {
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    if (!out) {
+      throw std::runtime_error{"MappedStoreWriter: write failed on '" + path + "'"};
+    }
+    offset += size;
+  }
+
+  void pad_to_8() {
+    static constexpr char zeros[8] = {};
+    const std::size_t padded = align8(offset);
+    if (padded != offset) write(zeros, padded - offset);
+  }
+};
+
+MappedStoreWriter::MappedStoreWriter(const std::string& path,
+                                     const features::WindowConfig& window,
+                                     const features::FeatureSchema& schema)
+    : impl_{std::make_unique<Impl>()} {
+  impl_->path = path;
+  impl_->window = window;
+  impl_->dimension = schema.dimension();
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) {
+    throw std::runtime_error{"MappedStoreWriter: cannot open '" + path + "'"};
+  }
+  const StoreHeader placeholder{};
+  impl_->write(&placeholder, sizeof(placeholder));
+  std::ostringstream schema_stream;
+  features::save_schema(schema_stream, schema);
+  impl_->schema_text = std::move(schema_stream).str();
+  impl_->write(impl_->schema_text.data(), impl_->schema_text.size());
+  impl_->pad_to_8();
+}
+
+MappedStoreWriter::~MappedStoreWriter() {
+  try {
+    finish();
+  } catch (...) {  // destructor must not throw; call finish() to see errors
+  }
+}
+
+void MappedStoreWriter::add(std::string_view user_id,
+                            const core::ProfileParams& params,
+                            const svm::AnySvmModel& model) {
+  if (impl_->finished) {
+    throw std::logic_error{"MappedStoreWriter: add() after finish()"};
+  }
+  impl_->pad_to_8();
+  UserRecord record{};
+  record.name_off = impl_->pool.size();
+  record.name_len = static_cast<std::uint32_t>(user_id.size());
+  record.classifier = params.type == core::ClassifierType::kSvdd
+                          ? kClassifierSvdd
+                          : kClassifierOcSvm;
+  record.regularizer = params.regularizer;
+  record.blob_off = impl_->offset;
+  impl_->pool.append(user_id);
+
+  // Serialized standalone so the blob's internal alignment (computed from
+  // buffer offset 0) matches its 8-aligned position in the file.
+  std::vector<std::byte> blob;
+  svm::append_model_blob(blob, model);
+  record.blob_size = blob.size();
+  impl_->write(blob.data(), blob.size());
+  records_.push_back(record);
+}
+
+void MappedStoreWriter::finish() {
+  if (impl_->finished) return;
+  impl_->finished = true;
+
+  StoreHeader header{};
+  std::memcpy(header.magic, kStoreMagic, sizeof(kStoreMagic));
+  header.version = kStoreVersion;
+  header.endian = kStoreEndianGuard;
+  header.user_count = records_.size();
+  header.dimension = impl_->dimension;
+  header.window_duration = impl_->window.duration_s;
+  header.window_shift = impl_->window.shift_s;
+  header.schema_off = sizeof(StoreHeader);
+  header.schema_size = impl_->schema_text.size();
+
+  header.pool_off = impl_->offset;
+  header.pool_size = impl_->pool.size();
+  impl_->write(impl_->pool.data(), impl_->pool.size());
+  impl_->pad_to_8();
+
+  header.table_off = impl_->offset;
+  header.table_size = records_.size() * sizeof(UserRecord);
+  impl_->write(records_.data(), header.table_size);
+  header.file_size = impl_->offset;
+
+  impl_->out.seekp(0);
+  impl_->out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  impl_->out.close();
+  if (!impl_->out) {
+    throw std::runtime_error{"MappedStoreWriter: finish failed on '" +
+                             impl_->path + "'"};
+  }
+}
+
+void write_mapped_store(const core::ProfileStore& store, const std::string& path) {
+  MappedStoreWriter writer{path, store.window(), store.schema()};
+  for (const auto& profile : store.profiles()) writer.add(profile);
+  writer.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+
+MappedProfileStore MappedProfileStore::open(const std::string& path) {
+  MappedFile file{path};
+  const auto bytes = file.bytes();
+  if (bytes.size() < sizeof(StoreHeader)) {
+    store_error(path, "truncated header (" + std::to_string(bytes.size()) +
+                          " bytes)");
+  }
+  StoreHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (std::memcmp(header.magic, kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    store_error(path, "bad magic (not a wtp profile store)");
+  }
+  if (header.endian != kStoreEndianGuard) {
+    if (header.endian == 0x04030201u) {
+      store_error(path, "endianness guard mismatch (foreign-endian writer)");
+    }
+    store_error(path, "corrupt endianness guard");
+  }
+  if (header.version != kStoreVersion) {
+    store_error(path, "unsupported version " + std::to_string(header.version));
+  }
+  if (header.file_size != bytes.size()) {
+    store_error(path, "file size " + std::to_string(bytes.size()) +
+                          " does not match header file_size " +
+                          std::to_string(header.file_size));
+  }
+  const auto section_ok = [&](std::uint64_t off, std::uint64_t size) {
+    return off <= bytes.size() && size <= bytes.size() - off;
+  };
+  if (!section_ok(header.schema_off, header.schema_size) ||
+      !section_ok(header.table_off, header.table_size) ||
+      !section_ok(header.pool_off, header.pool_size)) {
+    store_error(path, "section out of file bounds");
+  }
+  if (header.table_off % 8 != 0) {
+    store_error(path, "misaligned user table");
+  }
+  if (header.table_size != header.user_count * sizeof(UserRecord)) {
+    store_error(path, "user table size " + std::to_string(header.table_size) +
+                          " does not match user count " +
+                          std::to_string(header.user_count));
+  }
+
+  features::WindowConfig window;
+  window.duration_s = header.window_duration;
+  window.shift_s = header.window_shift;
+
+  std::istringstream schema_stream{std::string{
+      reinterpret_cast<const char*>(bytes.data() + header.schema_off),
+      header.schema_size}};
+  features::FeatureSchema schema = [&] {
+    try {
+      return features::load_schema(schema_stream);
+    } catch (const std::exception& e) {
+      store_error(path, std::string{"embedded schema is malformed: "} + e.what());
+    }
+  }();
+  if (schema.dimension() != header.dimension) {
+    store_error(path, "schema dimension " + std::to_string(schema.dimension()) +
+                          " does not match header dimension " +
+                          std::to_string(header.dimension));
+  }
+
+  const std::span<const UserRecord> records{
+      reinterpret_cast<const UserRecord*>(bytes.data() + header.table_off),
+      header.user_count};
+  const std::span<const char> pool{
+      reinterpret_cast<const char*>(bytes.data() + header.pool_off),
+      header.pool_size};
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const UserRecord& r = records[i];
+    if (r.name_off > pool.size() || r.name_len > pool.size() - r.name_off) {
+      store_error(path, "user " + std::to_string(i) + " name out of pool bounds");
+    }
+    if (!section_ok(r.blob_off, r.blob_size) || r.blob_off % 8 != 0) {
+      store_error(path, "user " + std::to_string(i) + " blob out of bounds");
+    }
+    if (r.classifier != kClassifierOcSvm && r.classifier != kClassifierSvdd) {
+      store_error(path, "user " + std::to_string(i) + " has unknown classifier " +
+                            std::to_string(r.classifier));
+    }
+  }
+
+  return MappedProfileStore{std::move(file), window, std::move(schema), records,
+                            pool};
+}
+
+MappedProfileStore::MappedProfileStore(MappedFile file,
+                                       features::WindowConfig window,
+                                       features::FeatureSchema schema,
+                                       std::span<const UserRecord> records,
+                                       std::span<const char> pool)
+    : file_{std::move(file)},
+      window_{window},
+      schema_{std::move(schema)},
+      records_{records},
+      pool_{pool} {}
+
+std::string_view MappedProfileStore::user_id(std::size_t i) const {
+  const UserRecord& r = records_[i];
+  return {pool_.data() + r.name_off, r.name_len};
+}
+
+svm::ModelView MappedProfileStore::model(std::size_t i) const {
+  const UserRecord& r = records_[i];
+  try {
+    return svm::view_model_blob(file_.bytes().subspan(r.blob_off, r.blob_size));
+  } catch (const std::exception& e) {
+    store_error(file_.path(),
+                "user '" + std::string{user_id(i)} + "': " + e.what());
+  }
+}
+
+core::ProfileParams MappedProfileStore::params(std::size_t i) const {
+  const UserRecord& r = records_[i];
+  core::ProfileParams params;
+  params.type = r.classifier == kClassifierSvdd ? core::ClassifierType::kSvdd
+                                                : core::ClassifierType::kOcSvm;
+  params.kernel = model(i).kernel;
+  params.regularizer = r.regularizer;
+  return params;
+}
+
+core::UserProfile MappedProfileStore::materialize_profile(std::size_t i) const {
+  return core::UserProfile::from_model(std::string{user_id(i)}, params(i),
+                                       svm::materialize(model(i)));
+}
+
+}  // namespace wtp::index

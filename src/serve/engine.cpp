@@ -53,6 +53,24 @@ ScoringEngine::ScoringEngine(const core::ProfileStore& store,
   if (config_.score_threads > 0) {
     pool_ = std::make_unique<util::ThreadPool>(config_.score_threads);
   }
+  if (config_.plane != nullptr) {
+    const auto& catalog = config_.plane->catalog();
+    const auto& profiles = store.profiles();
+    if (catalog.size() != profiles.size()) {
+      throw std::invalid_argument{
+          "ScoringEngine: identification plane covers " +
+          std::to_string(catalog.size()) + " users, store has " +
+          std::to_string(profiles.size())};
+    }
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      if (catalog.user_id(i) != profiles[i].user_id()) {
+        throw std::invalid_argument{
+            "ScoringEngine: identification plane user order diverges from "
+            "the store at index " +
+            std::to_string(i)};
+      }
+    }
+  }
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
@@ -67,6 +85,13 @@ void ScoringEngine::accept_flags(const util::SparseVector& features,
                                  std::vector<char>& flags) const {
   const auto& profiles = store_->profiles();
   flags.assign(profiles.size(), 0);
+  if (config_.plane != nullptr) {
+    // Candidate-pruning cascade: only survivors reach kernel_row; accepted
+    // survivors arrive as ascending catalog indices (= store order).
+    const index::IdentificationResult result = config_.plane->identify(features);
+    for (const std::uint32_t i : result.accepted) flags[i] = 1;
+    return;
+  }
   // One query norm per scored window, shared across every profile's kernel
   // rows (the RBF path otherwise recomputes it once per profile).
   const double sqnorm = features.squared_norm();

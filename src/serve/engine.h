@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/profile_store.h"
+#include "index/cascade.h"
 #include "obs/registry.h"
 #include "serve/event.h"
 #include "serve/metrics.h"
@@ -47,6 +48,13 @@ struct EngineConfig {
   /// pass &obs::Registry::global() to fold the engine into their exported
   /// snapshots.  Must outlive the engine.
   obs::Registry* registry = nullptr;
+  /// Optional candidate-pruning cascade.  When set, per-window scoring
+  /// routes through the plane (only cascade survivors reach kernel_row, and
+  /// `accepted_by` holds the survivors that accepted) instead of the full
+  /// profile fan-out.  The plane's catalog must hold the same users in the
+  /// same order as the store (checked at construction) and must outlive the
+  /// engine.
+  const index::IdentificationPlane* plane = nullptr;
 };
 
 class ScoringEngine {

@@ -94,9 +94,8 @@ double kernel_self(const KernelParams& params, double sq_norm) {
 /// Shared tail of the kernel_row overloads: `inout` holds raw dot products
 /// of the query with every row; transform them in place.  The per-element
 /// arithmetic matches kernel_eval exactly (same expressions, same order).
-void kernel_transform(const KernelParams& params,
-                      const util::FeatureMatrix& matrix, double x_sqnorm,
-                      std::span<double> out) {
+void kernel_transform(const KernelParams& params, const util::CsrView& matrix,
+                      double x_sqnorm, std::span<double> out) {
   const std::size_t n = matrix.rows();
   switch (params.type) {
     case KernelType::kLinear:
@@ -121,17 +120,23 @@ void kernel_transform(const KernelParams& params,
   throw std::logic_error{"kernel_row: invalid kernel type"};
 }
 
+void kernel_transform(const KernelParams& params,
+                      const util::FeatureMatrix& matrix, double x_sqnorm,
+                      std::span<double> out) {
+  kernel_transform(params, matrix.view(), x_sqnorm, out);
+}
+
 void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 std::size_t i, std::span<double> out) {
   matrix.dot_all(i, out);
-  kernel_transform(params, matrix, matrix.sq_norm(i), out);
+  kernel_transform(params, matrix.view(), matrix.sq_norm(i), out);
 }
 
 void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 const util::SparseVector& x, double x_sqnorm,
                 std::span<double> out) {
   matrix.dot_all(x, out);
-  kernel_transform(params, matrix, x_sqnorm, out);
+  kernel_transform(params, matrix.view(), x_sqnorm, out);
 }
 
 void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
@@ -139,6 +144,21 @@ void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 std::span<const double> query_values, double x_sqnorm,
                 std::span<double> out) {
   matrix.dot_all(query_indices, query_values, out);
+  kernel_transform(params, matrix.view(), x_sqnorm, out);
+}
+
+void kernel_row(const KernelParams& params, const util::CsrView& matrix,
+                std::span<const std::uint32_t> query_indices,
+                std::span<const double> query_values, double x_sqnorm,
+                std::span<double> out) {
+  matrix.dot_all(query_indices, query_values, out);
+  kernel_transform(params, matrix, x_sqnorm, out);
+}
+
+void kernel_row(const KernelParams& params, const util::CsrView& matrix,
+                const util::SparseVector& x, double x_sqnorm,
+                std::span<double> out) {
+  matrix.dot_all(x, out);
   kernel_transform(params, matrix, x_sqnorm, out);
 }
 

@@ -70,6 +70,20 @@ void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 std::span<const double> query_values, double x_sqnorm,
                 std::span<double> out);
 
+/// Non-owning variants over a util::CsrView — the zero-copy path used by
+/// memory-mapped support-vector blocks (model_io's blob plane).  Same
+/// implementation as the FeatureMatrix overloads (which forward here), so
+/// results are bit-identical regardless of who owns the rows.
+void kernel_row(const KernelParams& params, const util::CsrView& matrix,
+                std::span<const std::uint32_t> query_indices,
+                std::span<const double> query_values, double x_sqnorm,
+                std::span<double> out);
+void kernel_row(const KernelParams& params, const util::CsrView& matrix,
+                const util::SparseVector& x, double x_sqnorm,
+                std::span<double> out);
+void kernel_transform(const KernelParams& params, const util::CsrView& matrix,
+                      double x_sqnorm, std::span<double> inout);
+
 /// In-place kernel transform of a raw dot-product row: `inout[j]` holds
 /// x . row_j on entry and k(x, row_j) on return.  This is the cheap scalar
 /// tail of kernel_row — every grid-search kernel is such a transform of the

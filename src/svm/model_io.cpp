@@ -1,5 +1,6 @@
 #include "svm/model_io.h"
 
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -181,6 +182,299 @@ SvddModel load_svdd_model(std::istream& in) {
   AnySvmModel model = load_model(in);
   if (auto* typed = std::get_if<SvddModel>(&model)) return std::move(*typed);
   throw std::runtime_error{"load_svdd_model: stored model is not svdd"};
+}
+
+// ---------------------------------------------------------------------------
+// Binary blob plane.
+
+namespace {
+
+constexpr char kBlobMagic[8] = {'W', 'T', 'P', 'S', 'V', 'M', 'B', '1'};
+constexpr std::uint32_t kBlobVersion = 1;
+constexpr std::uint32_t kEndianGuard = 0x01020304u;
+
+// CsrView row_offsets are std::size_t spans; the on-disk format stores u64.
+// Viewing the stored array in place requires the two to be the same type.
+static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+              "blob format requires 64-bit size_t");
+
+struct BlobHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian;
+  std::uint32_t model_type;
+  std::uint32_t kernel_type;
+  double gamma;
+  double coef0;
+  std::int32_t degree;
+  std::uint32_t value_format;
+  double scalar0;
+  double scalar1;
+  std::uint64_t sv_count;
+  std::uint64_t nnz;
+  std::uint64_t cols;
+  std::uint64_t blob_size;
+};
+static_assert(sizeof(BlobHeader) == 96, "blob header layout drifted");
+static_assert(offsetof(BlobHeader, gamma) == 24);
+static_assert(offsetof(BlobHeader, scalar0) == 48);
+static_assert(offsetof(BlobHeader, sv_count) == 64);
+static_assert(offsetof(BlobHeader, blob_size) == 88);
+
+constexpr std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+/// Section offsets within one blob (relative to the blob start).
+struct BlobLayout {
+  std::size_t row_offsets = 0;
+  std::size_t indices = 0;
+  std::size_t values = 0;
+  std::size_t sq_norms = 0;
+  std::size_t coefficients = 0;
+  std::size_t total = 0;
+};
+
+BlobLayout blob_layout(std::uint64_t sv_count, std::uint64_t nnz) {
+  BlobLayout l;
+  l.row_offsets = sizeof(BlobHeader);
+  l.indices = l.row_offsets + (sv_count + 1) * sizeof(std::uint64_t);
+  l.values = align8(l.indices + nnz * sizeof(std::uint32_t));
+  l.sq_norms = l.values + nnz * sizeof(double);
+  l.coefficients = l.sq_norms + sv_count * sizeof(double);
+  l.total = l.coefficients + sv_count * sizeof(double);
+  return l;
+}
+
+void append_bytes(std::vector<std::byte>& out, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::byte*>(data);
+  out.insert(out.end(), bytes, bytes + size);
+}
+
+std::size_t append_blob_impl(std::vector<std::byte>& out, std::uint32_t model_type,
+                             const KernelParams& kernel, double scalar0,
+                             double scalar1, const util::FeatureMatrix& svs,
+                             std::span<const double> coefficients) {
+  while (out.size() % 8 != 0) out.push_back(std::byte{0});
+  const std::size_t start = out.size();
+  const auto view = svs.view();
+  const BlobLayout layout = blob_layout(view.rows(), view.nnz());
+
+  BlobHeader header{};
+  std::memcpy(header.magic, kBlobMagic, sizeof(kBlobMagic));
+  header.version = kBlobVersion;
+  header.endian = kEndianGuard;
+  header.model_type = model_type;
+  header.kernel_type = static_cast<std::uint32_t>(kernel.type);
+  header.gamma = kernel.gamma;
+  header.coef0 = kernel.coef0;
+  header.degree = kernel.degree;
+  header.value_format = 0;
+  header.scalar0 = scalar0;
+  header.scalar1 = scalar1;
+  header.sv_count = view.rows();
+  header.nnz = view.nnz();
+  header.cols = view.cols;
+  header.blob_size = layout.total;
+
+  out.reserve(start + layout.total);
+  append_bytes(out, &header, sizeof(header));
+  append_bytes(out, view.row_offsets.data(),
+               view.row_offsets.size() * sizeof(std::uint64_t));
+  append_bytes(out, view.indices.data(), view.indices.size() * sizeof(std::uint32_t));
+  while ((out.size() - start) % 8 != 0) out.push_back(std::byte{0});
+  append_bytes(out, view.values.data(), view.values.size() * sizeof(double));
+  append_bytes(out, view.sq_norms.data(), view.sq_norms.size() * sizeof(double));
+  append_bytes(out, coefficients.data(), coefficients.size() * sizeof(double));
+  if (out.size() - start != layout.total) {
+    throw std::logic_error{"append_model_blob: layout mismatch"};
+  }
+  return start;
+}
+
+[[noreturn]] void blob_error(const std::string& what) {
+  throw std::runtime_error{"view_model_blob: " + what};
+}
+
+}  // namespace
+
+std::size_t append_model_blob(std::vector<std::byte>& out,
+                              const OneClassSvmModel& model) {
+  return append_blob_impl(out, kBlobModelOneClass, model.kernel(), model.rho(),
+                          0.0, model.support_vectors(), model.coefficients());
+}
+
+std::size_t append_model_blob(std::vector<std::byte>& out, const SvddModel& model) {
+  return append_blob_impl(out, kBlobModelSvdd, model.kernel(), model.r_squared(),
+                          model.alpha_k_alpha(), model.support_vectors(),
+                          model.coefficients());
+}
+
+std::size_t append_model_blob(std::vector<std::byte>& out, const AnySvmModel& model) {
+  return std::visit([&out](const auto& m) { return append_model_blob(out, m); },
+                    model);
+}
+
+ModelView view_model_blob(std::span<const std::byte> blob) {
+  if (reinterpret_cast<std::uintptr_t>(blob.data()) % 8 != 0) {
+    blob_error("blob is not 8-byte aligned");
+  }
+  if (blob.size() < sizeof(BlobHeader)) {
+    blob_error("truncated: " + std::to_string(blob.size()) + " bytes < " +
+               std::to_string(sizeof(BlobHeader)) + "-byte header");
+  }
+  BlobHeader header;
+  std::memcpy(&header, blob.data(), sizeof(header));
+  if (std::memcmp(header.magic, kBlobMagic, sizeof(kBlobMagic)) != 0) {
+    blob_error("bad magic (not a wtp svm blob)");
+  }
+  if (header.endian != kEndianGuard) {
+    if (header.endian == 0x04030201u) {
+      blob_error("endianness guard mismatch: blob was written on a "
+                 "foreign-endian machine");
+    }
+    blob_error("corrupt endianness guard");
+  }
+  if (header.version != kBlobVersion) {
+    blob_error("unsupported version " + std::to_string(header.version));
+  }
+  if (header.model_type != kBlobModelOneClass && header.model_type != kBlobModelSvdd) {
+    blob_error("unknown model type " + std::to_string(header.model_type));
+  }
+  if (header.kernel_type > static_cast<std::uint32_t>(KernelType::kSigmoid)) {
+    blob_error("unknown kernel type " + std::to_string(header.kernel_type));
+  }
+  if (header.value_format != 0) {
+    blob_error("unsupported value format " + std::to_string(header.value_format));
+  }
+  if (header.sv_count == 0) blob_error("zero support vectors");
+  const BlobLayout layout = blob_layout(header.sv_count, header.nnz);
+  if (header.blob_size != layout.total) {
+    blob_error("header blob_size " + std::to_string(header.blob_size) +
+               " does not match layout size " + std::to_string(layout.total));
+  }
+  if (blob.size() < layout.total) {
+    blob_error("truncated: " + std::to_string(blob.size()) + " bytes < " +
+               std::to_string(layout.total) + " expected");
+  }
+
+  const auto* base = blob.data();
+  const auto* row_offsets =
+      reinterpret_cast<const std::size_t*>(base + layout.row_offsets);
+  const auto* indices =
+      reinterpret_cast<const std::uint32_t*>(base + layout.indices);
+  const auto* values = reinterpret_cast<const double*>(base + layout.values);
+  const auto* sq_norms = reinterpret_cast<const double*>(base + layout.sq_norms);
+  const auto* coefficients =
+      reinterpret_cast<const double*>(base + layout.coefficients);
+
+  if (row_offsets[0] != 0) blob_error("row_offsets[0] != 0");
+  for (std::size_t i = 0; i < header.sv_count; ++i) {
+    if (row_offsets[i + 1] < row_offsets[i]) {
+      blob_error("row_offsets not monotone at row " + std::to_string(i));
+    }
+  }
+  if (row_offsets[header.sv_count] != header.nnz) {
+    blob_error("row_offsets end " + std::to_string(row_offsets[header.sv_count]) +
+               " != nnz " + std::to_string(header.nnz));
+  }
+  for (std::size_t k = 0; k < header.nnz; ++k) {
+    if (indices[k] >= header.cols) {
+      blob_error("column index " + std::to_string(indices[k]) + " >= cols " +
+                 std::to_string(header.cols));
+    }
+  }
+
+  ModelView view;
+  view.model_type = header.model_type;
+  view.kernel.type = static_cast<KernelType>(header.kernel_type);
+  view.kernel.gamma = header.gamma;
+  view.kernel.coef0 = header.coef0;
+  view.kernel.degree = header.degree;
+  view.scalar0 = header.scalar0;
+  view.scalar1 = header.scalar1;
+  view.support_vectors = util::CsrView{
+      header.cols,
+      {indices, header.nnz},
+      {values, header.nnz},
+      {row_offsets, header.sv_count + 1},
+      {sq_norms, header.sv_count}};
+  view.coefficients = {coefficients, header.sv_count};
+  return view;
+}
+
+double ModelView::decision_value(std::span<const std::uint32_t> query_indices,
+                                 std::span<const double> query_values,
+                                 double x_sqnorm) const {
+  const auto k = kernel_row_scratch(support_vectors.rows());
+  kernel_row(kernel, support_vectors, query_indices, query_values, x_sqnorm, k);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k.size(); ++i) sum += coefficients[i] * k[i];
+  if (model_type == kBlobModelOneClass) return sum - scalar0;
+  const double k_xx = kernel_self(kernel, x_sqnorm);
+  return scalar0 - (k_xx - 2.0 * sum + scalar1);
+}
+
+double ModelView::decision_value(const util::SparseVector& x,
+                                 double x_sqnorm) const {
+  const auto k = kernel_row_scratch(support_vectors.rows());
+  kernel_row(kernel, support_vectors, x, x_sqnorm, k);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k.size(); ++i) sum += coefficients[i] * k[i];
+  if (model_type == kBlobModelOneClass) return sum - scalar0;
+  const double k_xx = kernel_self(kernel, x_sqnorm);
+  return scalar0 - (k_xx - 2.0 * sum + scalar1);
+}
+
+double ModelView::decision_value(const util::SparseVector& x) const {
+  return decision_value(x, x.squared_norm());
+}
+
+ModelView view_of(const OneClassSvmModel& model) {
+  ModelView view;
+  view.model_type = kBlobModelOneClass;
+  view.kernel = model.kernel();
+  view.scalar0 = model.rho();
+  view.scalar1 = 0.0;
+  view.support_vectors = model.support_vectors().view();
+  view.coefficients = model.coefficients();
+  return view;
+}
+
+ModelView view_of(const SvddModel& model) {
+  ModelView view;
+  view.model_type = kBlobModelSvdd;
+  view.kernel = model.kernel();
+  view.scalar0 = model.r_squared();
+  view.scalar1 = model.alpha_k_alpha();
+  view.support_vectors = model.support_vectors().view();
+  view.coefficients = model.coefficients();
+  return view;
+}
+
+ModelView view_of(const AnySvmModel& model) {
+  return std::visit([](const auto& m) { return view_of(m); }, model);
+}
+
+AnySvmModel materialize(const ModelView& view) {
+  util::FeatureMatrixBuilder builder;
+  const auto& svs = view.support_vectors;
+  for (std::size_t i = 0; i < svs.rows(); ++i) {
+    const auto indices = svs.row_indices(i);
+    const auto values = svs.row_values(i);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      builder.add(indices[k], values[k]);
+    }
+    builder.finish_row();
+  }
+  util::FeatureMatrix matrix = builder.build(svs.cols);
+  std::vector<double> coefficients{view.coefficients.begin(),
+                                   view.coefficients.end()};
+  if (view.model_type == kBlobModelOneClass) {
+    return OneClassSvmModel::from_parts(view.kernel, std::move(matrix),
+                                        std::move(coefficients), view.scalar0);
+  }
+  return SvddModel::from_parts(view.kernel, std::move(matrix),
+                               std::move(coefficients), view.scalar0,
+                               view.scalar1);
 }
 
 }  // namespace wtp::svm

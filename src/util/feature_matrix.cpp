@@ -61,44 +61,54 @@ void FeatureMatrix::copy_row_dense(std::size_t i, std::span<double> out) const {
   for (std::size_t k = 0; k < indices.size(); ++k) out[indices[k]] = values[k];
 }
 
-void FeatureMatrix::dot_all(std::span<const std::uint32_t> query_indices,
-                            std::span<const double> query_values,
-                            std::span<double> out) const {
-  auto& dense = dense_scratch(cols_);
+void CsrView::dot_all(std::span<const std::uint32_t> query_indices,
+                      std::span<const double> query_values,
+                      std::span<double> out) const {
+  auto& dense = dense_scratch(cols);
   for (std::size_t k = 0; k < query_indices.size(); ++k) {
-    if (query_indices[k] < cols_) dense[query_indices[k]] = query_values[k];
+    if (query_indices[k] < cols) dense[query_indices[k]] = query_values[k];
   }
   const std::size_t n = rows();
   for (std::size_t r = 0; r < n; ++r) {
-    const std::uint32_t* idx = indices_.data() + row_offsets_[r];
-    const double* val = values_.data() + row_offsets_[r];
-    const std::size_t len = row_offsets_[r + 1] - row_offsets_[r];
+    const std::uint32_t* idx = indices.data() + row_offsets[r];
+    const double* val = values.data() + row_offsets[r];
+    const std::size_t len = row_offsets[r + 1] - row_offsets[r];
     double sum = 0.0;
     for (std::size_t k = 0; k < len; ++k) sum += val[k] * dense[idx[k]];
     out[r] = sum;
   }
   for (const std::uint32_t index : query_indices) {
-    if (index < cols_) dense[index] = 0.0;
+    if (index < cols) dense[index] = 0.0;
   }
 }
 
-void FeatureMatrix::dot_all(const SparseVector& query, std::span<double> out) const {
-  auto& dense = dense_scratch(cols_);
+void CsrView::dot_all(const SparseVector& query, std::span<double> out) const {
+  auto& dense = dense_scratch(cols);
   for (const auto& entry : query.entries()) {
-    if (entry.index < cols_) dense[entry.index] = entry.value;
+    if (entry.index < cols) dense[entry.index] = entry.value;
   }
   const std::size_t n = rows();
   for (std::size_t r = 0; r < n; ++r) {
-    const std::uint32_t* idx = indices_.data() + row_offsets_[r];
-    const double* val = values_.data() + row_offsets_[r];
-    const std::size_t len = row_offsets_[r + 1] - row_offsets_[r];
+    const std::uint32_t* idx = indices.data() + row_offsets[r];
+    const double* val = values.data() + row_offsets[r];
+    const std::size_t len = row_offsets[r + 1] - row_offsets[r];
     double sum = 0.0;
     for (std::size_t k = 0; k < len; ++k) sum += val[k] * dense[idx[k]];
     out[r] = sum;
   }
   for (const auto& entry : query.entries()) {
-    if (entry.index < cols_) dense[entry.index] = 0.0;
+    if (entry.index < cols) dense[entry.index] = 0.0;
   }
+}
+
+void FeatureMatrix::dot_all(std::span<const std::uint32_t> query_indices,
+                            std::span<const double> query_values,
+                            std::span<double> out) const {
+  view().dot_all(query_indices, query_values, out);
+}
+
+void FeatureMatrix::dot_all(const SparseVector& query, std::span<double> out) const {
+  view().dot_all(query, out);
 }
 
 void FeatureMatrixBuilder::add(std::size_t index, double value) {

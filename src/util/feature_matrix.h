@@ -20,6 +20,40 @@
 
 namespace wtp::util {
 
+/// Non-owning CSR view: the storage contract of FeatureMatrix (sorted
+/// per-row indices, cached squared norms) over memory owned elsewhere — a
+/// FeatureMatrix, or a memory-mapped profile file (svm/model_io blob path).
+/// Copyable/trivial; row accessors mirror FeatureMatrix exactly, and
+/// dot_all shares the same implementation so kernel rows computed through a
+/// view are bit-identical to the owning path.
+struct CsrView {
+  std::size_t cols = 0;
+  std::span<const std::uint32_t> indices;
+  std::span<const double> values;
+  std::span<const std::size_t> row_offsets;  ///< length rows+1 (or empty)
+  std::span<const double> sq_norms;          ///< length rows
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return row_offsets.empty() ? 0 : row_offsets.size() - 1;
+  }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rows() == 0; }
+  [[nodiscard]] std::span<const std::uint32_t> row_indices(std::size_t i) const noexcept {
+    return indices.subspan(row_offsets[i], row_offsets[i + 1] - row_offsets[i]);
+  }
+  [[nodiscard]] std::span<const double> row_values(std::size_t i) const noexcept {
+    return values.subspan(row_offsets[i], row_offsets[i + 1] - row_offsets[i]);
+  }
+  [[nodiscard]] double sq_norm(std::size_t i) const noexcept { return sq_norms[i]; }
+
+  /// Dot product of every row with a sparse query, written to out[0..rows).
+  /// Identical implementation (and therefore identical IEEE sums) to
+  /// FeatureMatrix::dot_all.
+  void dot_all(std::span<const std::uint32_t> query_indices,
+               std::span<const double> query_values, std::span<double> out) const;
+  void dot_all(const SparseVector& query, std::span<double> out) const;
+};
+
 class FeatureMatrix {
  public:
   /// Zero-row, zero-column matrix.
@@ -72,6 +106,11 @@ class FeatureMatrix {
   /// Row `i` of this matrix as the query.
   void dot_all(std::size_t i, std::span<double> out) const {
     dot_all(row_indices(i), row_values(i), out);
+  }
+
+  /// Non-owning view of this matrix's storage (valid while the matrix is).
+  [[nodiscard]] CsrView view() const noexcept {
+    return CsrView{cols_, indices_, values_, row_offsets_, sq_norms_};
   }
 
   friend bool operator==(const FeatureMatrix&, const FeatureMatrix&) = default;

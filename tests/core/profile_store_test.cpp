@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "core/test_trace.h"
@@ -41,6 +43,42 @@ TEST(ProfileStore, FindLocatesProfiles) {
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->user_id(), user);
   EXPECT_EQ(store.find("nobody"), nullptr);
+}
+
+TEST(ProfileStore, FindNegativeLookupsAtEveryBoundary) {
+  const ProfileStore store = make_store();
+  auto sorted = store.user_ids();
+  std::sort(sorted.begin(), sorted.end());
+  // Before the first id, past the last id, a strict prefix of an existing
+  // id, and an existing id with a suffix: all must miss without touching a
+  // neighbouring profile.
+  EXPECT_EQ(store.find(""), nullptr);
+  EXPECT_EQ(store.find("\x01"), nullptr);
+  EXPECT_EQ(store.find(sorted.back() + "~"), nullptr);
+  const std::string& first = sorted.front();
+  if (first.size() > 1) {
+    EXPECT_EQ(store.find(first.substr(0, first.size() - 1)), nullptr);
+  }
+  EXPECT_EQ(store.find(first + "_suffix"), nullptr);
+}
+
+TEST(ProfileStore, FindResolvesDuplicateUserIds) {
+  // Duplicate ids are legal in store order (the store is positional; find
+  // is a convenience): find must return a profile carrying the id, and
+  // every other id must stay reachable.
+  const ProfileStore base = make_store();
+  std::vector<UserProfile> profiles{base.profiles().begin(),
+                                    base.profiles().end()};
+  const std::string dup = profiles.front().user_id();
+  profiles.push_back(profiles.front());
+  const ProfileStore store{kWindow, base.schema(), std::move(profiles)};
+
+  const UserProfile* found = store.find(dup);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->user_id(), dup);
+  for (const auto& user : base.user_ids()) {
+    ASSERT_NE(store.find(user), nullptr) << user;
+  }
 }
 
 TEST(ProfileStore, RoundTripPreservesEverything) {
@@ -84,6 +122,21 @@ TEST(ProfileStore, RejectsMalformedInput) {
   text.resize(text.size() / 2);
   std::stringstream half{text};
   EXPECT_THROW((void)ProfileStore::load(half), std::runtime_error);
+}
+
+TEST(ProfileStore, LoadFailureNamesOffendingPath) {
+  const std::string path = ::testing::TempDir() + "/malformed_store.wtp";
+  {
+    std::ofstream out{path};
+    out << "wtp_profile_store v1\nwindow sixty thirty\n";
+  }
+  try {
+    (void)ProfileStore::load_file(path);
+    FAIL() << "malformed store accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find(path), std::string::npos)
+        << "error does not name the file: " << e.what();
+  }
 }
 
 TEST(ProfileStore, EmptyStoreRoundTrips) {

@@ -1,0 +1,224 @@
+// Mapped profile store: writer/reader round trip, zero-copy decision
+// bit-identity against the heap models the file was written from, and
+// rejection of corrupt/truncated/foreign files (every error names the path).
+#include "index/mapped_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "index/store_format.h"
+#include "synthetic/scale.h"
+
+namespace wtp::index {
+namespace {
+
+synthetic::ScalePopulation small_population(std::size_t users = 24) {
+  synthetic::ScaleConfig config;
+  config.seed = 7;
+  config.users = users;
+  return synthetic::ScalePopulation{config};
+}
+
+core::ProfileParams population_params(const synthetic::ScaleConfig& config) {
+  return {core::ClassifierType::kOcSvm, config.kernel, 0.5};
+}
+
+std::string write_population(const synthetic::ScalePopulation& population,
+                             const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  MappedStoreWriter writer{path, population.window(), population.schema()};
+  const core::ProfileParams params = population_params(population.config());
+  for (std::size_t u = 0; u < population.size(); ++u) {
+    writer.add(population.user_id(u), params,
+               svm::AnySvmModel{population.make_model(u)});
+  }
+  writer.finish();
+  return path;
+}
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+template <typename Field>
+std::vector<char> patched(std::vector<char> bytes, std::size_t offset,
+                          Field value) {
+  std::memcpy(bytes.data() + offset, &value, sizeof(Field));
+  return bytes;
+}
+
+TEST(MappedStore, RoundTripPreservesCatalog) {
+  const auto population = small_population();
+  const std::string path = write_population(population, "round_trip.wtpstore");
+  const MappedProfileStore store = MappedProfileStore::open(path);
+
+  ASSERT_EQ(store.size(), population.size());
+  EXPECT_EQ(store.schema().dimension(), population.schema().dimension());
+  EXPECT_EQ(store.window(), population.window());
+  for (std::size_t u = 0; u < store.size(); ++u) {
+    EXPECT_EQ(store.user_id(u), population.user_id(u));
+    EXPECT_EQ(store.params(u), population_params(population.config()));
+  }
+  EXPECT_GT(store.mapped_bytes(), sizeof(StoreHeader));
+}
+
+TEST(MappedStore, MappedDecisionsBitIdenticalToHeap) {
+  const auto population = small_population();
+  const std::string path = write_population(population, "bit_identity.wtpstore");
+  const MappedProfileStore store = MappedProfileStore::open(path);
+
+  for (std::size_t u = 0; u < store.size(); u += 5) {
+    const svm::OneClassSvmModel heap_model = population.make_model(u);
+    const core::UserProfile materialized = store.materialize_profile(u);
+    EXPECT_EQ(materialized.user_id(), population.user_id(u));
+    for (std::uint64_t salt = 0; salt < 6; ++salt) {
+      const util::SparseVector x = population.sample_window(u, 0xabc0 + salt);
+      const double from_heap = heap_model.decision_value(x);
+      ASSERT_EQ(store.model(u).decision_value(x), from_heap);
+      ASSERT_EQ(materialized.decision_value(x), from_heap);
+    }
+  }
+}
+
+TEST(MappedStore, WriteMappedStoreMirrorsHeapStore) {
+  const auto population = small_population(10);
+  std::vector<core::UserProfile> profiles;
+  const core::ProfileParams params = population_params(population.config());
+  for (std::size_t u = 0; u < population.size(); ++u) {
+    profiles.push_back(core::UserProfile::from_model(
+        population.user_id(u), params,
+        svm::AnySvmModel{population.make_model(u)}));
+  }
+  const core::ProfileStore heap_store{population.window(), population.schema(),
+                                      std::move(profiles)};
+  const std::string path = ::testing::TempDir() + "/from_heap.wtpstore";
+  write_mapped_store(heap_store, path);
+
+  const MappedProfileStore mapped = MappedProfileStore::open(path);
+  ASSERT_EQ(mapped.size(), heap_store.profiles().size());
+  for (std::size_t u = 0; u < mapped.size(); ++u) {
+    EXPECT_EQ(mapped.user_id(u), heap_store.profiles()[u].user_id());
+    const util::SparseVector x = population.sample_window(u, 0x5a17);
+    ASSERT_EQ(mapped.model(u).decision_value(x),
+              heap_store.profiles()[u].decision_value(x));
+  }
+}
+
+TEST(MappedStore, MissingFileErrorNamesPath) {
+  const std::string path = ::testing::TempDir() + "/does_not_exist.wtpstore";
+  try {
+    (void)MappedProfileStore::open(path);
+    FAIL() << "missing file accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find(path), std::string::npos);
+  }
+}
+
+TEST(MappedStore, RejectsWrongMagic) {
+  const auto population = small_population(4);
+  const std::string path = write_population(population, "bad_magic.wtpstore");
+  auto bytes = read_bytes(path);
+  bytes[0] = 'X';
+  write_bytes(path, bytes);
+  EXPECT_THROW((void)MappedProfileStore::open(path), std::runtime_error);
+}
+
+TEST(MappedStore, RejectsWrongVersion) {
+  const auto population = small_population(4);
+  const std::string path = write_population(population, "bad_version.wtpstore");
+  write_bytes(path, patched(read_bytes(path), 8, std::uint32_t{99}));
+  EXPECT_THROW((void)MappedProfileStore::open(path), std::runtime_error);
+}
+
+TEST(MappedStore, ForeignEndianErrorNamesByteOrderAndPath) {
+  const auto population = small_population(4);
+  const std::string path = write_population(population, "bad_endian.wtpstore");
+  write_bytes(path, patched(read_bytes(path), 12, std::uint32_t{0x04030201}));
+  try {
+    (void)MappedProfileStore::open(path);
+    FAIL() << "foreign-endian store accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("endian"), std::string::npos);
+    EXPECT_NE(what.find(path), std::string::npos);
+  }
+}
+
+TEST(MappedStore, RejectsTruncatedFile) {
+  const auto population = small_population(4);
+  const std::string path = write_population(population, "truncated.wtpstore");
+  const auto bytes = read_bytes(path);
+  // Cut in several places: inside the header, the blobs, and the table.
+  for (const std::size_t keep :
+       {std::size_t{64}, bytes.size() / 2, bytes.size() - 40}) {
+    write_bytes(path, {bytes.begin(), bytes.begin() + static_cast<long>(keep)});
+    EXPECT_THROW((void)MappedProfileStore::open(path), std::runtime_error)
+        << "accepted a " << keep << "-byte truncation of " << bytes.size();
+  }
+}
+
+TEST(MappedStore, RejectsCorruptUserRecord) {
+  const auto population = small_population(4);
+  const std::string path = write_population(population, "bad_record.wtpstore");
+  const auto bytes = read_bytes(path);
+  StoreHeader header;
+  std::memcpy(&header, bytes.data(), sizeof header);
+  // blob_off of record 0 (absolute offset table_off + 24) -> unaligned.
+  write_bytes(path, patched(read_bytes(path),
+                            static_cast<std::size_t>(header.table_off) + 24,
+                            std::uint64_t{13}));
+  EXPECT_THROW((void)MappedProfileStore::open(path), std::runtime_error);
+  // classifier of record 0 (table_off + 12) -> unknown value.
+  write_bytes(path, patched(bytes, static_cast<std::size_t>(header.table_off) + 12,
+                            std::uint32_t{9}));
+  EXPECT_THROW((void)MappedProfileStore::open(path), std::runtime_error);
+}
+
+TEST(MappedStore, RejectsCorruptBlobInsideValidStore) {
+  const auto population = small_population(4);
+  const std::string path = write_population(population, "bad_blob.wtpstore");
+  const auto bytes = read_bytes(path);
+  StoreHeader header;
+  std::memcpy(&header, bytes.data(), sizeof header);
+  UserRecord record;
+  std::memcpy(&record, bytes.data() + header.table_off, sizeof record);
+  // Open() validates geometry; the blob's own magic is checked on model(i).
+  write_bytes(path, patched(bytes, static_cast<std::size_t>(record.blob_off),
+                            std::uint64_t{0}));
+  const MappedProfileStore store = MappedProfileStore::open(path);
+  try {
+    (void)store.model(0);
+    FAIL() << "corrupt blob viewed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find(path), std::string::npos);
+  }
+}
+
+TEST(MappedStore, FinishIsIdempotentAndCountsUsers) {
+  const auto population = small_population(3);
+  const std::string path = ::testing::TempDir() + "/finish_twice.wtpstore";
+  MappedStoreWriter writer{path, population.window(), population.schema()};
+  const core::ProfileParams params = population_params(population.config());
+  for (std::size_t u = 0; u < population.size(); ++u) {
+    writer.add(population.user_id(u), params,
+               svm::AnySvmModel{population.make_model(u)});
+  }
+  EXPECT_EQ(writer.user_count(), 3u);
+  writer.finish();
+  writer.finish();  // no-op
+  EXPECT_EQ(MappedProfileStore::open(path).size(), 3u);
+}
+
+}  // namespace
+}  // namespace wtp::index

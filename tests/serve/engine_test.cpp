@@ -137,6 +137,51 @@ TEST(ScoringEngine, SerialAndPooledScoringAgree) {
   }
 }
 
+TEST(ScoringEngine, PlaneRoutedScoringMatchesDirectFanOut) {
+  const auto& store = tiny_store();
+  const auto& trace = core::testing::tiny_trace();
+
+  const index::HeapProfileCatalog catalog{store};
+  // Wide-open budgets: every stage passes everyone, so the plane's accepted
+  // set must equal the direct fan-out's exactly — this pins the serve-side
+  // routing (flags built from cascade survivors in store order).
+  index::CascadeConfig cascade;
+  cascade.overlap_keep = 0;
+  cascade.centroid_keep = 0;
+  cascade.final_keep = 0;
+  cascade.min_overlap = 0;
+  const index::IdentificationPlane plane{catalog, cascade};
+
+  EngineConfig direct;
+  direct.shards = 4;
+  direct.smooth = 3;
+  EngineConfig routed = direct;
+  routed.plane = &plane;
+
+  const auto a = run_engine(store, direct, trace.transactions);
+  const auto b = run_engine(store, routed, trace.transactions);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [device, events] : a) {
+    expect_equivalent(b.at(device), events, device);
+  }
+}
+
+TEST(ScoringEngine, RejectsPlaneWithMismatchedCatalog) {
+  const auto& store = tiny_store();
+  // A catalog over a store with fewer users than the engine's store.
+  std::vector<core::UserProfile> subset{store.profiles().begin(),
+                                        store.profiles().end() - 1};
+  const core::ProfileStore smaller{store.window(), store.schema(),
+                                   std::move(subset)};
+  const index::HeapProfileCatalog catalog{smaller};
+  const index::IdentificationPlane plane{catalog};
+  EngineConfig config;
+  config.plane = &plane;
+  EXPECT_THROW(
+      (ScoringEngine{store, config, [](const DecisionEvent&) {}}),
+      std::invalid_argument);
+}
+
 TEST(ScoringEngine, MetricsCountStreamActivity) {
   const auto& store = tiny_store();
   const auto& trace = core::testing::tiny_trace();
