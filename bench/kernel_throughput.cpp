@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,6 +60,67 @@ struct Fixture {
       f.matrix = util::FeatureMatrix::from_rows(f.rows, kDim);
       for (const auto& r : f.rows) f.row_sqnorms.push_back(r.squared_norm());
       for (const auto& q : f.queries) f.query_sqnorms.push_back(q.squared_norm());
+      return f;
+    }();
+    return fixture;
+  }
+};
+
+// Paper-shape binary-dominant fixture (DESIGN §11): bag-of-words columns
+// carry exact 1.0 disjunctions, columns 6..8 are the schema's numeric
+// averages (private flag, reputation risk, reputation verified).  This is
+// the layout the bitset plane exists for — the dispatched AND+popcount
+// backend must beat the scalar CSR oracle while staying bit-identical.
+constexpr std::uint32_t kNumericCols[] = {6, 7, 8};
+
+struct BinaryFixture {
+  util::FeatureMatrix matrix;   ///< support-vector block, bitset attached
+  util::FeatureMatrix queries;  ///< query block, same schema layout
+  std::vector<util::SparseVector> query_vectors;
+  std::vector<double> query_sqnorms;
+
+  static const BinaryFixture& get() {
+    static const BinaryFixture fixture = [] {
+      BinaryFixture f;
+      util::Rng rng{193};
+      const auto make = [&rng](std::size_t count) {
+        std::vector<util::SparseVector> out;
+        for (std::size_t i = 0; i < count; ++i) {
+          std::vector<util::SparseVector::Entry> entries;
+          const std::size_t nnz = kMeanNnz / 2 + rng.uniform_index(kMeanNnz);
+          std::set<std::size_t> cols;
+          while (cols.size() < nnz) {
+            const std::size_t col = rng.uniform_index(kDim);
+            if (col == 6 || col == 7 || col == 8) continue;
+            cols.insert(col);
+          }
+          // Distinct columns: a duplicate would sum to 2.0 and knock the row
+          // off the binary layout (disjunctions are exactly 1.0).
+          for (const std::size_t col : cols) entries.push_back({col, 1.0});
+          // Numeric averages: fractional like the paper's worked example
+          // (e.g. mean of 1,1,0 -> 0.667), occasionally absent or exact.
+          for (const std::uint32_t col : kNumericCols) {
+            const double roll = rng.uniform(0.0, 1.0);
+            if (roll < 0.25) continue;  // no traffic touched the field
+            const double denominator = 1.0 + rng.uniform_index(6);
+            const double numerator = rng.uniform_index(
+                static_cast<std::size_t>(denominator) + 1);
+            if (numerator == 0.0) continue;
+            entries.push_back({col, numerator / denominator});
+          }
+          out.emplace_back(std::move(entries));
+        }
+        return out;
+      };
+      auto rows = make(kRows);
+      f.query_vectors = make(kQueries);
+      f.matrix = util::FeatureMatrix::from_rows(rows, kDim);
+      f.matrix.ensure_bitset(kNumericCols);
+      f.queries = util::FeatureMatrix::from_rows(f.query_vectors, kDim);
+      f.queries.ensure_bitset(kNumericCols);
+      for (const auto& q : f.query_vectors) {
+        f.query_sqnorms.push_back(q.squared_norm());
+      }
       return f;
     }();
     return fixture;
@@ -167,6 +229,80 @@ ReportRow report(svm::KernelType type) {
           evals / after_s * 1e-6, before_s / after_s};
 }
 
+struct BitsetReportRow {
+  std::string kernel;
+  double csr_mevals = 0.0;
+  double bitset_mevals = 0.0;
+  double block_mevals = 0.0;
+  double speedup = 0.0;
+};
+
+/// Bitset plane vs the scalar CSR oracle on the binary-dominant paper shape
+/// (DESIGN §11), verified bit-identical per query first.  Also times the
+/// multi-query kernel_block path (batched decisions).
+BitsetReportRow report_bitset(svm::KernelType type) {
+  const auto& f = BinaryFixture::get();
+  const auto params = kernel_params(type);
+  const std::size_t rows = f.matrix.rows();
+  std::vector<double> csr(rows);
+  std::vector<double> bitset(rows);
+  std::vector<double> block(kQueries * rows);
+
+  svm::set_kernel_backend_for_testing("csr");
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    svm::kernel_row(params, f.matrix, f.query_vectors[q], f.query_sqnorms[q],
+                    csr);
+    svm::set_kernel_backend_for_testing("");  // fastest supported
+    svm::kernel_row(params, f.matrix, f.query_vectors[q], f.query_sqnorms[q],
+                    bitset);
+    svm::set_kernel_backend_for_testing("csr");
+    if (csr != bitset) {
+      std::fprintf(stderr, "FATAL: %s bitset kernel_row diverges from CSR\n",
+                   svm::describe(params).c_str());
+      std::exit(1);
+    }
+  }
+
+  constexpr std::size_t kPasses = 200;
+  const util::Stopwatch csr_watch;
+  for (std::size_t p = 0; p < kPasses; ++p) {
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      svm::kernel_row(params, f.matrix, f.query_vectors[q], f.query_sqnorms[q],
+                      csr);
+      benchmark::DoNotOptimize(csr.data());
+    }
+  }
+  const double csr_s = csr_watch.elapsed_micros() * 1e-6;
+
+  svm::set_kernel_backend_for_testing("");
+  const util::Stopwatch bitset_watch;
+  for (std::size_t p = 0; p < kPasses; ++p) {
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      svm::kernel_row(params, f.matrix, f.query_vectors[q], f.query_sqnorms[q],
+                      bitset);
+      benchmark::DoNotOptimize(bitset.data());
+    }
+  }
+  const double bitset_s = bitset_watch.elapsed_micros() * 1e-6;
+
+  const util::Stopwatch block_watch;
+  for (std::size_t p = 0; p < kPasses; ++p) {
+    svm::kernel_block(params, f.matrix, f.queries, block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  const double block_s = block_watch.elapsed_micros() * 1e-6;
+
+  const double evals = static_cast<double>(kPasses * kQueries * rows);
+  BitsetReportRow row{svm::describe(params), evals / csr_s * 1e-6,
+                      evals / bitset_s * 1e-6, evals / block_s * 1e-6,
+                      csr_s / bitset_s};
+  std::printf("%-28s csr %8.1f Mevals/s   bitset %8.1f Mevals/s   "
+              "block %8.1f Mevals/s   speedup %.2fx\n",
+              row.kernel.c_str(), row.csr_mevals, row.bitset_mevals,
+              row.block_mevals, row.speedup);
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,6 +330,19 @@ int main(int argc, char** argv) {
     rows.push_back(report(type));
   }
 
+  svm::set_kernel_backend_for_testing("");  // re-select: fastest supported
+  std::printf("\nBitset kernel plane — binary-dominant paper shape, backend "
+              "'%.*s' vs scalar CSR (bit-identical outputs)\n",
+              static_cast<int>(svm::kernel_backend_name().size()),
+              svm::kernel_backend_name().data());
+  std::vector<BitsetReportRow> bitset_rows;
+  for (const auto type :
+       {svm::KernelType::kLinear, svm::KernelType::kPolynomial,
+        svm::KernelType::kRbf, svm::KernelType::kSigmoid}) {
+    bitset_rows.push_back(report_bitset(type));
+  }
+  svm::set_kernel_backend_for_testing("");
+
   if (!json_out.empty()) {
     wtp::bench::JsonBuilder json;
     json.begin_object();
@@ -206,6 +355,19 @@ int main(int argc, char** argv) {
       json.key("kernel").value(row.kernel);
       json.key("per_pair_mevals_per_s").value(row.per_pair_mevals);
       json.key("kernel_row_mevals_per_s").value(row.kernel_row_mevals);
+      json.key("speedup").value(row.speedup);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("bitset_backend")
+        .value(std::string{svm::kernel_backend_name()});
+    json.key("bitset_kernels").begin_array();
+    for (const auto& row : bitset_rows) {
+      json.begin_object();
+      json.key("kernel").value(row.kernel);
+      json.key("csr_mevals_per_s").value(row.csr_mevals);
+      json.key("bitset_mevals_per_s").value(row.bitset_mevals);
+      json.key("kernel_block_mevals_per_s").value(row.block_mevals);
       json.key("speedup").value(row.speedup);
       json.end_object();
     }

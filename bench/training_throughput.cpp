@@ -21,9 +21,11 @@
 #include <algorithm>
 #include <cstdlib>
 #include <limits>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "bench_json.h"
 #include "obs/trace.h"
 #include "svm/kernel_cache.h"
 #include "svm/one_class_svm.h"
@@ -279,9 +281,13 @@ int main(int argc, char** argv) {
   const auto self = habit_windows(rng, kWindows, 100);
   const auto other = habit_windows(rng, kWindows, 500);
 
+  std::string json_out;  // empty = no BENCH_*.json checkpoint
   for (int i = 1; i < argc; ++i) {
     if (std::string_view{argv[i]} == "--overhead") {
       return run_overhead_mode(self, other);
+    }
+    if (std::string_view{argv[i]} == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
     }
   }
 
@@ -316,6 +322,42 @@ int main(int argc, char** argv) {
               cold_total, fast_total, cold_total / fast_total);
   if (cold_total < 3.0 * fast_total) {
     std::fprintf(stderr, "WARNING: overall speedup below the 3x target\n");
+  }
+
+  if (!json_out.empty()) {
+    wtp::bench::JsonBuilder json;
+    json.begin_object();
+    json.key("bench").value("training_throughput");
+    json.key("windows").value(kWindows);
+    json.key("dimension").value(kDim);
+    json.key("mean_nnz").value(kMeanNnz);
+    json.key("passes").value(kPasses);
+    json.key("grid_kernels").value(kernel_grid().size());
+    json.key("grid_regularizers").value(regularizer_grid(false).size());
+    const auto emit = [&json](const char* name, const SweepResult& cold,
+                              const SweepResult& fast) {
+      const std::size_t winner = argmax(cold.scores);
+      json.key(name).begin_object();
+      json.key("cold_seconds").value(cold.seconds);
+      json.key("fast_seconds").value(fast.seconds);
+      json.key("speedup").value(cold.seconds / fast.seconds);
+      json.key("cold_iterations").value(std::uint64_t{cold.iterations});
+      json.key("fast_iterations").value(std::uint64_t{fast.iterations});
+      json.key("cache_hit_rate")
+          .value(static_cast<double>(fast.cache_hits) /
+                 static_cast<double>(fast.cache_hits + fast.cache_misses));
+      json.key("winner_cell").value(std::uint64_t{winner});
+      json.key("winner_acc").value(cold.scores[winner]);
+      json.end_object();
+    };
+    emit("oc_svm", oc_cold, oc_fast);
+    emit("svdd", svdd_cold, svdd_fast);
+    json.key("total_cold_seconds").value(cold_total);
+    json.key("total_fast_seconds").value(fast_total);
+    json.key("total_speedup").value(cold_total / fast_total);
+    json.end_object();
+    json.write_file(json_out);
+    std::printf("wrote %s\n", json_out.c_str());
   }
   return 0;
 }

@@ -110,8 +110,11 @@ std::shared_ptr<const util::FeatureMatrix> ProfilingDataset::cached_matrix(
   // compute, but they produce identical matrices and the first insert wins.
   const auto vectors =
       train ? train_windows(user, window) : test_windows(user, window);
-  auto matrix = std::make_shared<const util::FeatureMatrix>(
-      util::FeatureMatrix::from_rows(vectors, schema_.dimension()));
+  auto built = util::FeatureMatrix::from_rows(vectors, schema_.dimension());
+  // Schema-derived bitset layout: every per-user matrix shares it, so the
+  // batched kernel paths borrow query encodings zero-copy (DESIGN §11).
+  built.ensure_bitset(schema_.numeric_columns());
+  auto matrix = std::make_shared<const util::FeatureMatrix>(std::move(built));
   const std::lock_guard lock{matrix_cache_->mutex};
   return matrix_cache_->entries.emplace(key, std::move(matrix)).first->second;
 }

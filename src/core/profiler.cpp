@@ -52,6 +52,12 @@ double UserProfile::decision_value(const util::SparseVector& window,
       model_);
 }
 
+void UserProfile::decision_values(const util::FeatureMatrix& windows,
+                                  std::span<double> out) const {
+  std::visit([&](const auto& model) { model.decision_values(windows, out); },
+             model_);
+}
+
 double UserProfile::acceptance_ratio(
     std::span<const util::SparseVector> windows) const {
   if (windows.empty()) return 0.0;

@@ -69,6 +69,12 @@ class UserProfile {
     return decision_value(window, window_sqnorm) >= 0.0;
   }
 
+  /// Batched decisions over every row of `windows` (the kernel_block path),
+  /// bit-identical to per-row decision_value.  `out` needs windows.rows()
+  /// elements.
+  void decision_values(const util::FeatureMatrix& windows,
+                       std::span<double> out) const;
+
   /// Fraction of `windows` accepted by the profile, in [0, 1].
   [[nodiscard]] double acceptance_ratio(
       std::span<const util::SparseVector> windows) const;

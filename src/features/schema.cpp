@@ -166,6 +166,12 @@ bool FeatureSchema::is_numeric_column(std::size_t column) const noexcept {
          column == reputation_verified_column();
 }
 
+std::vector<std::uint32_t> FeatureSchema::numeric_columns() const {
+  return {static_cast<std::uint32_t>(private_flag_column()),
+          static_cast<std::uint32_t>(reputation_risk_column()),
+          static_cast<std::uint32_t>(reputation_verified_column())};
+}
+
 std::string FeatureSchema::column_name(std::size_t column) const {
   const FeatureGroup group = column_group(column);
   const std::size_t local = column - group_offset(group);

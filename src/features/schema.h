@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -85,6 +86,10 @@ class FeatureSchema {
 
   /// True for columns aggregated by average rather than disjunction.
   [[nodiscard]] bool is_numeric_column(std::size_t column) const noexcept;
+
+  /// The numeric (average-aggregated) columns, ascending — the bitset layout
+  /// hint for util::FeatureMatrix::ensure_bitset (DESIGN §11).
+  [[nodiscard]] std::vector<std::uint32_t> numeric_columns() const;
 
   /// Human-readable column name ("category:Games", "action:GET", ...).
   [[nodiscard]] std::string column_name(std::size_t column) const;

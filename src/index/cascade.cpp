@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "features/schema.h"
+#include "svm/kernel.h"
 
 namespace wtp::index {
 
@@ -211,10 +212,14 @@ IdentificationResult IdentificationPlane::score_survivors(
     std::span<const double> query_values, double query_sqnorm) const {
   IdentificationResult result;
   result.scored = survivors.size();
+  // One bitset encoding of the query serves every survivor whose SV block
+  // shares the schema layout (all of them, for same-store catalogs) — the
+  // encode cost is paid once per window, not once per scored user.
+  svm::EncodedQueryCache query_cache{query_indices, query_values};
   for (const std::uint32_t u : survivors) {
     const double decision =
         catalog_->model(u).decision_value(query_indices, query_values,
-                                          query_sqnorm);
+                                          query_sqnorm, &query_cache);
     if (decision > result.best_decision) {
       result.best_decision = decision;
       result.best = u;

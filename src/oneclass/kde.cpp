@@ -1,5 +1,7 @@
 #include "oneclass/kde.h"
 
+#include "svm/kernel.h"
+
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -27,7 +29,7 @@ void KdeModel::fit(const util::FeatureMatrix& data, std::size_t dimension) {
   scores.reserve(points_.rows());
   std::vector<double> dots(points_.rows());
   for (std::size_t i = 0; i < points_.rows(); ++i) {
-    points_.dot_all(i, dots);
+    svm::dot_rows(points_, i, dots);
     scores.push_back(density_from_dots(dots, points_.sq_norm(i)));
   }
   threshold_ = quantile_threshold(scores, outlier_fraction_);
@@ -48,7 +50,7 @@ double KdeModel::density(const util::SparseVector& x) const {
   if (!fitted_) throw std::logic_error{"KdeModel: density before fit"};
   thread_local std::vector<double> dots;
   dots.resize(points_.rows());
-  points_.dot_all(x, dots);
+  svm::dot_rows(points_, x, dots);
   return density_from_dots(dots, x.squared_norm());
 }
 

@@ -1,5 +1,7 @@
 #include "oneclass/knn.h"
 
+#include "svm/kernel.h"
+
 #include <algorithm>
 #include <cmath>
 #include <queue>
@@ -29,7 +31,7 @@ void KnnModel::fit(const util::FeatureMatrix& data, std::size_t dimension) {
   scores.reserve(points_.rows());
   std::vector<double> sq_dists(points_.rows());
   for (std::size_t i = 0; i < points_.rows(); ++i) {
-    points_.dot_all(i, sq_dists);
+    svm::dot_rows(points_, i, sq_dists);
     const double x_sqnorm = points_.sq_norm(i);
     for (std::size_t j = 0; j < points_.rows(); ++j) {
       sq_dists[j] = std::max(0.0, points_.sq_norm(j) + x_sqnorm - 2.0 * sq_dists[j]);
@@ -41,7 +43,7 @@ void KnnModel::fit(const util::FeatureMatrix& data, std::size_t dimension) {
 
 void KnnModel::sq_dists_to_all(const util::SparseVector& x,
                                std::span<double> out) const {
-  points_.dot_all(x, out);
+  svm::dot_rows(points_, x, out);
   const double x_sqnorm = x.squared_norm();
   for (std::size_t i = 0; i < points_.rows(); ++i) {
     out[i] = std::max(0.0, points_.sq_norm(i) + x_sqnorm - 2.0 * out[i]);

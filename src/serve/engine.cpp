@@ -161,12 +161,100 @@ void ScoringEngine::score_and_emit(DeviceSession& session,
   sink_(out);
 }
 
+void ScoringEngine::score_and_emit_batch(DeviceSession& session,
+                                         std::span<const PendingWindow> pending,
+                                         EventSource source) {
+  if (pending.empty()) return;
+  // The cascade plane prunes per window (its stages are query-local), and a
+  // single window gains nothing from the block path.
+  if (pending.size() == 1 || config_.plane != nullptr) {
+    for (const auto& p : pending) score_and_emit(session, p, source);
+    return;
+  }
+  const obs::TraceSpan span{"serve.score", "serve",
+                            static_cast<std::uint64_t>(pending.size())};
+  const util::Stopwatch stopwatch;
+  const auto& profiles = store_->profiles();
+  const std::size_t w = pending.size();
+
+  // One window-block matrix for the whole burst: each profile then scores
+  // it with a single batched decision_values sweep (kernel_block), instead
+  // of w independent kernel rows.  Decisions are bit-identical to the
+  // per-window path, so smoothing and event contents cannot diverge.
+  std::vector<util::SparseVector> rows;
+  rows.reserve(w);
+  for (const auto& p : pending) rows.push_back(p.window.features);
+  util::FeatureMatrix windows =
+      util::FeatureMatrix::from_rows(rows, store_->schema().dimension());
+  windows.ensure_bitset(store_->schema().numeric_columns());
+
+  std::vector<double> decisions(profiles.size() * w);
+  const auto score_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      profiles[i].decision_values(
+          windows, std::span{decisions}.subspan(i * w, w));
+    }
+  };
+  if (!pool_ || profiles.size() < 2) {
+    score_range(0, profiles.size());
+  } else {
+    const std::size_t chunk_count =
+        std::min(profiles.size(), pool_->thread_count());
+    const std::size_t chunk = (profiles.size() + chunk_count - 1) / chunk_count;
+    const std::size_t tasks = (profiles.size() + chunk - 1) / chunk;
+    std::latch done{static_cast<std::ptrdiff_t>(tasks)};
+    for (std::size_t t = 0; t < tasks; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(profiles.size(), begin + chunk);
+      pool_->submit([&score_range, &done, begin, end] {
+        score_range(begin, end);
+        done.count_down();
+      });
+    }
+    done.wait();
+  }
+
+  // Emit in window order — the session's K-consecutive smoothing is
+  // order-dependent.
+  const double per_window_ns =
+      stopwatch.elapsed_micros() * kNanosPerMicro / static_cast<double>(w);
+  for (std::size_t t = 0; t < w; ++t) {
+    core::IdentificationEvent event;
+    event.window_start = pending[t].window.start;
+    event.window_end = pending[t].window.end;
+    event.transaction_count = pending[t].window.transaction_count;
+    event.true_user = pending[t].true_user;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      if (decisions[i * w + t] >= 0.0) {
+        event.accepted_by.push_back(profiles[i].user_id());
+      }
+    }
+
+    DecisionEvent out;
+    out.device_id = session.device_id();
+    out.window_start = event.window_start;
+    out.window_end = event.window_end;
+    out.transaction_count = event.transaction_count;
+    out.true_user = event.true_user;
+    out.identity = session.decide(event);
+    out.accepted_by = std::move(event.accepted_by);
+    out.source = source;
+
+    metrics_.windows.add(1);
+    if (out.decided()) {
+      metrics_.decisions.add(1);
+      if (out.correct()) metrics_.correct.add(1);
+    }
+    metrics_.score_ns.record_ns(per_window_ns);
+    sink_(out);
+  }
+}
+
 void ScoringEngine::evict(Shard& shard, const std::string& device_id) {
   const auto it = shard.sessions.find(device_id);
   if (it == shard.sessions.end()) return;
-  for (const auto& pending : it->second.session.flush()) {
-    score_and_emit(it->second.session, pending, EventSource::kEviction);
-  }
+  score_and_emit_batch(it->second.session, it->second.session.flush(),
+                       EventSource::kEviction);
   shard.lru.erase(it->second.lru_position);
   shard.sessions.erase(it);
   metrics_.evicted.add(1);
@@ -214,9 +302,7 @@ void ScoringEngine::ingest(const log::WebTransaction& txn) {
   metrics_.transactions.add(1);
   metrics_.ingest_ns.record_ns(stopwatch.elapsed_micros() * kNanosPerMicro);
 
-  for (const auto& pending : completed) {
-    score_and_emit(it->second.session, pending, EventSource::kStream);
-  }
+  score_and_emit_batch(it->second.session, completed, EventSource::kStream);
   evict_expired(shard, txn.timestamp);
   enforce_capacity(shard);
 }
@@ -231,9 +317,8 @@ void ScoringEngine::flush() {
     std::sort(devices.begin(), devices.end());
     for (const auto& device : devices) {
       Entry& entry = shard.sessions.at(device);
-      for (const auto& pending : entry.session.flush()) {
-        score_and_emit(entry.session, pending, EventSource::kFlush);
-      }
+      score_and_emit_batch(entry.session, entry.session.flush(),
+                           EventSource::kFlush);
     }
     metrics_.sessions_active.add(
         -static_cast<double>(shard.sessions.size()));

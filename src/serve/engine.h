@@ -16,6 +16,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -114,6 +115,15 @@ class ScoringEngine {
   /// shard lock.
   void score_and_emit(DeviceSession& session, const PendingWindow& pending,
                       EventSource source);
+
+  /// Scores a burst of completed windows and emits their events in order.
+  /// With >= 2 windows and no cascade plane, the burst becomes one window
+  /// FeatureMatrix and each profile scores it with a single batched
+  /// decision_values sweep (the kernel_block path) — bit-identical to the
+  /// per-window path.  Caller holds the shard lock.
+  void score_and_emit_batch(DeviceSession& session,
+                            std::span<const PendingWindow> pending,
+                            EventSource source);
 
   /// accepts() of every profile over the vector, in store order; fans out
   /// across the pool when one is configured.

@@ -1,16 +1,28 @@
 #include "svm/kernel.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
+#include "svm/kernel_backends.h"
 #include "util/strings.h"
 
 namespace wtp::svm {
 
 std::span<double> kernel_row_scratch(std::size_t size) {
   thread_local std::vector<double> scratch;
-  if (scratch.size() < size) scratch.resize(size);
+  if (scratch.size() < size) {
+    // Growing relocates the buffer, which invalidates spans handed out
+    // earlier on this thread (see the contract in kernel.h).  Grow
+    // geometrically so a ratcheting caller triggers O(log n) relocations,
+    // and value-initialize the tail so the full span is always readable.
+    scratch.resize(std::max(size, scratch.size() * 2), 0.0);
+  }
   return std::span<double>{scratch.data(), size};
 }
 
@@ -45,7 +57,145 @@ double powi(double base, int exponent) {
   return result;
 }
 
+// ------------------------------------------------------ backend selection --
+
+/// Sentinel for "bitset plane disabled" so the atomic can distinguish
+/// "not yet selected" (nullptr) from "selected: csr".
+const util::BitsetDotOps kCsrSentinel{"csr", nullptr, nullptr, nullptr,
+                                      nullptr};
+const util::BitsetDotOps* const kCsrOnly = &kCsrSentinel;
+
+std::atomic<const util::BitsetDotOps*> g_backend{nullptr};
+
+const util::BitsetDotOps* find_backend(std::string_view name, bool* supported) {
+  for (const auto& backend : detail::kernel_backends()) {
+    if (name == backend.ops->name) {
+      *supported = backend.supported();
+      return backend.ops;
+    }
+  }
+  return nullptr;
+}
+
+const util::BitsetDotOps* select_backend(std::string_view requested) {
+  if (requested == "csr" || requested == "none" || requested == "off") {
+    return kCsrOnly;
+  }
+  if (!requested.empty()) {
+    bool supported = false;
+    const util::BitsetDotOps* ops = find_backend(requested, &supported);
+    if (ops == nullptr) {
+      throw std::runtime_error{"WTP_KERNEL_BACKEND: unknown backend '" +
+                               std::string{requested} + "'"};
+    }
+    if (!supported) {
+      std::fprintf(stderr,
+                   "wtp: kernel backend '%s' not supported by this CPU; "
+                   "falling back to scalar\n",
+                   ops->name);
+      return &util::scalar_bitset_ops();
+    }
+    return ops;
+  }
+  for (const auto& backend : detail::kernel_backends()) {
+    if (backend.supported()) return backend.ops;
+  }
+  return &util::scalar_bitset_ops();
+}
+
+const util::BitsetDotOps* active_backend() {
+  const util::BitsetDotOps* ops = g_backend.load(std::memory_order_acquire);
+  if (ops != nullptr) return ops;
+  static std::mutex init_mutex;
+  const std::scoped_lock lock{init_mutex};
+  ops = g_backend.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    const char* env = std::getenv("WTP_KERNEL_BACKEND");
+    ops = select_backend(env == nullptr ? std::string_view{} : env);
+    g_backend.store(ops, std::memory_order_release);
+  }
+  return ops;
+}
+
+// ------------------------------------------------------- bitset row paths --
+
+/// Raw dots of (query_indices, query_values) against every matrix row via
+/// the bitset plane.  Returns false (caller uses the CSR oracle) when the
+/// plane is disabled, the matrix has no bitset, or the query does not
+/// conform to its layout.
+bool bitset_dots(const util::BitsetView* bits,
+                 std::span<const std::uint32_t> query_indices,
+                 std::span<const double> query_values, std::span<double> out) {
+  if (bits == nullptr) return false;
+  const util::BitsetDotOps* ops = kernel_dispatch();
+  if (ops == nullptr) return false;
+  thread_local util::BitsetQuery query;
+  if (!query.encode(*bits, query_indices, query_values)) return false;
+  util::bitset_dot_rows(*bits, query, out, *ops);
+  return true;
+}
+
+bool bitset_dots(const util::BitsetView* bits, const util::SparseVector& x,
+                 std::span<double> out) {
+  if (bits == nullptr) return false;
+  const util::BitsetDotOps* ops = kernel_dispatch();
+  if (ops == nullptr) return false;
+  thread_local util::BitsetQuery query;
+  if (!query.encode(*bits, x)) return false;
+  util::bitset_dot_rows(*bits, query, out, *ops);
+  return true;
+}
+
+const util::BitsetView* matrix_bitset_view(const util::FeatureMatrix& matrix,
+                                           util::BitsetView* storage) {
+  if (kernel_dispatch() == nullptr) return nullptr;  // skip the lazy build
+  const util::BitsetStorage* bits = matrix.bitset();
+  if (bits == nullptr) return nullptr;
+  *storage = bits->view();
+  return storage;
+}
+
 }  // namespace
+
+const util::BitsetDotOps* kernel_dispatch() {
+  const util::BitsetDotOps* ops = active_backend();
+  return ops == kCsrOnly ? nullptr : ops;
+}
+
+std::string_view kernel_backend_name() {
+  const util::BitsetDotOps* ops = active_backend();
+  return ops == kCsrOnly ? std::string_view{"csr"} : ops->name;
+}
+
+std::vector<std::string_view> supported_kernel_backends() {
+  std::vector<std::string_view> names;
+  for (const auto& backend : detail::kernel_backends()) {
+    if (backend.supported()) names.emplace_back(backend.ops->name);
+  }
+  return names;
+}
+
+void set_kernel_backend_for_testing(std::string_view name) {
+  if (name.empty()) {
+    g_backend.store(nullptr, std::memory_order_release);
+    return;
+  }
+  if (name == "csr" || name == "none" || name == "off") {
+    g_backend.store(kCsrOnly, std::memory_order_release);
+    return;
+  }
+  bool supported = false;
+  const util::BitsetDotOps* ops = find_backend(name, &supported);
+  if (ops == nullptr) {
+    throw std::runtime_error{"set_kernel_backend_for_testing: unknown backend '" +
+                             std::string{name} + "'"};
+  }
+  if (!supported) {
+    throw std::runtime_error{"set_kernel_backend_for_testing: backend '" +
+                             std::string{name} + "' not supported by this CPU"};
+  }
+  g_backend.store(ops, std::memory_order_release);
+}
 
 double kernel_eval(const KernelParams& params, const util::SparseVector& x,
                    const util::SparseVector& y, double x_sqnorm,
@@ -126,16 +276,36 @@ void kernel_transform(const KernelParams& params,
   kernel_transform(params, matrix.view(), x_sqnorm, out);
 }
 
+void dot_rows(const util::FeatureMatrix& matrix, const util::SparseVector& x,
+              std::span<double> out) {
+  util::BitsetView view_storage;
+  const util::BitsetView* bits = matrix_bitset_view(matrix, &view_storage);
+  if (!bitset_dots(bits, x, out)) matrix.dot_all(x, out);
+}
+
+void dot_rows(const util::FeatureMatrix& matrix, std::size_t i,
+              std::span<double> out) {
+  util::BitsetView view_storage;
+  const util::BitsetView* bits = matrix_bitset_view(matrix, &view_storage);
+  if (bits != nullptr) {
+    // Rows conform to their own layout by construction: the row IS its
+    // encoding, so this path never falls back.
+    util::bitset_dot_rows(*bits, i, out, *kernel_dispatch());
+    return;
+  }
+  matrix.dot_all(i, out);
+}
+
 void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 std::size_t i, std::span<double> out) {
-  matrix.dot_all(i, out);
+  dot_rows(matrix, i, out);
   kernel_transform(params, matrix.view(), matrix.sq_norm(i), out);
 }
 
 void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 const util::SparseVector& x, double x_sqnorm,
                 std::span<double> out) {
-  matrix.dot_all(x, out);
+  dot_rows(matrix, x, out);
   kernel_transform(params, matrix.view(), x_sqnorm, out);
 }
 
@@ -143,7 +313,11 @@ void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 std::span<const std::uint32_t> query_indices,
                 std::span<const double> query_values, double x_sqnorm,
                 std::span<double> out) {
-  matrix.dot_all(query_indices, query_values, out);
+  util::BitsetView view_storage;
+  const util::BitsetView* bits = matrix_bitset_view(matrix, &view_storage);
+  if (!bitset_dots(bits, query_indices, query_values, out)) {
+    matrix.dot_all(query_indices, query_values, out);
+  }
   kernel_transform(params, matrix.view(), x_sqnorm, out);
 }
 
@@ -160,6 +334,121 @@ void kernel_row(const KernelParams& params, const util::CsrView& matrix,
                 std::span<double> out) {
   matrix.dot_all(x, out);
   kernel_transform(params, matrix, x_sqnorm, out);
+}
+
+void kernel_row(const KernelParams& params, const util::CsrView& matrix,
+                const util::BitsetView* bitset,
+                std::span<const std::uint32_t> query_indices,
+                std::span<const double> query_values, double x_sqnorm,
+                std::span<double> out) {
+  if (!bitset_dots(bitset, query_indices, query_values, out)) {
+    matrix.dot_all(query_indices, query_values, out);
+  }
+  kernel_transform(params, matrix, x_sqnorm, out);
+}
+
+void kernel_row(const KernelParams& params, const util::CsrView& matrix,
+                const util::BitsetView* bitset, const util::SparseVector& x,
+                double x_sqnorm, std::span<double> out) {
+  if (!bitset_dots(bitset, x, out)) matrix.dot_all(x, out);
+  kernel_transform(params, matrix, x_sqnorm, out);
+}
+
+const util::BitsetQuery* EncodedQueryCache::get(const util::BitsetView& layout) {
+  for (const Entry& entry : entries_) {
+    if (entry.cols == layout.cols &&
+        entry.numeric_cols.size() == layout.numeric_cols.size() &&
+        std::equal(entry.numeric_cols.begin(), entry.numeric_cols.end(),
+                   layout.numeric_cols.begin())) {
+      return entry.ok ? &entry.query : nullptr;
+    }
+  }
+  Entry& entry = entries_.emplace_back();
+  entry.cols = layout.cols;
+  entry.numeric_cols.assign(layout.numeric_cols.begin(), layout.numeric_cols.end());
+  entry.ok = entry.query.encode(layout, indices_, values_);
+  return entry.ok ? &entry.query : nullptr;
+}
+
+void kernel_row(const KernelParams& params, const util::CsrView& matrix,
+                const util::BitsetView* bitset,
+                std::span<const std::uint32_t> query_indices,
+                std::span<const double> query_values, double x_sqnorm,
+                std::span<double> out, EncodedQueryCache* cache) {
+  const util::BitsetDotOps* ops = kernel_dispatch();
+  if (bitset != nullptr && ops != nullptr && cache != nullptr) {
+    if (const util::BitsetQuery* query = cache->get(*bitset)) {
+      util::bitset_dot_rows(*bitset, *query, out, *ops);
+      kernel_transform(params, matrix, x_sqnorm, out);
+      return;
+    }
+  }
+  kernel_row(params, matrix, bitset, query_indices, query_values, x_sqnorm, out);
+}
+
+namespace {
+
+/// Shared core of the kernel_block overloads.
+void kernel_block_impl(const KernelParams& params, const util::CsrView& matrix,
+                       const util::BitsetView* matrix_bitset,
+                       const util::CsrView& queries,
+                       const util::BitsetView* queries_bitset,
+                       std::span<double> out) {
+  const std::size_t n = matrix.rows();
+  const std::size_t nq = queries.rows();
+  if (nq == 0) return;
+  if (out.size() < n * nq) {
+    throw std::invalid_argument{"kernel_block: out holds " +
+                                std::to_string(out.size()) + " < " +
+                                std::to_string(n * nq) + " results"};
+  }
+  const util::BitsetDotOps* ops = kernel_dispatch();
+  bool need_fallback = true;
+  thread_local util::BitsetQueryBlock block;
+  if (matrix_bitset != nullptr && ops != nullptr && n != 0) {
+    block.encode(*matrix_bitset, queries, queries_bitset);
+    util::bitset_dot_block(*matrix_bitset, block, out, *ops);
+    need_fallback = !block.all_ok();
+  }
+  for (std::size_t q = 0; q < nq; ++q) {
+    std::span<double> row_out = out.subspan(q * n, n);
+    if (need_fallback &&
+        (matrix_bitset == nullptr || ops == nullptr || n == 0 || !block.ok(q))) {
+      matrix.dot_all(queries.row_indices(q), queries.row_values(q), row_out);
+    }
+    kernel_transform(params, matrix, queries.sq_norm(q), row_out);
+  }
+}
+
+}  // namespace
+
+void kernel_block(const KernelParams& params, const util::CsrView& matrix,
+                  const util::BitsetView* matrix_bitset,
+                  const util::CsrView& queries,
+                  const util::BitsetView* queries_bitset, std::span<double> out) {
+  kernel_block_impl(params, matrix, matrix_bitset, queries, queries_bitset, out);
+}
+
+void kernel_block(const KernelParams& params, const util::FeatureMatrix& matrix,
+                  const util::FeatureMatrix& queries, std::size_t query_begin,
+                  std::size_t query_count, std::span<double> out) {
+  util::BitsetView matrix_storage;
+  const util::BitsetView* matrix_bits = matrix_bitset_view(matrix, &matrix_storage);
+  util::BitsetView query_storage;
+  const util::BitsetView* query_bits = nullptr;
+  if (matrix_bits != nullptr &&
+      matrix_bitset_view(queries, &query_storage) != nullptr) {
+    query_storage = query_storage.rows_slice(query_begin, query_count);
+    query_bits = &query_storage;
+  }
+  kernel_block_impl(params, matrix.view(), matrix_bits,
+                    queries.view().rows_slice(query_begin, query_count),
+                    query_bits, out);
+}
+
+void kernel_block(const KernelParams& params, const util::FeatureMatrix& matrix,
+                  const util::FeatureMatrix& queries, std::span<double> out) {
+  kernel_block(params, matrix, queries, 0, queries.rows(), out);
 }
 
 std::string describe(const KernelParams& params) {

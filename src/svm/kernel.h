@@ -7,10 +7,13 @@
 //   sigmoid     k(x,y) = tanh(gamma x.y + coef0)
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "util/bitset_view.h"
 #include "util/feature_matrix.h"
 #include "util/sparse_vector.h"
 
@@ -84,6 +87,110 @@ void kernel_row(const KernelParams& params, const util::CsrView& matrix,
 void kernel_transform(const KernelParams& params, const util::CsrView& matrix,
                       double x_sqnorm, std::span<double> inout);
 
+// ----------------------------------------------------------------------
+// kernel_dispatch seam (DESIGN §11).
+//
+// When a matrix carries a bitset companion (util::BitsetStorage) and the
+// query conforms to its layout, kernel_row/kernel_block compute the raw
+// dots as AND+popcount through the backend selected here; otherwise they
+// fall back to the scalar CSR path.  Both paths are bit-identical by
+// construction (the combine replays the oracle's summation order), which
+// the equivalence suites enforce.
+//
+// The backend is chosen once, at first use: the fastest of the compiled-in
+// set the CPU supports (avx512 > avx2 > popcnt > scalar), overridable with
+// WTP_KERNEL_BACKEND=<name>.  WTP_KERNEL_BACKEND=csr disables the bitset
+// plane entirely (pure scalar CSR).  An unknown name throws at first
+// dispatch; a known but unsupported name warns on stderr and falls back to
+// the portable scalar backend.
+// ----------------------------------------------------------------------
+
+/// Active bitset backend, or nullptr when the bitset plane is disabled.
+[[nodiscard]] const util::BitsetDotOps* kernel_dispatch();
+/// Name of the active backend ("csr" when disabled).
+[[nodiscard]] std::string_view kernel_backend_name();
+/// Backend names this host can actually run (always contains "scalar").
+[[nodiscard]] std::vector<std::string_view> supported_kernel_backends();
+/// Forces a backend by name ("csr" disables the bitset plane; "" re-selects
+/// from the environment).  Throws std::runtime_error on unknown or
+/// unsupported names.  Test/bench hook — not thread-safe against concurrent
+/// kernel calls.
+void set_kernel_backend_for_testing(std::string_view name);
+
+/// Multi-query batch: out[q * matrix.rows() + r] = k(query_q, row_r) for
+/// every row of `queries` — the blocked mini-popcount-GEMM behind batched
+/// decision functions.  Bit-identical to per-query kernel_row.  When both
+/// matrices share a bitset layout (e.g. schema-derived via
+/// FeatureMatrix::ensure_bitset) the query encodings are borrowed
+/// zero-copy.  `out` must hold queries.rows() * matrix.rows() elements.
+void kernel_block(const KernelParams& params, const util::FeatureMatrix& matrix,
+                  const util::FeatureMatrix& queries, std::span<double> out);
+/// Query rows [query_begin, query_begin + query_count) only — lets callers
+/// tile large query sets to bound the out-block (out needs query_count *
+/// matrix.rows() elements).
+void kernel_block(const KernelParams& params, const util::FeatureMatrix& matrix,
+                  const util::FeatureMatrix& queries, std::size_t query_begin,
+                  std::size_t query_count, std::span<double> out);
+/// Non-owning variant (mmap'd SV blocks): `matrix_bitset` may be null.
+void kernel_block(const KernelParams& params, const util::CsrView& matrix,
+                  const util::BitsetView* matrix_bitset,
+                  const util::CsrView& queries,
+                  const util::BitsetView* queries_bitset, std::span<double> out);
+
+/// Bitset-aware variants of kernel_row over a raw CsrView (the mmap'd model
+/// path): when `bitset` is non-null and the query conforms, dots go through
+/// the dispatched backend.
+void kernel_row(const KernelParams& params, const util::CsrView& matrix,
+                const util::BitsetView* bitset,
+                std::span<const std::uint32_t> query_indices,
+                std::span<const double> query_values, double x_sqnorm,
+                std::span<double> out);
+void kernel_row(const KernelParams& params, const util::CsrView& matrix,
+                const util::BitsetView* bitset, const util::SparseVector& x,
+                double x_sqnorm, std::span<double> out);
+
+/// Raw dots (no kernel transform) of every matrix row with a query, routed
+/// through the bitset plane when possible.  Bit-identical to
+/// FeatureMatrix::dot_all — the entry point for non-kernel consumers (kde
+/// densities, knn distances, GramCache rows).
+void dot_rows(const util::FeatureMatrix& matrix, const util::SparseVector& x,
+              std::span<double> out);
+void dot_rows(const util::FeatureMatrix& matrix, std::size_t i,
+              std::span<double> out);
+
+/// Reuses one query's bitset encoding across many matrices that share a
+/// layout — the cascade's stage-4 survivors and exhaustive fan-outs score
+/// one window against hundreds of per-user SV blocks whose layouts are
+/// schema-identical, so the encode work is paid once, not per user.
+class EncodedQueryCache {
+ public:
+  EncodedQueryCache(std::span<const std::uint32_t> query_indices,
+                    std::span<const double> query_values) noexcept
+      : indices_{query_indices}, values_{query_values} {}
+
+  /// Encoding of the query against `layout`, or nullptr when the query does
+  /// not conform (callers fall back to the CSR path).
+  [[nodiscard]] const util::BitsetQuery* get(const util::BitsetView& layout);
+
+ private:
+  struct Entry {
+    std::size_t cols;
+    std::vector<std::uint32_t> numeric_cols;
+    util::BitsetQuery query;
+    bool ok;
+  };
+  std::span<const std::uint32_t> indices_;
+  std::span<const double> values_;
+  std::vector<Entry> entries_;
+};
+
+/// kernel_row with a shared encode cache (see EncodedQueryCache).
+void kernel_row(const KernelParams& params, const util::CsrView& matrix,
+                const util::BitsetView* bitset,
+                std::span<const std::uint32_t> query_indices,
+                std::span<const double> query_values, double x_sqnorm,
+                std::span<double> out, EncodedQueryCache* cache);
+
 /// In-place kernel transform of a raw dot-product row: `inout[j]` holds
 /// x . row_j on entry and k(x, row_j) on return.  This is the cheap scalar
 /// tail of kernel_row — every grid-search kernel is such a transform of the
@@ -95,6 +202,14 @@ void kernel_transform(const KernelParams& params,
 
 /// Thread-local scratch sized for one kernel row (one value per matrix
 /// row), reused across decision-function calls on the same thread.
+///
+/// Contract: the returned span is valid until the SAME thread's next call —
+/// each call may grow (never shrink) one per-thread buffer and returns a
+/// prefix of it, so a later call with a larger `size` can relocate the
+/// memory behind spans handed out earlier on that thread.  Callers must not
+/// hold a previous span across a call, and must not share the span with
+/// other threads.  Growth preserves the prefix contents; elements past any
+/// previously requested size are value-initialized (0.0).
 [[nodiscard]] std::span<double> kernel_row_scratch(std::size_t size);
 
 /// Human-readable "rbf(gamma=0.25)" form for reports.

@@ -1,0 +1,22 @@
+// Internal registry of bitset dot backends (svm/kernel_backends.cpp).
+// kernel.cpp's dispatch seam selects from this list; tests iterate it to
+// run every host-supported backend against the scalar oracle.
+#pragma once
+
+#include <span>
+
+#include "util/bitset_view.h"
+
+namespace wtp::svm::detail {
+
+struct KernelBackend {
+  const util::BitsetDotOps* ops;
+  /// Runtime CPU check; the backend may only be invoked when this is true.
+  bool (*supported)();
+};
+
+/// All compiled-in backends, fastest first ("avx512", "avx2", "popcnt",
+/// "scalar").  The scalar entry is always last and always supported.
+[[nodiscard]] std::span<const KernelBackend> kernel_backends() noexcept;
+
+}  // namespace wtp::svm::detail

@@ -1,5 +1,7 @@
 #include "svm/kernel_cache.h"
 
+#include "svm/kernel.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -72,7 +74,7 @@ void GramCache::row(std::size_t i, std::span<double> out) {
   ++misses_;
   if (cached_count_ >= max_cached_rows_) evict_one();
   slot.data.resize(data_->rows());
-  data_->dot_all(i, slot.data);
+  dot_rows(*data_, i, slot.data);
   slot.cached = true;
   ++cached_count_;
   lru_.push_front(i);

@@ -191,6 +191,11 @@ namespace {
 
 constexpr char kBlobMagic[8] = {'W', 'T', 'P', 'S', 'V', 'M', 'B', '1'};
 constexpr std::uint32_t kBlobVersion = 1;
+/// Version 2 appends the bitset companion of the SV block (DESIGN §11)
+/// after the v1 sections, so mmap'd stores score through AND+popcount
+/// zero-copy.  Models whose SV blocks are not bitset-representable are
+/// still written as v1; readers accept both.
+constexpr std::uint32_t kBlobVersionBitset = 2;
 constexpr std::uint32_t kEndianGuard = 0x01020304u;
 
 // CsrView row_offsets are std::size_t spans; the on-disk format stores u64.
@@ -223,17 +228,25 @@ static_assert(offsetof(BlobHeader, blob_size) == 88);
 
 constexpr std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
 
-/// Section offsets within one blob (relative to the blob start).
+/// Section offsets within one blob (relative to the blob start).  The
+/// bitset sections exist only in v2 blobs (words_per_row > 0 there).
 struct BlobLayout {
   std::size_t row_offsets = 0;
   std::size_t indices = 0;
   std::size_t values = 0;
   std::size_t sq_norms = 0;
   std::size_t coefficients = 0;
+  std::size_t bitset_header = 0;  ///< u64 words_per_row, u64 numeric_count
+  std::size_t numeric_cols = 0;   ///< u32[numeric_count], padded to 8
+  std::size_t words = 0;          ///< u64[sv_count * words_per_row]
+  std::size_t numeric_values = 0; ///< f64[sv_count * numeric_count]
   std::size_t total = 0;
 };
 
-BlobLayout blob_layout(std::uint64_t sv_count, std::uint64_t nnz) {
+BlobLayout blob_layout(std::uint64_t sv_count, std::uint64_t nnz,
+                       std::uint64_t words_per_row = 0,
+                       std::uint64_t numeric_count = 0,
+                       bool has_bitset = false) {
   BlobLayout l;
   l.row_offsets = sizeof(BlobHeader);
   l.indices = l.row_offsets + (sv_count + 1) * sizeof(std::uint64_t);
@@ -241,10 +254,18 @@ BlobLayout blob_layout(std::uint64_t sv_count, std::uint64_t nnz) {
   l.sq_norms = l.values + nnz * sizeof(double);
   l.coefficients = l.sq_norms + sv_count * sizeof(double);
   l.total = l.coefficients + sv_count * sizeof(double);
+  if (has_bitset) {
+    l.bitset_header = l.total;
+    l.numeric_cols = l.bitset_header + 2 * sizeof(std::uint64_t);
+    l.words = align8(l.numeric_cols + numeric_count * sizeof(std::uint32_t));
+    l.numeric_values = l.words + sv_count * words_per_row * sizeof(std::uint64_t);
+    l.total = l.numeric_values + sv_count * numeric_count * sizeof(double);
+  }
   return l;
 }
 
 void append_bytes(std::vector<std::byte>& out, const void* data, std::size_t size) {
+  if (size == 0) return;
   const auto* bytes = static_cast<const std::byte*>(data);
   out.insert(out.end(), bytes, bytes + size);
 }
@@ -256,11 +277,19 @@ std::size_t append_blob_impl(std::vector<std::byte>& out, std::uint32_t model_ty
   while (out.size() % 8 != 0) out.push_back(std::byte{0});
   const std::size_t start = out.size();
   const auto view = svs.view();
-  const BlobLayout layout = blob_layout(view.rows(), view.nnz());
+  // v2 when the SV block carries a bitset companion (skipped entirely when
+  // the plane is disabled via WTP_KERNEL_BACKEND=csr).
+  const util::BitsetStorage* bitset =
+      kernel_dispatch() != nullptr ? svs.bitset() : nullptr;
+  const util::BitsetView bits =
+      bitset != nullptr ? bitset->view() : util::BitsetView{};
+  const BlobLayout layout =
+      blob_layout(view.rows(), view.nnz(), bits.words_per_row,
+                  bits.numeric_cols.size(), bitset != nullptr);
 
   BlobHeader header{};
   std::memcpy(header.magic, kBlobMagic, sizeof(kBlobMagic));
-  header.version = kBlobVersion;
+  header.version = bitset != nullptr ? kBlobVersionBitset : kBlobVersion;
   header.endian = kEndianGuard;
   header.model_type = model_type;
   header.kernel_type = static_cast<std::uint32_t>(kernel.type);
@@ -284,6 +313,18 @@ std::size_t append_blob_impl(std::vector<std::byte>& out, std::uint32_t model_ty
   append_bytes(out, view.values.data(), view.values.size() * sizeof(double));
   append_bytes(out, view.sq_norms.data(), view.sq_norms.size() * sizeof(double));
   append_bytes(out, coefficients.data(), coefficients.size() * sizeof(double));
+  if (bitset != nullptr) {
+    const std::uint64_t words_per_row = bits.words_per_row;
+    const std::uint64_t numeric_count = bits.numeric_cols.size();
+    append_bytes(out, &words_per_row, sizeof(words_per_row));
+    append_bytes(out, &numeric_count, sizeof(numeric_count));
+    append_bytes(out, bits.numeric_cols.data(),
+                 bits.numeric_cols.size() * sizeof(std::uint32_t));
+    while ((out.size() - start) % 8 != 0) out.push_back(std::byte{0});
+    append_bytes(out, bits.words.data(), bits.words.size() * sizeof(std::uint64_t));
+    append_bytes(out, bits.numeric_values.data(),
+                 bits.numeric_values.size() * sizeof(double));
+  }
   if (out.size() - start != layout.total) {
     throw std::logic_error{"append_model_blob: layout mismatch"};
   }
@@ -333,7 +374,7 @@ ModelView view_model_blob(std::span<const std::byte> blob) {
     }
     blob_error("corrupt endianness guard");
   }
-  if (header.version != kBlobVersion) {
+  if (header.version != kBlobVersion && header.version != kBlobVersionBitset) {
     blob_error("unsupported version " + std::to_string(header.version));
   }
   if (header.model_type != kBlobModelOneClass && header.model_type != kBlobModelSvdd) {
@@ -346,7 +387,31 @@ ModelView view_model_blob(std::span<const std::byte> blob) {
     blob_error("unsupported value format " + std::to_string(header.value_format));
   }
   if (header.sv_count == 0) blob_error("zero support vectors");
-  const BlobLayout layout = blob_layout(header.sv_count, header.nnz);
+  const bool has_bitset = header.version == kBlobVersionBitset;
+  std::uint64_t words_per_row = 0;
+  std::uint64_t numeric_count = 0;
+  if (has_bitset) {
+    // The bitset subheader sits right after the v1 sections; read it before
+    // the full layout can be computed.
+    const BlobLayout base = blob_layout(header.sv_count, header.nnz);
+    if (blob.size() < base.total + 2 * sizeof(std::uint64_t)) {
+      blob_error("truncated bitset subheader");
+    }
+    std::memcpy(&words_per_row, blob.data() + base.total, sizeof(words_per_row));
+    std::memcpy(&numeric_count, blob.data() + base.total + sizeof(std::uint64_t),
+                sizeof(numeric_count));
+    if (words_per_row != (header.cols + 63) / 64) {
+      blob_error("bitset words_per_row " + std::to_string(words_per_row) +
+                 " inconsistent with cols " + std::to_string(header.cols));
+    }
+    if (numeric_count > util::BitsetStorage::kMaxNumericColumns) {
+      blob_error("bitset numeric column count " + std::to_string(numeric_count) +
+                 " exceeds limit");
+    }
+  }
+  const BlobLayout layout =
+      blob_layout(header.sv_count, header.nnz, words_per_row, numeric_count,
+                  has_bitset);
   if (header.blob_size != layout.total) {
     blob_error("header blob_size " + std::to_string(header.blob_size) +
                " does not match layout size " + std::to_string(layout.total));
@@ -398,14 +463,44 @@ ModelView view_model_blob(std::span<const std::byte> blob) {
       {row_offsets, header.sv_count + 1},
       {sq_norms, header.sv_count}};
   view.coefficients = {coefficients, header.sv_count};
+  if (has_bitset) {
+    const auto* numeric_cols =
+        reinterpret_cast<const std::uint32_t*>(base + layout.numeric_cols);
+    for (std::size_t k = 0; k < numeric_count; ++k) {
+      if (numeric_cols[k] >= header.cols) {
+        blob_error("bitset numeric column " + std::to_string(numeric_cols[k]) +
+                   " >= cols " + std::to_string(header.cols));
+      }
+      if (k > 0 && numeric_cols[k] <= numeric_cols[k - 1]) {
+        blob_error("bitset numeric columns not strictly ascending");
+      }
+    }
+    view.has_bitset = true;
+    view.sv_bitset = util::BitsetView{
+        header.cols,
+        header.sv_count,
+        words_per_row,
+        {reinterpret_cast<const std::uint64_t*>(base + layout.words),
+         header.sv_count * words_per_row},
+        {numeric_cols, numeric_count},
+        {reinterpret_cast<const double*>(base + layout.numeric_values),
+         header.sv_count * numeric_count}};
+  }
   return view;
 }
 
 double ModelView::decision_value(std::span<const std::uint32_t> query_indices,
                                  std::span<const double> query_values,
                                  double x_sqnorm) const {
+  return decision_value(query_indices, query_values, x_sqnorm, nullptr);
+}
+
+double ModelView::decision_value(std::span<const std::uint32_t> query_indices,
+                                 std::span<const double> query_values,
+                                 double x_sqnorm, EncodedQueryCache* cache) const {
   const auto k = kernel_row_scratch(support_vectors.rows());
-  kernel_row(kernel, support_vectors, query_indices, query_values, x_sqnorm, k);
+  kernel_row(kernel, support_vectors, has_bitset ? &sv_bitset : nullptr,
+             query_indices, query_values, x_sqnorm, k, cache);
   double sum = 0.0;
   for (std::size_t i = 0; i < k.size(); ++i) sum += coefficients[i] * k[i];
   if (model_type == kBlobModelOneClass) return sum - scalar0;
@@ -416,7 +511,8 @@ double ModelView::decision_value(std::span<const std::uint32_t> query_indices,
 double ModelView::decision_value(const util::SparseVector& x,
                                  double x_sqnorm) const {
   const auto k = kernel_row_scratch(support_vectors.rows());
-  kernel_row(kernel, support_vectors, x, x_sqnorm, k);
+  kernel_row(kernel, support_vectors, has_bitset ? &sv_bitset : nullptr, x,
+             x_sqnorm, k);
   double sum = 0.0;
   for (std::size_t i = 0; i < k.size(); ++i) sum += coefficients[i] * k[i];
   if (model_type == kBlobModelOneClass) return sum - scalar0;
@@ -428,6 +524,62 @@ double ModelView::decision_value(const util::SparseVector& x) const {
   return decision_value(x, x.squared_norm());
 }
 
+void ModelView::decision_values(const util::FeatureMatrix& queries,
+                                std::span<double> out) const {
+  const std::size_t n = support_vectors.rows();
+  const std::size_t nq = queries.rows();
+  constexpr std::size_t kQueryTile = 64;
+  thread_local std::vector<double> block;
+  if (block.size() < std::min(kQueryTile, nq) * n) {
+    block.resize(std::min(kQueryTile, nq) * n);
+  }
+  util::BitsetView query_storage;
+  const util::BitsetView* query_bits = nullptr;
+  if (has_bitset && kernel_dispatch() != nullptr) {
+    if (const util::BitsetStorage* qb = queries.bitset()) {
+      query_storage = qb->view();
+      query_bits = &query_storage;
+    }
+  }
+  for (std::size_t q0 = 0; q0 < nq; q0 += kQueryTile) {
+    const std::size_t tile = std::min(kQueryTile, nq - q0);
+    const std::span<double> k{block.data(), tile * n};
+    util::BitsetView query_slice;
+    const util::BitsetView* slice_bits = nullptr;
+    if (query_bits != nullptr) {
+      query_slice = query_bits->rows_slice(q0, tile);
+      slice_bits = &query_slice;
+    }
+    kernel_block(kernel, support_vectors, has_bitset ? &sv_bitset : nullptr,
+                 queries.view().rows_slice(q0, tile), slice_bits, k);
+    for (std::size_t t = 0; t < tile; ++t) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) sum += coefficients[i] * k[t * n + i];
+      if (model_type == kBlobModelOneClass) {
+        out[q0 + t] = sum - scalar0;
+      } else {
+        const double k_xx = kernel_self(kernel, queries.sq_norm(q0 + t));
+        out[q0 + t] = scalar0 - (k_xx - 2.0 * sum + scalar1);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// The heap matrix's cached bitset, attached so views score through the
+/// same AND+popcount plane as mmap'd blobs.  Skips the (lazy) build when
+/// the plane is disabled.
+void attach_bitset(ModelView& view, const util::FeatureMatrix& svs) {
+  if (kernel_dispatch() == nullptr) return;
+  if (const util::BitsetStorage* bits = svs.bitset()) {
+    view.has_bitset = true;
+    view.sv_bitset = bits->view();
+  }
+}
+
+}  // namespace
+
 ModelView view_of(const OneClassSvmModel& model) {
   ModelView view;
   view.model_type = kBlobModelOneClass;
@@ -436,6 +588,7 @@ ModelView view_of(const OneClassSvmModel& model) {
   view.scalar1 = 0.0;
   view.support_vectors = model.support_vectors().view();
   view.coefficients = model.coefficients();
+  attach_bitset(view, model.support_vectors());
   return view;
 }
 
@@ -447,6 +600,7 @@ ModelView view_of(const SvddModel& model) {
   view.scalar1 = model.alpha_k_alpha();
   view.support_vectors = model.support_vectors().view();
   view.coefficients = model.coefficients();
+  attach_bitset(view, model.support_vectors());
   return view;
 }
 

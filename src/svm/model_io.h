@@ -43,6 +43,16 @@
 //      ...           f64 sq_norms[sv_count]
 //      ...           f64 coefficients[sv_count]
 //
+//    Version 2 (written when the SV block is bitset-representable, DESIGN
+//    §11) appends the bitset companion after the v1 sections, so mapped
+//    stores score through the AND+popcount plane zero-copy:
+//
+//      ...           u64 bitset words_per_row (= ceil(cols / 64))
+//      ...           u64 numeric column count
+//      ...           u32 numeric_cols[count], ascending, padded to 8
+//      ...           u64 words[sv_count * words_per_row]
+//      ...           f64 numeric_values[sv_count * count]
+//
 //    Values stay f64 so mmap-viewed decisions are bit-identical to the heap
 //    models they were serialized from; compactness comes from u32 indices,
 //    the shared store-level schema, and the absence of per-model heap churn.
@@ -92,6 +102,11 @@ struct ModelView {
   double scalar1 = 0.0;  ///< 0               | alpha_k_alpha (svdd)
   util::CsrView support_vectors;
   std::span<const double> coefficients;  ///< aligned with SV rows
+  /// Bitset companion of the SV block (blob v2, or the heap matrix's cached
+  /// bitset via view_of); scoring routes dots through the dispatched
+  /// AND+popcount backend when set.  Absent => pure CSR scoring.
+  bool has_bitset = false;
+  util::BitsetView sv_bitset;
 
   [[nodiscard]] std::size_t sv_count() const noexcept {
     return support_vectors.rows();
@@ -104,6 +119,16 @@ struct ModelView {
   [[nodiscard]] double decision_value(const util::SparseVector& x,
                                       double x_sqnorm) const;
   [[nodiscard]] double decision_value(const util::SparseVector& x) const;
+  /// As above with a shared query-encoding cache (cascade fan-outs score
+  /// one window against many same-layout SV blocks); `cache` may be null.
+  [[nodiscard]] double decision_value(std::span<const std::uint32_t> query_indices,
+                                      std::span<const double> query_values,
+                                      double x_sqnorm,
+                                      EncodedQueryCache* cache) const;
+  /// Batched decisions over every row of `queries` (kernel_block path),
+  /// bit-identical to per-row decision_value.  `out` needs queries.rows().
+  void decision_values(const util::FeatureMatrix& queries,
+                       std::span<double> out) const;
 };
 
 /// Serializes a model as a binary blob appended to `out`.  Pads `out` to

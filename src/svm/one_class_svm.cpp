@@ -53,6 +53,14 @@ OneClassSvmModel OneClassSvmModel::from_solution(const util::FeatureMatrix& data
     }
   }
   model.support_vectors_ = svs.build(data.cols());
+  // Inherit the training matrix's bitset layout (schema-derived when the
+  // caller used ensure_bitset) so decision-time query encodings can be
+  // borrowed zero-copy across same-layout matrices.
+  if (kernel_dispatch() != nullptr) {
+    if (const auto* bitset = data.bitset()) {
+      model.support_vectors_.ensure_bitset(bitset->view().numeric_cols);
+    }
+  }
   model.bounded_fraction_ = static_cast<double>(bounded) / static_cast<double>(l);
   return model;
 }
@@ -165,13 +173,25 @@ double OneClassSvmModel::decision_value(const util::SparseVector& x,
 
 void OneClassSvmModel::decision_values(const util::FeatureMatrix& queries,
                                        std::span<double> out) const {
-  const auto k = kernel_row_scratch(support_vectors_.rows());
-  for (std::size_t r = 0; r < queries.rows(); ++r) {
-    kernel_row(kernel_, support_vectors_, queries.row_indices(r),
-               queries.row_values(r), queries.sq_norm(r), k);
-    double sum = 0.0;
-    for (std::size_t i = 0; i < k.size(); ++i) sum += coefficients_[i] * k[i];
-    out[r] = sum - rho_;
+  // Batched through kernel_block in bounded query tiles; the coefficient
+  // reduction per query is unchanged, so results stay bit-identical to the
+  // per-query kernel_row path.
+  const std::size_t n = support_vectors_.rows();
+  const std::size_t nq = queries.rows();
+  constexpr std::size_t kQueryTile = 64;
+  thread_local std::vector<double> block;
+  if (block.size() < std::min(kQueryTile, nq) * n) {
+    block.resize(std::min(kQueryTile, nq) * n);
+  }
+  for (std::size_t q0 = 0; q0 < nq; q0 += kQueryTile) {
+    const std::size_t tile = std::min(kQueryTile, nq - q0);
+    const std::span<double> k{block.data(), tile * n};
+    kernel_block(kernel_, support_vectors_, queries, q0, tile, k);
+    for (std::size_t t = 0; t < tile; ++t) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) sum += coefficients_[i] * k[t * n + i];
+      out[q0 + t] = sum - rho_;
+    }
   }
 }
 

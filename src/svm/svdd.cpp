@@ -140,6 +140,11 @@ SvddModel SvddModel::from_solution(const util::FeatureMatrix& data,
     }
   }
   model.support_vectors_ = svs.build(data.cols());
+  if (kernel_dispatch() != nullptr) {
+    if (const auto* bitset = data.bitset()) {
+      model.support_vectors_.ensure_bitset(bitset->view().numeric_cols);
+    }
+  }
   return model;
 }
 
@@ -197,14 +202,25 @@ double SvddModel::decision_value(const util::SparseVector& x,
 
 void SvddModel::decision_values(const util::FeatureMatrix& queries,
                                 std::span<double> out) const {
-  const auto k = kernel_row_scratch(support_vectors_.rows());
-  for (std::size_t r = 0; r < queries.rows(); ++r) {
-    kernel_row(kernel_, support_vectors_, queries.row_indices(r),
-               queries.row_values(r), queries.sq_norm(r), k);
-    double cross = 0.0;
-    for (std::size_t i = 0; i < k.size(); ++i) cross += coefficients_[i] * k[i];
-    const double k_xx = kernel_self(kernel_, queries.sq_norm(r));
-    out[r] = r_squared_ - (k_xx - 2.0 * cross + alpha_k_alpha_);
+  // Batched through kernel_block (see OneClassSvmModel::decision_values);
+  // the per-query arithmetic is unchanged, so results are bit-identical.
+  const std::size_t n = support_vectors_.rows();
+  const std::size_t nq = queries.rows();
+  constexpr std::size_t kQueryTile = 64;
+  thread_local std::vector<double> block;
+  if (block.size() < std::min(kQueryTile, nq) * n) {
+    block.resize(std::min(kQueryTile, nq) * n);
+  }
+  for (std::size_t q0 = 0; q0 < nq; q0 += kQueryTile) {
+    const std::size_t tile = std::min(kQueryTile, nq - q0);
+    const std::span<double> k{block.data(), tile * n};
+    kernel_block(kernel_, support_vectors_, queries, q0, tile, k);
+    for (std::size_t t = 0; t < tile; ++t) {
+      double cross = 0.0;
+      for (std::size_t i = 0; i < n; ++i) cross += coefficients_[i] * k[t * n + i];
+      const double k_xx = kernel_self(kernel_, queries.sq_norm(q0 + t));
+      out[q0 + t] = r_squared_ - (k_xx - 2.0 * cross + alpha_k_alpha_);
+    }
   }
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace wtp::util {
 
@@ -36,6 +37,74 @@ FeatureMatrix FeatureMatrix::from_rows(std::span<const SparseVector> rows,
   FeatureMatrixBuilder builder;
   for (const auto& row : rows) builder.add_row(row);
   return builder.build(cols);
+}
+
+FeatureMatrix::FeatureMatrix(const FeatureMatrix& other)
+    : cols_{other.cols_},
+      indices_{other.indices_},
+      values_{other.values_},
+      row_offsets_{other.row_offsets_},
+      sq_norms_{other.sq_norms_} {
+  const std::scoped_lock lock{other.bitset_mutex_};
+  bitset_ = other.bitset_;  // the slot is immutable once set — share it
+}
+
+FeatureMatrix::FeatureMatrix(FeatureMatrix&& other) noexcept
+    : cols_{other.cols_},
+      indices_{std::move(other.indices_)},
+      values_{std::move(other.values_)},
+      row_offsets_{std::move(other.row_offsets_)},
+      sq_norms_{std::move(other.sq_norms_)},
+      bitset_{std::move(other.bitset_)} {
+  other.cols_ = 0;
+  other.row_offsets_ = {0};
+}
+
+FeatureMatrix& FeatureMatrix::operator=(const FeatureMatrix& other) {
+  if (this == &other) return *this;
+  cols_ = other.cols_;
+  indices_ = other.indices_;
+  values_ = other.values_;
+  row_offsets_ = other.row_offsets_;
+  sq_norms_ = other.sq_norms_;
+  std::shared_ptr<const BitsetSlot> shared;
+  {
+    const std::scoped_lock lock{other.bitset_mutex_};
+    shared = other.bitset_;
+  }
+  const std::scoped_lock lock{bitset_mutex_};
+  bitset_ = std::move(shared);
+  return *this;
+}
+
+FeatureMatrix& FeatureMatrix::operator=(FeatureMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  cols_ = other.cols_;
+  indices_ = std::move(other.indices_);
+  values_ = std::move(other.values_);
+  row_offsets_ = std::move(other.row_offsets_);
+  sq_norms_ = std::move(other.sq_norms_);
+  bitset_ = std::move(other.bitset_);
+  other.cols_ = 0;
+  other.row_offsets_ = {0};
+  return *this;
+}
+
+const BitsetStorage* FeatureMatrix::bitset() const {
+  const std::scoped_lock lock{bitset_mutex_};
+  if (!bitset_) {
+    auto slot = std::make_shared<BitsetSlot>();
+    slot->storage = BitsetStorage::build(view());
+    bitset_ = std::move(slot);
+  }
+  return bitset_->storage ? &*bitset_->storage : nullptr;
+}
+
+void FeatureMatrix::ensure_bitset(std::span<const std::uint32_t> numeric_cols) {
+  auto slot = std::make_shared<BitsetSlot>();
+  slot->storage = BitsetStorage::build(view(), numeric_cols);
+  const std::scoped_lock lock{bitset_mutex_};
+  bitset_ = std::move(slot);
 }
 
 SparseVector FeatureMatrix::row_vector(std::size_t i) const {

@@ -13,9 +13,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "util/bitset_view.h"
 #include "util/sparse_vector.h"
 
 namespace wtp::util {
@@ -45,6 +48,14 @@ struct CsrView {
     return values.subspan(row_offsets[i], row_offsets[i + 1] - row_offsets[i]);
   }
   [[nodiscard]] double sq_norm(std::size_t i) const noexcept { return sq_norms[i]; }
+
+  /// View of rows [begin, begin + count).  Row offsets stay absolute into
+  /// the shared indices/values spans, so row accessors and dot_all work
+  /// unchanged on the slice.
+  [[nodiscard]] CsrView rows_slice(std::size_t begin, std::size_t count) const noexcept {
+    return CsrView{cols, indices, values, row_offsets.subspan(begin, count + 1),
+                   sq_norms.subspan(begin, count)};
+  }
 
   /// Dot product of every row with a sparse query, written to out[0..rows).
   /// Identical implementation (and therefore identical IEEE sums) to
@@ -113,7 +124,31 @@ class FeatureMatrix {
     return CsrView{cols_, indices_, values_, row_offsets_, sq_norms_};
   }
 
-  friend bool operator==(const FeatureMatrix&, const FeatureMatrix&) = default;
+  /// Bitset companion of the CSR rows (DESIGN §11), built lazily on first
+  /// use with an auto-detected layout and cached for the matrix's lifetime.
+  /// Returns nullptr when the matrix is not representable (see
+  /// BitsetStorage::build) — consumers then stay on the CSR path.
+  /// Thread-safe; the pointer stays valid while the matrix is alive.
+  [[nodiscard]] const BitsetStorage* bitset() const;
+
+  /// Builds (or rebuilds) the bitset with an explicit numeric-column layout
+  /// — e.g. schema-derived, so matrices across users share one layout and
+  /// encoded queries can be reused.  Call before sharing the matrix across
+  /// scoring threads; a later bitset() returns this layout.
+  void ensure_bitset(std::span<const std::uint32_t> numeric_cols);
+
+  FeatureMatrix(const FeatureMatrix& other);
+  FeatureMatrix(FeatureMatrix&& other) noexcept;
+  FeatureMatrix& operator=(const FeatureMatrix& other);
+  FeatureMatrix& operator=(FeatureMatrix&& other) noexcept;
+  ~FeatureMatrix() = default;
+
+  /// Equality is over the CSR contents only (the bitset is derived state).
+  friend bool operator==(const FeatureMatrix& a, const FeatureMatrix& b) {
+    return a.cols_ == b.cols_ && a.indices_ == b.indices_ &&
+           a.values_ == b.values_ && a.row_offsets_ == b.row_offsets_ &&
+           a.sq_norms_ == b.sq_norms_;
+  }
 
  private:
   friend class FeatureMatrixBuilder;
@@ -123,6 +158,14 @@ class FeatureMatrix {
   std::vector<double> values_;
   std::vector<std::size_t> row_offsets_{0};
   std::vector<double> sq_norms_;
+
+  struct BitsetSlot {
+    std::optional<BitsetStorage> storage;
+  };
+  /// Set-once cache guarded by bitset_mutex_ (copies share the immutable
+  /// slot; the mutex itself is never copied).
+  mutable std::mutex bitset_mutex_;
+  mutable std::shared_ptr<const BitsetSlot> bitset_;
 };
 
 /// Incremental CSR builder for producers that stream (index, value) entries

@@ -1,0 +1,272 @@
+// Backend dispatch seam (DESIGN §11): every SIMD backend the host supports
+// must produce decision values bit-identical to the scalar reference, which
+// itself must match the CSR oracle bit for bit.  These tests sweep layouts
+// chosen to hit every combine path: the vectorized contiguous-columns
+// prefix, the specialized first-word loop, the generic replay, and the
+// chunked add_ones escalation for large trailing popcounts.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "svm/kernel.h"
+#include "util/feature_matrix.h"
+#include "util/rng.h"
+#include "util/sparse_vector.h"
+
+namespace wtp::svm {
+namespace {
+
+// Restores the env-selected backend no matter how a test exits.
+struct BackendGuard {
+  ~BackendGuard() { set_kernel_backend_for_testing(""); }
+};
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Binary-dominant rows over `dim` columns: exact-1.0 bits everywhere except
+/// the `numeric_cols`, which carry the supplied values (possibly negative,
+/// tiny, or huge — the combine must replay the oracle's rounding exactly).
+std::vector<util::SparseVector> make_rows(util::Rng& rng, std::size_t count,
+                                          std::size_t dim, std::size_t nnz,
+                                          std::span<const std::uint32_t> ncols,
+                                          double numeric_scale) {
+  std::vector<util::SparseVector> out;
+  const auto is_numeric = [&ncols](std::size_t c) {
+    for (const std::uint32_t n : ncols) {
+      if (c == n) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    std::set<std::size_t> cols;
+    while (cols.size() < nnz) {
+      const std::size_t c = rng.uniform_index(dim);
+      if (!is_numeric(c)) cols.insert(c);
+    }
+    std::vector<util::SparseVector::Entry> entries;
+    for (const std::size_t c : cols) entries.push_back({c, 1.0});
+    for (const std::uint32_t c : ncols) {
+      if (rng.uniform() < 0.25) continue;  // field absent
+      entries.push_back({c, (rng.uniform() - 0.4) * numeric_scale});
+    }
+    out.emplace_back(std::move(entries));
+  }
+  return out;
+}
+
+struct Shape {
+  const char* name;
+  std::size_t dim;
+  std::size_t nnz;
+  std::vector<std::uint32_t> ncols;
+  double numeric_scale;
+};
+
+/// Layout sweep: each shape forces a different combine strategy.
+std::vector<Shape> shapes() {
+  return {
+      // Paper schema: three consecutive numeric columns in word 0 — the
+      // AVX-512 vectorized prefix path.
+      {"paper", 843, 25, {6, 7, 8}, 1.0},
+      // Dense rows: trailing AND-popcounts above the pad budget exercise
+      // the chunked add_ones escalation per lane.
+      {"dense", 843, 300, {6, 7, 8}, 1.0},
+      // Huge numeric magnitudes: sums cross binades mid-replay, so the
+      // integer-domain walk's round-half-even must match the oracle.
+      {"binade", 843, 200, {6, 7, 8}, 0x1p50},
+      // Scattered first-word columns: specialized loop, non-trivial middle
+      // segments (p1 != p0), no vector prefix.
+      {"scattered", 843, 25, {3, 40, 63}, 1.0},
+      // A numeric column outside word 0: the generic span-walking replay.
+      {"wide", 843, 25, {6, 7, 500}, 1.0},
+      // Two numeric columns only: generic row loop (k_count != 3).
+      {"pair", 128, 12, {5, 90}, 1.0},
+      // Column count not a multiple of 64, plus a single-word layout.
+      {"ragged", 65, 9, {0, 1, 2}, 1.0},
+      {"oneword", 40, 7, {6, 7, 8}, 1.0},
+  };
+}
+
+TEST(KernelDispatch, ScalarAlwaysSupported) {
+  const auto names = supported_kernel_backends();
+  ASSERT_FALSE(names.empty());
+  bool has_scalar = false;
+  for (const auto name : names) has_scalar |= (name == "scalar");
+  EXPECT_TRUE(has_scalar);
+}
+
+TEST(KernelDispatch, UnknownBackendThrows) {
+  BackendGuard guard;
+  EXPECT_THROW(set_kernel_backend_for_testing("avx1024"), std::runtime_error);
+}
+
+TEST(KernelDispatch, CsrSentinelDisablesBitsetPlane) {
+  BackendGuard guard;
+  set_kernel_backend_for_testing("csr");
+  EXPECT_EQ(kernel_dispatch(), nullptr);
+  EXPECT_EQ(kernel_backend_name(), "csr");
+  set_kernel_backend_for_testing("");
+  EXPECT_NE(kernel_dispatch(), nullptr);
+}
+
+/// Every supported backend vs the CSR oracle, bit for bit, on every layout
+/// and kernel type.  The oracle rows come from the same kernel_row call with
+/// the bitset plane disabled.
+TEST(KernelDispatch, AllBackendsBitIdenticalToCsrOracle) {
+  BackendGuard guard;
+  util::Rng rng{271};
+  for (const auto& shape : shapes()) {
+    auto rows = make_rows(rng, 64, shape.dim, shape.nnz, shape.ncols,
+                          shape.numeric_scale);
+    auto queries = make_rows(rng, 16, shape.dim, shape.nnz, shape.ncols,
+                             shape.numeric_scale);
+    auto matrix = util::FeatureMatrix::from_rows(rows, shape.dim);
+    matrix.ensure_bitset(shape.ncols);
+    ASSERT_NE(matrix.bitset(), nullptr) << shape.name;
+
+    const KernelParams params{KernelType::kLinear, 1.0, 0.0, 3};
+    std::vector<double> oracle(rows.size());
+    std::vector<double> got(rows.size());
+    for (const auto backend : supported_kernel_backends()) {
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        const double sqn = queries[q].squared_norm();
+        set_kernel_backend_for_testing("csr");
+        kernel_row(params, matrix, queries[q], sqn, oracle);
+        set_kernel_backend_for_testing(backend);
+        kernel_row(params, matrix, queries[q], sqn, got);
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+          ASSERT_EQ(bits(oracle[r]), bits(got[r]))
+              << shape.name << " backend=" << backend << " q=" << q
+              << " row=" << r << " oracle=" << oracle[r] << " got=" << got[r];
+        }
+      }
+    }
+  }
+}
+
+/// The transformed kernels reuse the same dots, but sweep them anyway: a
+/// backend divergence inside the transform would be a dispatch bug.
+TEST(KernelDispatch, TransformedKernelsBitIdenticalAcrossBackends) {
+  BackendGuard guard;
+  util::Rng rng{83};
+  const std::vector<std::uint32_t> ncols{6, 7, 8};
+  auto rows = make_rows(rng, 48, 843, 25, ncols, 1.0);
+  auto queries = make_rows(rng, 8, 843, 25, ncols, 1.0);
+  auto matrix = util::FeatureMatrix::from_rows(rows, 843);
+  matrix.ensure_bitset(ncols);
+  ASSERT_NE(matrix.bitset(), nullptr);
+
+  const KernelParams kernels[] = {
+      {KernelType::kLinear, 1.0, 0.0, 3},
+      {KernelType::kPolynomial, 0.5, 1.0, 3},
+      {KernelType::kRbf, 1.0 / 843.0, 0.0, 3},
+      {KernelType::kSigmoid, 0.1, 0.5, 3},
+  };
+  std::vector<double> scalar_out(rows.size());
+  std::vector<double> backend_out(rows.size());
+  for (const auto& params : kernels) {
+    for (const auto backend : supported_kernel_backends()) {
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        const double sqn = queries[q].squared_norm();
+        set_kernel_backend_for_testing("scalar");
+        kernel_row(params, matrix, queries[q], sqn, scalar_out);
+        set_kernel_backend_for_testing(backend);
+        kernel_row(params, matrix, queries[q], sqn, backend_out);
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+          ASSERT_EQ(bits(scalar_out[r]), bits(backend_out[r]))
+              << describe(params) << " backend=" << backend << " q=" << q
+              << " row=" << r;
+        }
+      }
+    }
+  }
+}
+
+/// kernel_block must equal per-query kernel_row exactly on every backend —
+/// the batched path is a routing change, never a numeric one.
+TEST(KernelDispatch, KernelBlockMatchesPerQueryRows) {
+  BackendGuard guard;
+  util::Rng rng{907};
+  const std::vector<std::uint32_t> ncols{6, 7, 8};
+  auto rows = make_rows(rng, 40, 843, 25, ncols, 1.0);
+  auto query_rows = make_rows(rng, 9, 843, 25, ncols, 1.0);
+  auto matrix = util::FeatureMatrix::from_rows(rows, 843);
+  matrix.ensure_bitset(ncols);
+  auto queries = util::FeatureMatrix::from_rows(query_rows, 843);
+  queries.ensure_bitset(ncols);
+
+  const KernelParams params{KernelType::kPolynomial, 0.5, 1.0, 3};
+  std::vector<double> block(query_rows.size() * rows.size());
+  std::vector<double> row_out(rows.size());
+  for (const auto backend : supported_kernel_backends()) {
+    set_kernel_backend_for_testing(backend);
+    kernel_block(params, matrix, queries, block);
+    for (std::size_t q = 0; q < query_rows.size(); ++q) {
+      kernel_row(params, matrix, query_rows[q], query_rows[q].squared_norm(),
+                 row_out);
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        ASSERT_EQ(bits(block[q * rows.size() + r]), bits(row_out[r]))
+            << "backend=" << backend << " q=" << q << " row=" << r;
+      }
+    }
+  }
+}
+
+/// Adversarial trailing popcounts: rows whose sums sit exactly on binade
+/// boundaries when the pad/chunk decision flips (n <= 4 vs the walk), with
+/// negative and subnormal-adjacent numeric values in the mix.
+TEST(KernelDispatch, AddOnesEscalationMatchesOracle) {
+  BackendGuard guard;
+  util::Rng rng{409};
+  const std::vector<std::uint32_t> ncols{6, 7, 8};
+  // Values chosen so replay sums land near powers of two: the crossing add
+  // must round half-to-even identically to the literal loop.
+  const double specials[] = {0.5,     -0.5,    0x1p-30, -0x1p-30, 3.0,
+                             0x1p52,  -0x1p52, 255.75,  1e-300,   7.0 / 3.0};
+  std::vector<util::SparseVector> rows;
+  std::size_t which = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    std::vector<util::SparseVector::Entry> entries;
+    std::set<std::size_t> cols;
+    const std::size_t nnz = 1 + rng.uniform_index(500);
+    while (cols.size() < nnz) {
+      const std::size_t c = rng.uniform_index(843);
+      if (c < 6 || c > 8) cols.insert(c);
+    }
+    for (const std::size_t c : cols) entries.push_back({c, 1.0});
+    for (const std::uint32_t c : ncols) {
+      entries.push_back({c, specials[which++ % std::size(specials)]});
+    }
+    rows.emplace_back(std::move(entries));
+  }
+  auto matrix = util::FeatureMatrix::from_rows(rows, 843);
+  matrix.ensure_bitset(ncols);
+  ASSERT_NE(matrix.bitset(), nullptr);
+
+  auto queries = make_rows(rng, 12, 843, 400, ncols, 1.0);
+  const KernelParams params{KernelType::kLinear, 1.0, 0.0, 3};
+  std::vector<double> oracle(rows.size());
+  std::vector<double> got(rows.size());
+  for (const auto backend : supported_kernel_backends()) {
+    for (const auto& query : queries) {
+      const double sqn = query.squared_norm();
+      set_kernel_backend_for_testing("csr");
+      kernel_row(params, matrix, query, sqn, oracle);
+      set_kernel_backend_for_testing(backend);
+      kernel_row(params, matrix, query, sqn, got);
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        ASSERT_EQ(bits(oracle[r]), bits(got[r]))
+            << "backend=" << backend << " row=" << r << " oracle=" << oracle[r]
+            << " got=" << got[r];
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wtp::svm

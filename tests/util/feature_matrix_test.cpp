@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include "util/bitset_view.h"
 #include "util/sparse_vector.h"
 
 namespace wtp::util {
@@ -225,6 +229,146 @@ TEST(FeatureMatrixBuilder, EmptyFinishedRowsCount) {
   EXPECT_EQ(m.row_nnz(0), 0u);
   EXPECT_EQ(m.row_nnz(1), 1u);
   EXPECT_EQ(m.row_nnz(2), 0u);
+}
+
+// ------------------------------------------------------ bitset companion --
+// Edge cases for the dual representation (DESIGN §11).  Exactness is
+// against dot_all, the scalar CSR oracle, using the portable scalar ops;
+// SIMD backends are covered by tests/svm/kernel_dispatch_test.
+
+std::uint64_t dot_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Runs every row of `m` as a query against `m` through both planes and
+/// requires bit-identical dots.
+void expect_bitset_matches_oracle(const FeatureMatrix& m,
+                                  const std::vector<SparseVector>& rows) {
+  const BitsetStorage* storage = m.bitset();
+  ASSERT_NE(storage, nullptr);
+  const BitsetView view = storage->view();
+  std::vector<double> oracle(m.rows());
+  std::vector<double> got(m.rows());
+  BitsetQuery query;
+  for (const auto& row : rows) {
+    ASSERT_TRUE(query.encode(view, row));
+    m.dot_all(row, oracle);
+    bitset_dot_rows(view, query, got, scalar_bitset_ops());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      ASSERT_EQ(dot_bits(oracle[r]), dot_bits(got[r])) << "row " << r;
+    }
+  }
+}
+
+TEST(FeatureMatrixBitset, AllZeroRowsDotToZero) {
+  const std::vector<SparseVector> rows{SparseVector{}, SparseVector{{3, 1.0}},
+                                       SparseVector{}};
+  auto m = FeatureMatrix::from_rows(rows, 100);
+  const std::uint32_t ncols[] = {6, 7, 8};
+  m.ensure_bitset(ncols);
+  expect_bitset_matches_oracle(m, rows);
+}
+
+TEST(FeatureMatrixBitset, NumericOnlyRowsUseDenseSideOnly) {
+  const std::vector<SparseVector> rows{
+      SparseVector{{6, 0.25}, {8, -1.5}},
+      SparseVector{{7, 1.0}},  // exactly 1.0 in a numeric column is fine
+      SparseVector{{6, 1e300}},
+  };
+  auto m = FeatureMatrix::from_rows(rows, 100);
+  const std::uint32_t ncols[] = {6, 7, 8};
+  m.ensure_bitset(ncols);
+  ASSERT_NE(m.bitset(), nullptr);
+  const BitsetView view = m.bitset()->view();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t i = 0; i < view.words_per_row; ++i) {
+      EXPECT_EQ(view.row_words(r)[i], 0u) << "row " << r << " word " << i;
+    }
+  }
+  expect_bitset_matches_oracle(m, rows);
+}
+
+TEST(FeatureMatrixBitset, RaggedColumnCountsRoundTrip) {
+  // cols % 64 covers 0, 1, and a wide remainder; single-row matrices too.
+  for (const std::size_t cols : {40UL, 64UL, 65UL, 843UL}) {
+    std::vector<SparseVector> rows;
+    for (std::size_t r = 0; r < 5; ++r) {
+      std::vector<SparseVector::Entry> entries;
+      for (std::size_t c = r; c < cols; c += 7) {
+        if (c >= 1 && c <= 3) continue;
+        entries.push_back({c, 1.0});
+      }
+      entries.push_back({1, 0.5 + static_cast<double>(r)});
+      rows.emplace_back(std::move(entries));
+    }
+    auto m = FeatureMatrix::from_rows(rows, cols);
+    const std::uint32_t ncols[] = {1, 2, 3};
+    m.ensure_bitset(ncols);
+    ASSERT_NE(m.bitset(), nullptr) << cols;
+    EXPECT_EQ(m.bitset()->view().words_per_row, (cols + 63) / 64);
+    expect_bitset_matches_oracle(m, rows);
+
+    const std::vector<SparseVector> one_row{rows[0]};
+    auto single = FeatureMatrix::from_rows(one_row, cols);
+    single.ensure_bitset(ncols);
+    ASSERT_NE(single.bitset(), nullptr) << cols;
+    expect_bitset_matches_oracle(single, one_row);
+  }
+}
+
+TEST(FeatureMatrixBitset, NonConformingRowDisablesPlane) {
+  // 2.0 in a hinted-binary column violates the layout: no bitset attaches,
+  // and the kernel path falls back to CSR (which is always correct).
+  const std::vector<SparseVector> rows{SparseVector{{0, 1.0}, {5, 2.0}}};
+  auto m = FeatureMatrix::from_rows(rows, 100);
+  const std::uint32_t ncols[] = {6, 7, 8};
+  m.ensure_bitset(ncols);
+  EXPECT_EQ(m.bitset(), nullptr);
+}
+
+TEST(FeatureMatrixBitset, AutoDetectedLayoutMarksNonUnitColumns) {
+  // No hint: any column holding a non-1.0 value anywhere becomes numeric.
+  const std::vector<SparseVector> rows{
+      SparseVector{{0, 1.0}, {9, 0.75}},
+      SparseVector{{0, 1.0}, {17, -2.0}},
+  };
+  auto m = FeatureMatrix::from_rows(rows, 64);
+  m.ensure_bitset({});
+  ASSERT_NE(m.bitset(), nullptr);
+  const BitsetView view = m.bitset()->view();
+  ASSERT_EQ(view.numeric_cols.size(), 2u);
+  EXPECT_EQ(view.numeric_cols[0], 9u);
+  EXPECT_EQ(view.numeric_cols[1], 17u);
+  expect_bitset_matches_oracle(m, rows);
+}
+
+TEST(FeatureMatrixBitset, QueryEncodeRejectsNonConformingValues) {
+  const std::vector<SparseVector> rows{SparseVector{{0, 1.0}}};
+  auto m = FeatureMatrix::from_rows(rows, 100);
+  const std::uint32_t ncols[] = {6};
+  m.ensure_bitset(ncols);
+  ASSERT_NE(m.bitset(), nullptr);
+  const BitsetView view = m.bitset()->view();
+  BitsetQuery query;
+  EXPECT_FALSE(query.encode(view, SparseVector{{2, 0.5}}));  // binary != 1.0
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(query.encode(view, SparseVector{{6, inf}}));  // numeric !finite
+  EXPECT_TRUE(query.encode(view, SparseVector{{2, 1.0}, {6, -3.5}}));
+}
+
+TEST(FeatureMatrixBitset, QueryIndicesBeyondColsAreSkipped) {
+  // Matches the oracle's bounds guard: out-of-range query indices vanish.
+  const std::vector<SparseVector> rows{SparseVector{{0, 1.0}, {63, 1.0}}};
+  auto m = FeatureMatrix::from_rows(rows, 64);
+  m.ensure_bitset({});
+  ASSERT_NE(m.bitset(), nullptr);
+  const BitsetView view = m.bitset()->view();
+  const SparseVector query{{0, 1.0}, {63, 1.0}, {64, 123.0}, {200, 5.0}};
+  BitsetQuery encoded;
+  ASSERT_TRUE(encoded.encode(view, query));
+  std::vector<double> oracle(1);
+  std::vector<double> got(1);
+  m.dot_all(query, oracle);
+  bitset_dot_rows(view, encoded, got, scalar_bitset_ops());
+  EXPECT_EQ(dot_bits(oracle[0]), dot_bits(got[0]));
 }
 
 }  // namespace
