@@ -8,10 +8,18 @@
 // the same replay with tracing disabled vs. enabled-but-unexported (metrics
 // counters are always on — they ARE the engine's bookkeeping), asserting
 // the delta stays under 3% throughput.
+// With --tcp, replays the same stream through the in-process TCP front end
+// (binary frames over loopback, concurrent client connections) and compares
+// against direct stdin-style ingest, asserting the wire layer costs < 20%
+// throughput.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <exception>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -24,6 +32,8 @@
 #include "core/profile_store.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
+#include "serve/net/client.h"
+#include "serve/net/server.h"
 #include "util/stopwatch.h"
 
 using namespace wtp;
@@ -103,13 +113,179 @@ int run_overhead_mode(const core::ProfileStore& store,
   return within_budget ? 0 : 1;
 }
 
+/// One pass through the TCP front end: `feeders` concurrent loopback
+/// connections stream pre-encoded binary frames (device-partitioned, so
+/// per-device time order is preserved) while paired reader threads drain the
+/// decision replies; a control connection then raises the end barrier.  The
+/// timed region spans first byte sent to metrics reply received — the same
+/// ingest-through-flush span run_engine times for the direct path.
+RunResult run_tcp(const core::ProfileStore& store, serve::EngineConfig config,
+                  std::size_t feeders,
+                  const std::vector<log::WebTransaction>& txns,
+                  std::size_t& decisions_read, std::uint64_t& dropped) {
+  serve::net::NetServerConfig net;
+  net.ingest_workers = feeders;
+  // The comparison is only meaningful drop-free: queues sized so even a
+  // worst-case single-worker hash skew absorbs the whole stream.
+  net.queue_capacity = txns.size() + 16;
+  serve::net::NetServer server{store, config, net};
+  server.start();
+
+  std::vector<std::string> streams(feeders);  // encoded outside the timer
+  for (const auto& txn : txns) {
+    const std::size_t f = std::hash<std::string>{}(txn.device_id) % feeders;
+    serve::net::append_txn_frame(streams[f], txn);
+  }
+
+  std::vector<std::unique_ptr<serve::net::BlockingClient>> clients;
+  for (std::size_t f = 0; f < feeders; ++f) {
+    clients.push_back(
+        std::make_unique<serve::net::BlockingClient>(server.port()));
+  }
+  std::atomic<std::size_t> replies{0};
+  std::vector<std::thread> readers;
+  for (auto& client : clients) {
+    readers.emplace_back([&client, &replies] {
+      try {
+        while (client->read_line().has_value()) {
+          replies.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const std::exception&) {
+        // server.stop() tears the socket down under us; drained is drained
+      }
+    });
+  }
+
+  const util::Stopwatch stopwatch;
+  std::vector<std::thread> senders;
+  for (std::size_t f = 0; f < feeders; ++f) {
+    senders.emplace_back(
+        [&clients, &streams, f] { clients[f]->send(streams[f]); });
+  }
+  for (auto& sender : senders) sender.join();
+  while (server.engine().metrics().transactions_ingested +
+             server.registry().counter("net.ingest_dropped").value() <
+         txns.size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  serve::net::BlockingClient control{server.port()};
+  control.send_end_binary();  // barrier: flushes the engine, replies metrics
+  while (control.read_line().has_value()) {
+  }
+  RunResult result;
+  result.seconds = stopwatch.elapsed_seconds();
+  result.metrics = server.engine().metrics();
+  dropped = server.registry().counter("net.ingest_dropped").value();
+  server.stop();
+  for (auto& reader : readers) reader.join();
+  decisions_read = replies.load();
+  return result;
+}
+
+/// --tcp: wire-layer overhead, asserted.  Direct ingest (the stdin replay
+/// path) vs. the loopback TCP front end at equal feeder parallelism.
+int run_tcp_mode(const core::ProfileStore& store,
+                 const std::vector<log::WebTransaction>& txns,
+                 const std::string& json_out) {
+  serve::EngineConfig config;
+  config.shards = 8;
+  config.smooth = 3;
+  config.score_threads = 0;
+  constexpr std::size_t kFeeders = 4;
+
+  run_engine(store, config, 1, txns);  // warmup, untimed
+  const RunResult stdin_serial = run_engine(store, config, 1, txns);
+  const RunResult stdin_parallel = run_engine(store, config, kFeeders, txns);
+  std::size_t decisions_read = 0;
+  std::uint64_t dropped = 0;
+  const RunResult tcp =
+      run_tcp(store, config, kFeeders, txns, decisions_read, dropped);
+
+  struct Row {
+    const char* mode;
+    std::size_t feeders;
+    const RunResult* result;
+  };
+  const std::vector<Row> rows{{"stdin", 1, &stdin_serial},
+                              {"stdin", kFeeders, &stdin_parallel},
+                              {"tcp", kFeeders, &tcp}};
+  std::printf("\n%-8s %8s %12s %12s %10s %10s\n", "mode", "feeders", "txns/s",
+              "windows/s", "p50 us", "p99 us");
+  for (const auto& row : rows) {
+    std::printf("%-8s %8zu %12.0f %12.0f %10.1f %10.1f\n", row.mode,
+                row.feeders,
+                static_cast<double>(row.result->metrics.transactions_ingested) /
+                    row.result->seconds,
+                static_cast<double>(row.result->metrics.windows_scored) /
+                    row.result->seconds,
+                row.result->metrics.score.p50_us,
+                row.result->metrics.score.p99_us);
+  }
+  std::printf("tcp run: %zu reply lines read, %llu dropped\n", decisions_read,
+              static_cast<unsigned long long>(dropped));
+
+  const double stdin_rate =
+      static_cast<double>(stdin_parallel.metrics.transactions_ingested) /
+      stdin_parallel.seconds;
+  const double tcp_rate =
+      static_cast<double>(tcp.metrics.transactions_ingested) / tcp.seconds;
+  const bool counts_agree =
+      tcp.metrics.windows_scored == stdin_serial.metrics.windows_scored &&
+      tcp.metrics.decisions_emitted == stdin_serial.metrics.decisions_emitted;
+  const bool no_drops = dropped == 0;
+  const bool within_budget = tcp_rate >= 0.8 * stdin_rate;
+  std::printf("shape check (tcp scores identically to direct ingest): %s\n",
+              counts_agree ? "PASS" : "FAIL");
+  std::printf("shape check (zero ingest drops over tcp): %s\n",
+              no_drops ? "PASS" : "FAIL");
+  std::printf("shape check (net ingest within 20%% of stdin replay): %s "
+              "(%.0f vs %.0f txns/s)\n",
+              within_budget ? "PASS" : "FAIL", tcp_rate, stdin_rate);
+  const bool ok = counts_agree && no_drops && within_budget;
+
+  if (!json_out.empty()) {
+    bench::JsonBuilder json;
+    json.begin_object();
+    json.key("bench").value("serve_throughput");
+    json.key("mode").value("tcp");
+    json.key("transactions").value(txns.size());
+    json.key("profiles").value(store.profiles().size());
+    json.key("configs").begin_array();
+    for (const auto& row : rows) {
+      json.begin_object();
+      json.key("mode").value(row.mode);
+      json.key("feeders").value(row.feeders);
+      json.key("shards").value(config.shards);
+      json.key("seconds").value(row.result->seconds);
+      json.key("transactions_per_s").value(
+          static_cast<double>(row.result->metrics.transactions_ingested) /
+          row.result->seconds);
+      json.key("windows_per_s").value(
+          static_cast<double>(row.result->metrics.windows_scored) /
+          row.result->seconds);
+      json.key("score_p50_us").value(row.result->metrics.score.p50_us);
+      json.key("score_p99_us").value(row.result->metrics.score.p99_us);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("tcp_over_stdin").value(tcp_rate / stdin_rate);
+    json.key("ok").value(ok);
+    json.end_object();
+    json.write_file(json_out);
+    std::printf("# wrote %s\n", json_out.c_str());
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool overhead_mode = false;
+  bool tcp_mode = false;
   std::string json_out;  // empty = no BENCH_*.json checkpoint
   for (int i = 1; i < argc; ++i) {
     if (std::string_view{argv[i]} == "--overhead") overhead_mode = true;
+    if (std::string_view{argv[i]} == "--tcp") tcp_mode = true;
     if (std::string_view{argv[i]} == "--json-out" && i + 1 < argc) {
       json_out = argv[i + 1];
     }
@@ -146,6 +322,7 @@ int main(int argc, char** argv) {
               store.profiles().size(), train_watch.elapsed_seconds());
 
   if (overhead_mode) return run_overhead_mode(store, trace.transactions);
+  if (tcp_mode) return run_tcp_mode(store, trace.transactions, json_out);
 
   struct Config {
     const char* label;

@@ -37,4 +37,13 @@ void DriftMonitor::reset() {
   drifted_ = false;
 }
 
+void DriftMonitor::reset(double new_expected_rate) {
+  if (new_expected_rate <= 0.0 || new_expected_rate > 1.0) {
+    throw std::invalid_argument{
+        "DriftMonitor::reset: expected_rate must be in (0, 1]"};
+  }
+  config_.expected_rate = new_expected_rate;
+  reset();
+}
+
 }  // namespace wtp::core

@@ -48,6 +48,15 @@ class DriftMonitor {
   /// Clears all state (call after retraining the profile).
   void reset();
 
+  /// Clears all state AND re-baselines the expected self-acceptance rate —
+  /// the retraining loop calls this with the fresh profile's acceptance on
+  /// its own training windows, so the monitor tracks the profile actually
+  /// deployed rather than the original validation figure.  Throws
+  /// std::invalid_argument outside (0, 1].
+  void reset(double new_expected_rate);
+
+  [[nodiscard]] const DriftConfig& config() const noexcept { return config_; }
+
  private:
   DriftConfig config_;
   double ewma_;

@@ -1,6 +1,9 @@
 #include "features/streaming.h"
 
 #include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
 #include <stdexcept>
 
 namespace wtp::features {
@@ -94,6 +97,58 @@ std::vector<Window> StreamingWindowAggregator::push(const log::WebTransaction& t
   std::vector<Window> completed;
   emit_ready(txn.timestamp, /*flushing=*/false, completed);
   return completed;
+}
+
+void StreamingWindowAggregator::save_state(std::ostream& out) const {
+  out.precision(17);  // max_digits10: doubles round-trip exactly through text
+  out << "aggregator " << (started_ ? 1 : 0) << ' ' << origin_ << ' '
+      << last_timestamp_ << ' ' << next_k_ << ' ' << buffer_.size() << '\n';
+  for (const auto& item : buffer_) {
+    out << item.timestamp << ' ' << item.encoded.entries().size();
+    for (const auto& entry : item.encoded.entries()) {
+      out << ' ' << entry.index << ':' << entry.value;
+    }
+    out << '\n';
+  }
+}
+
+void StreamingWindowAggregator::restore_state(std::istream& in) {
+  const auto fail = [](const char* what) -> std::runtime_error {
+    return std::runtime_error{std::string{"StreamingWindowAggregator::restore_state: "} + what};
+  };
+  std::string tag;
+  int started = 0;
+  util::UnixSeconds origin = 0;
+  util::UnixSeconds last = 0;
+  std::int64_t next_k = 0;
+  std::size_t count = 0;
+  if (!(in >> tag >> started >> origin >> last >> next_k >> count) ||
+      tag != "aggregator") {
+    throw fail("bad header");
+  }
+  std::deque<Buffered> buffer;
+  for (std::size_t i = 0; i < count; ++i) {
+    util::UnixSeconds timestamp = 0;
+    std::size_t entries = 0;
+    if (!(in >> timestamp >> entries)) throw fail("bad buffered entry");
+    std::vector<util::SparseVector::Entry> parsed;
+    parsed.reserve(entries);
+    for (std::size_t j = 0; j < entries; ++j) {
+      std::size_t index = 0;
+      char colon = 0;
+      double value = 0.0;
+      if (!(in >> index >> colon >> value) || colon != ':') {
+        throw fail("bad feature entry");
+      }
+      parsed.push_back({index, value});
+    }
+    buffer.push_back({timestamp, util::SparseVector{std::move(parsed)}});
+  }
+  started_ = started != 0;
+  origin_ = origin;
+  last_timestamp_ = last;
+  next_k_ = next_k;
+  buffer_ = std::move(buffer);
 }
 
 std::vector<Window> StreamingWindowAggregator::flush() {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <deque>
+#include <iosfwd>
 #include <vector>
 
 #include "features/encoder.h"
@@ -32,6 +33,17 @@ class StreamingWindowAggregator {
 
   /// Resets to the initial (empty) state.
   void reset();
+
+  /// Serializes the live state — stream cursor plus the buffered encoded
+  /// transactions — so a successor aggregator constructed over the same
+  /// schema and window config resumes the stream byte-identically (the
+  /// serving snapshot/restore path).  Doubles are written with 17
+  /// significant digits and round-trip exactly.
+  void save_state(std::ostream& out) const;
+
+  /// Inverse of save_state: replaces the current state.  Throws
+  /// std::runtime_error on malformed input.
+  void restore_state(std::istream& in);
 
   [[nodiscard]] const WindowConfig& config() const noexcept { return config_; }
   /// Transactions currently buffered (still inside open windows).

@@ -1,11 +1,15 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <istream>
 #include <latch>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/trace.h"
+#include "serve/retrain/collector.h"
 #include "util/stopwatch.h"
 
 namespace wtp::serve {
@@ -23,6 +27,7 @@ ScoringEngine::Metrics::Metrics(obs::Registry& registry)
       correct{registry.counter("serve.correct_decisions")},
       created{registry.counter("serve.sessions_created")},
       evicted{registry.counter("serve.sessions_evicted")},
+      profile_swaps{registry.counter("serve.profile_swaps")},
       sessions_active{registry.gauge("serve.sessions_active")},
       ingest_ns{registry.timer("serve.ingest")},
       score_ns{registry.timer("serve.score")} {}
@@ -75,6 +80,36 @@ ScoringEngine::ScoringEngine(const core::ProfileStore& store,
   for (std::size_t s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  // Non-owning alias: until the first publish_profile the engine scores
+  // against the store's own vector with zero copies.
+  profiles_.store(std::shared_ptr<const ProfileVector>{
+                      std::shared_ptr<const ProfileVector>{}, &store.profiles()},
+                  std::memory_order_release);
+}
+
+bool ScoringEngine::publish_profile(const std::string& user_id,
+                                    core::UserProfile profile) {
+  if (config_.plane != nullptr) {
+    throw std::logic_error{
+        "ScoringEngine::publish_profile: a cascade plane indexes the "
+        "construction-time profiles; hot swaps are not supported"};
+  }
+  const std::lock_guard lock{publish_mutex_};
+  const auto current = profiles_.load(std::memory_order_acquire);
+  auto next = std::make_shared<ProfileVector>(*current);
+  bool found = false;
+  for (auto& slot : *next) {
+    if (slot.user_id() == user_id) {
+      slot = std::move(profile);
+      found = true;
+      break;
+    }
+  }
+  if (!found) return false;
+  profiles_.store(std::shared_ptr<const ProfileVector>{std::move(next)},
+                  std::memory_order_release);
+  metrics_.profile_swaps.add(1);
+  return true;
 }
 
 ScoringEngine::Shard& ScoringEngine::shard_for(const std::string& device_id) {
@@ -82,8 +117,8 @@ ScoringEngine::Shard& ScoringEngine::shard_for(const std::string& device_id) {
 }
 
 void ScoringEngine::accept_flags(const util::SparseVector& features,
-                                 std::vector<char>& flags) const {
-  const auto& profiles = store_->profiles();
+                                 std::vector<char>& flags,
+                                 const ProfileVector& profiles) const {
   flags.assign(profiles.size(), 0);
   if (config_.plane != nullptr) {
     // Candidate-pruning cascade: only survivors reach kernel_row; accepted
@@ -124,7 +159,8 @@ void ScoringEngine::accept_flags(const util::SparseVector& features,
 
 void ScoringEngine::score_and_emit(DeviceSession& session,
                                    const PendingWindow& pending,
-                                   EventSource source) {
+                                   EventSource source,
+                                   const ProfileVector& profiles) {
   const obs::TraceSpan span{
       "serve.score", "serve",
       static_cast<std::uint64_t>(pending.window.transaction_count)};
@@ -136,10 +172,13 @@ void ScoringEngine::score_and_emit(DeviceSession& session,
   event.true_user = pending.true_user;
 
   std::vector<char> flags;
-  accept_flags(pending.window.features, flags);
-  const auto& profiles = store_->profiles();
+  accept_flags(pending.window.features, flags, profiles);
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     if (flags[i]) event.accepted_by.push_back(profiles[i].user_id());
+  }
+  if (config_.collector != nullptr && !event.true_user.empty()) {
+    config_.collector->observe(event.true_user, pending.window.features,
+                               event.accepted(event.true_user));
   }
 
   DecisionEvent out;
@@ -163,18 +202,18 @@ void ScoringEngine::score_and_emit(DeviceSession& session,
 
 void ScoringEngine::score_and_emit_batch(DeviceSession& session,
                                          std::span<const PendingWindow> pending,
-                                         EventSource source) {
+                                         EventSource source,
+                                         const ProfileVector& profiles) {
   if (pending.empty()) return;
   // The cascade plane prunes per window (its stages are query-local), and a
   // single window gains nothing from the block path.
   if (pending.size() == 1 || config_.plane != nullptr) {
-    for (const auto& p : pending) score_and_emit(session, p, source);
+    for (const auto& p : pending) score_and_emit(session, p, source, profiles);
     return;
   }
   const obs::TraceSpan span{"serve.score", "serve",
                             static_cast<std::uint64_t>(pending.size())};
   const util::Stopwatch stopwatch;
-  const auto& profiles = store_->profiles();
   const std::size_t w = pending.size();
 
   // One window-block matrix for the whole burst: each profile then scores
@@ -229,6 +268,10 @@ void ScoringEngine::score_and_emit_batch(DeviceSession& session,
         event.accepted_by.push_back(profiles[i].user_id());
       }
     }
+    if (config_.collector != nullptr && !event.true_user.empty()) {
+      config_.collector->observe(event.true_user, pending[t].window.features,
+                                 event.accepted(event.true_user));
+    }
 
     DecisionEvent out;
     out.device_id = session.device_id();
@@ -250,36 +293,43 @@ void ScoringEngine::score_and_emit_batch(DeviceSession& session,
   }
 }
 
-void ScoringEngine::evict(Shard& shard, const std::string& device_id) {
+void ScoringEngine::evict(Shard& shard, const std::string& device_id,
+                          const ProfileVector& profiles) {
   const auto it = shard.sessions.find(device_id);
   if (it == shard.sessions.end()) return;
   score_and_emit_batch(it->second.session, it->second.session.flush(),
-                       EventSource::kEviction);
+                       EventSource::kEviction, profiles);
   shard.lru.erase(it->second.lru_position);
   shard.sessions.erase(it);
   metrics_.evicted.add(1);
   metrics_.sessions_active.add(-1.0);
 }
 
-void ScoringEngine::evict_expired(Shard& shard, util::UnixSeconds now) {
+void ScoringEngine::evict_expired(Shard& shard, util::UnixSeconds now,
+                                  const ProfileVector& profiles) {
   if (config_.session_ttl_s <= 0) return;
   while (!shard.lru.empty()) {
     const std::string& oldest = shard.lru.front();
     const Entry& entry = shard.sessions.at(oldest);
     if (entry.session.last_seen() + config_.session_ttl_s >= now) break;
-    evict(shard, oldest);
+    evict(shard, oldest, profiles);
   }
 }
 
-void ScoringEngine::enforce_capacity(Shard& shard) {
+void ScoringEngine::enforce_capacity(Shard& shard,
+                                     const ProfileVector& profiles) {
   if (per_shard_capacity_ == 0) return;
   while (shard.sessions.size() > per_shard_capacity_) {
-    evict(shard, shard.lru.front());
+    evict(shard, shard.lru.front(), profiles);
   }
 }
 
 void ScoringEngine::ingest(const log::WebTransaction& txn) {
   const obs::TraceSpan span{"serve.ingest", "serve"};
+  // One profile snapshot per call: every window this arrival completes is
+  // scored against a consistent profile set even if a retrain publishes
+  // mid-call.
+  const auto profiles = profiles_snapshot();
   Shard& shard = shard_for(txn.device_id);
   const std::lock_guard lock{shard.mutex};
 
@@ -302,12 +352,14 @@ void ScoringEngine::ingest(const log::WebTransaction& txn) {
   metrics_.transactions.add(1);
   metrics_.ingest_ns.record_ns(stopwatch.elapsed_micros() * kNanosPerMicro);
 
-  score_and_emit_batch(it->second.session, completed, EventSource::kStream);
-  evict_expired(shard, txn.timestamp);
-  enforce_capacity(shard);
+  score_and_emit_batch(it->second.session, completed, EventSource::kStream,
+                       *profiles);
+  evict_expired(shard, txn.timestamp, *profiles);
+  enforce_capacity(shard, *profiles);
 }
 
 void ScoringEngine::flush() {
+  const auto profiles = profiles_snapshot();
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     const std::lock_guard lock{shard.mutex};
@@ -318,12 +370,104 @@ void ScoringEngine::flush() {
     for (const auto& device : devices) {
       Entry& entry = shard.sessions.at(device);
       score_and_emit_batch(entry.session, entry.session.flush(),
-                           EventSource::kFlush);
+                           EventSource::kFlush, *profiles);
     }
     metrics_.sessions_active.add(
         -static_cast<double>(shard.sessions.size()));
     shard.sessions.clear();
     shard.lru.clear();
+  }
+}
+
+void ScoringEngine::save_snapshot(std::ostream& out) const {
+  // Body first: the header needs the total session count, and gathering the
+  // blocks into one buffer keeps each shard lock short.
+  std::ostringstream body;
+  std::size_t count = 0;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    const std::lock_guard lock{shard.mutex};
+    for (const auto& device : shard.lru) {
+      shard.sessions.at(device).session.save(body);
+      ++count;
+    }
+  }
+  out << "wtp_engine_snapshot v1\n";
+  out << "window " << store_->window().duration_s << ' '
+      << store_->window().shift_s << '\n';
+  out << "dimension " << store_->schema().dimension() << '\n';
+  out << "smooth " << config_.smooth << '\n';
+  out << "sessions " << count << '\n';
+  out << body.str();
+  out << "end\n";
+}
+
+void ScoringEngine::restore_snapshot(std::istream& in) {
+  const auto fail = [](const std::string& what) -> std::runtime_error {
+    return std::runtime_error{"ScoringEngine::restore_snapshot: " + what};
+  };
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version) || magic != "wtp_engine_snapshot" ||
+      version != "v1") {
+    throw fail("bad magic");
+  }
+  std::string tag;
+  util::UnixSeconds duration = 0;
+  util::UnixSeconds shift = 0;
+  if (!(in >> tag >> duration >> shift) || tag != "window") {
+    throw fail("bad window line");
+  }
+  if (duration != store_->window().duration_s ||
+      shift != store_->window().shift_s) {
+    throw fail("window geometry mismatch");
+  }
+  std::size_t dimension = 0;
+  if (!(in >> tag >> dimension) || tag != "dimension") {
+    throw fail("bad dimension line");
+  }
+  if (dimension != store_->schema().dimension()) {
+    throw fail("schema dimension mismatch");
+  }
+  std::size_t smooth = 0;
+  if (!(in >> tag >> smooth) || tag != "smooth") throw fail("bad smooth line");
+  if (smooth != config_.smooth) throw fail("smoothing K mismatch");
+  std::size_t count = 0;
+  if (!(in >> tag >> count) || tag != "sessions") {
+    throw fail("bad sessions line");
+  }
+
+  // Parse every session before touching resident state, so a malformed
+  // snapshot cannot leave the engine half-restored.
+  std::vector<DeviceSession> restored;
+  restored.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    restored.push_back(DeviceSession::restore(in, store_->schema(),
+                                              store_->window(), config_.smooth));
+  }
+  if (!(in >> tag) || tag != "end") throw fail("bad trailer");
+
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    const std::lock_guard lock{shard.mutex};
+    metrics_.sessions_active.add(-static_cast<double>(shard.sessions.size()));
+    shard.sessions.clear();
+    shard.lru.clear();
+  }
+  // File order is shard-by-shard LRU order, so appending preserves each
+  // device's recency rank (save -> restore -> save is byte-stable when the
+  // shard count matches; with a different count devices re-shard but keep
+  // their relative order).
+  for (auto& session : restored) {
+    const std::string device = session.device_id();
+    Shard& shard = shard_for(device);
+    const std::lock_guard lock{shard.mutex};
+    Entry entry{std::move(session), shard.lru.end()};
+    const auto [it, inserted] =
+        shard.sessions.emplace(device, std::move(entry));
+    if (!inserted) throw fail("duplicate device in snapshot: " + device);
+    it->second.lru_position = shard.lru.insert(shard.lru.end(), device);
+    metrics_.sessions_active.add(1.0);
   }
 }
 
@@ -335,6 +479,7 @@ EngineMetrics ScoringEngine::metrics() const {
   metrics.correct_decisions = metrics_.correct.value();
   metrics.sessions_created = metrics_.created.value();
   metrics.sessions_evicted = metrics_.evicted.value();
+  metrics.profile_swaps = metrics_.profile_swaps.value();
   // Resident count from the shard tables themselves, not the gauge: exact
   // under concurrent ingest (the gauge is for exported snapshots).
   for (const auto& shard_ptr : shards_) {

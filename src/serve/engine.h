@@ -12,7 +12,9 @@
 // windows first so no traffic is silently dropped.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <iosfwd>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -31,6 +33,10 @@
 #include "util/thread_pool.h"
 
 namespace wtp::serve {
+
+namespace retrain {
+class WindowCollector;
+}  // namespace retrain
 
 struct EngineConfig {
   std::size_t shards = 8;  ///< session shards, >= 1
@@ -56,6 +62,12 @@ struct EngineConfig {
   /// same order as the store (checked at construction) and must outlive the
   /// engine.
   const index::IdentificationPlane* plane = nullptr;
+  /// Optional drift/window collector for the online retraining loop: every
+  /// scored window with a known true user is reported as
+  /// observe(true_user, features, self_accepted).  Called under the
+  /// ingesting shard's lock, so observe() must be cheap and must not
+  /// re-enter the engine.  Must outlive the engine.
+  retrain::WindowCollector* collector = nullptr;
 };
 
 class ScoringEngine {
@@ -79,6 +91,35 @@ class ScoringEngine {
 
   [[nodiscard]] EngineMetrics metrics() const;
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const core::ProfileStore& store() const noexcept { return *store_; }
+
+  /// Atomically replaces `user_id`'s profile with a freshly trained one
+  /// (RCU-style: scoring threads keep using the snapshot they took at the
+  /// top of their ingest/flush call; the next call sees the new profile).
+  /// Returns false when the store holds no such user.  Throws
+  /// std::logic_error when a cascade plane is configured — the plane indexes
+  /// the construction-time profiles, so hot swaps would diverge from it.
+  bool publish_profile(const std::string& user_id, core::UserProfile profile);
+
+  /// The profile vector scoring currently runs against (the construction
+  /// store's until the first publish_profile).
+  [[nodiscard]] std::shared_ptr<const std::vector<core::UserProfile>>
+  profiles_snapshot() const {
+    return profiles_.load(std::memory_order_acquire);
+  }
+
+  /// Serializes every resident session — shard by shard, least recently
+  /// active first — under a header binding window geometry, schema
+  /// dimension, and smoothing K.  save -> restore -> save round-trips to
+  /// identical bytes.  Takes each shard lock in turn; do not call
+  /// concurrently with ingest of the devices being saved.
+  void save_snapshot(std::ostream& out) const;
+
+  /// Replaces the resident session table with the snapshot's (a successor
+  /// node resuming a drained predecessor's streams byte-identically).
+  /// Throws std::runtime_error on malformed input or when the snapshot's
+  /// window/dimension/smooth disagree with this engine's configuration.
+  void restore_snapshot(std::istream& in);
 
  private:
   struct Entry {
@@ -102,6 +143,7 @@ class ScoringEngine {
     obs::Counter& correct;
     obs::Counter& created;
     obs::Counter& evicted;
+    obs::Counter& profile_swaps;
     obs::Gauge& sessions_active;
     obs::Timer& ingest_ns;
     obs::Timer& score_ns;
@@ -109,12 +151,14 @@ class ScoringEngine {
     explicit Metrics(obs::Registry& registry);
   };
 
+  using ProfileVector = std::vector<core::UserProfile>;
+
   [[nodiscard]] Shard& shard_for(const std::string& device_id);
 
   /// Scores one pending window and emits its event.  Caller holds the
-  /// shard lock.
+  /// shard lock and keeps the profile snapshot alive.
   void score_and_emit(DeviceSession& session, const PendingWindow& pending,
-                      EventSource source);
+                      EventSource source, const ProfileVector& profiles);
 
   /// Scores a burst of completed windows and emits their events in order.
   /// With >= 2 windows and no cascade plane, the burst becomes one window
@@ -123,18 +167,21 @@ class ScoringEngine {
   /// per-window path.  Caller holds the shard lock.
   void score_and_emit_batch(DeviceSession& session,
                             std::span<const PendingWindow> pending,
-                            EventSource source);
+                            EventSource source, const ProfileVector& profiles);
 
   /// accepts() of every profile over the vector, in store order; fans out
   /// across the pool when one is configured.
   void accept_flags(const util::SparseVector& features,
-                    std::vector<char>& flags) const;
+                    std::vector<char>& flags,
+                    const ProfileVector& profiles) const;
 
   /// Flushes + erases one session.  Caller holds the shard lock.
-  void evict(Shard& shard, const std::string& device_id);
+  void evict(Shard& shard, const std::string& device_id,
+             const ProfileVector& profiles);
 
-  void evict_expired(Shard& shard, util::UnixSeconds now);
-  void enforce_capacity(Shard& shard);
+  void evict_expired(Shard& shard, util::UnixSeconds now,
+                     const ProfileVector& profiles);
+  void enforce_capacity(Shard& shard, const ProfileVector& profiles);
 
   const core::ProfileStore* store_;
   EngineConfig config_;
@@ -144,6 +191,11 @@ class ScoringEngine {
   std::unique_ptr<obs::Registry> owned_registry_;  ///< when config.registry==nullptr
   Metrics metrics_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// RCU-published profile vector: scoring loads one snapshot per
+  /// ingest/flush call, publish_profile copy-replaces and stores.  Starts
+  /// as a non-owning alias of the construction store's vector.
+  std::atomic<std::shared_ptr<const ProfileVector>> profiles_;
+  std::mutex publish_mutex_;  ///< serializes copy-replace-publish cycles
 };
 
 }  // namespace wtp::serve

@@ -49,6 +49,7 @@ std::string to_json_line(const EngineMetrics& metrics) {
   out += ",\"sessions_active\":" + std::to_string(metrics.sessions_active);
   out += ",\"sessions_created\":" + std::to_string(metrics.sessions_created);
   out += ",\"sessions_evicted\":" + std::to_string(metrics.sessions_evicted);
+  out += ",\"profile_swaps\":" + std::to_string(metrics.profile_swaps);
   out += ',' + stage_json("ingest", metrics.ingest);
   out += ',' + stage_json("score", metrics.score);
   out += '}';

@@ -30,6 +30,7 @@ struct EngineMetrics {
   std::size_t sessions_active = 0;
   std::size_t sessions_created = 0;
   std::size_t sessions_evicted = 0;
+  std::size_t profile_swaps = 0;  ///< hot-swapped profiles (online retrains)
   LatencySummary ingest;  ///< per-transaction window-aggregation stage
   LatencySummary score;   ///< per-window profile fan-out + decision stage
 };

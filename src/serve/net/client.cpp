@@ -1,0 +1,127 @@
+#include "serve/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <system_error>
+
+namespace wtp::serve::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error{errno, std::generic_category(), what};
+}
+
+}  // namespace
+
+BlockingClient::BlockingClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect");
+  }
+}
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_{other.fd_}, inbound_{std::move(other.inbound_)} {
+  other.fd_ = -1;
+}
+
+BlockingClient::~BlockingClient() { close(); }
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void BlockingClient::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void BlockingClient::send(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void BlockingClient::send_chunked(std::string_view bytes, std::size_t chunk) {
+  if (chunk == 0) chunk = 1;
+  for (std::size_t offset = 0; offset < bytes.size(); offset += chunk) {
+    send(bytes.substr(offset, std::min(chunk, bytes.size() - offset)));
+  }
+}
+
+void BlockingClient::send_txn_binary(const log::WebTransaction& txn) {
+  std::string frame;
+  append_txn_frame(frame, txn);
+  send(frame);
+}
+
+void BlockingClient::send_txn_json(const log::WebTransaction& txn) {
+  send(to_json_line(txn) + "\n");
+}
+
+void BlockingClient::send_end_binary() {
+  std::string frame;
+  append_control_frame(frame, FrameType::kEnd);
+  send(frame);
+}
+
+void BlockingClient::send_shutdown_binary() {
+  std::string frame;
+  append_control_frame(frame, FrameType::kShutdown);
+  send(frame);
+}
+
+std::optional<std::string> BlockingClient::read_line() {
+  while (true) {
+    const std::size_t newline = inbound_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = inbound_.substr(0, newline);
+      inbound_.erase(0, newline + 1);
+      return line;
+    }
+    char buffer[65536];
+    const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (n > 0) {
+      inbound_.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return std::nullopt;
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+std::vector<std::string> BlockingClient::read_all_lines() {
+  std::vector<std::string> lines;
+  while (auto line = read_line()) lines.push_back(std::move(*line));
+  return lines;
+}
+
+}  // namespace wtp::serve::net

@@ -1,0 +1,63 @@
+// Minimal blocking TCP client for the serving front end — the driver the
+// loopback tests, fault-injection suite, CI smoke, and bench --tcp mode
+// share.  Deliberately synchronous and unclever: the interesting async
+// machinery lives on the server side.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "log/transaction.h"
+#include "serve/net/wire.h"
+
+namespace wtp::serve::net {
+
+class BlockingClient {
+ public:
+  /// Connects to 127.0.0.1:port.  Throws std::system_error on failure.
+  explicit BlockingClient(std::uint16_t port);
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+
+  /// Sends raw bytes (handles partial writes).  Throws on a broken pipe.
+  void send(std::string_view bytes);
+
+  /// Sends bytes sliced into chunks of `chunk` bytes — the adversarial
+  /// boundary driver for the equivalence tests (chunk = 1 hits every
+  /// intra-frame split).
+  void send_chunked(std::string_view bytes, std::size_t chunk);
+
+  void send_txn_binary(const log::WebTransaction& txn);
+  void send_txn_json(const log::WebTransaction& txn);
+  void send_end_binary();
+  void send_shutdown_binary();
+  void send_end_json() { send("{\"type\":\"end\"}\n"); }
+  void send_shutdown_json() { send("{\"type\":\"shutdown\"}\n"); }
+
+  /// Half-closes the write side (the server sees EOF but can still reply).
+  void shutdown_write();
+
+  /// Reads the next '\n'-terminated reply line (without the newline);
+  /// nullopt at server EOF.  Throws std::system_error on socket errors.
+  [[nodiscard]] std::optional<std::string> read_line();
+
+  /// Drains every reply line until the server closes the connection.
+  [[nodiscard]] std::vector<std::string> read_all_lines();
+
+  /// Abruptly closes the socket (RST-ish teardown for disconnect tests).
+  void close();
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string inbound_;  ///< bytes read past the last returned line
+};
+
+}  // namespace wtp::serve::net

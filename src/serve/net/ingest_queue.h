@@ -1,0 +1,67 @@
+// Bounded MPMC ingest queue between the network event loop and the shard
+// workers.  Transactions are admitted with try_push (full queue = explicit
+// backpressure: the caller drops the transaction, replies to the client,
+// and bumps a drop counter); control items (drain barriers, worker poison)
+// use push_unbounded so they can never be lost to backpressure.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace wtp::serve::net {
+
+template <typename Item>
+class IngestQueue {
+ public:
+  /// `capacity` bounds try_push admissions (>= 1 enforced by the server
+  /// config); control items pushed via push_unbounded don't count against it.
+  explicit IngestQueue(std::size_t capacity) : capacity_{capacity} {}
+
+  /// Admits a transaction unless the queue is at capacity.  Returns false
+  /// (backpressure) without blocking when full.
+  [[nodiscard]] bool try_push(Item item) {
+    {
+      const std::lock_guard lock{mutex_};
+      if (items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Control-plane push: always admitted (barriers and poison must reach the
+  /// worker even when ingest is saturated).
+  void push_unbounded(Item item) {
+    {
+      const std::lock_guard lock{mutex_};
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+  }
+
+  /// Blocks until an item is available.
+  [[nodiscard]] Item pop() {
+    std::unique_lock lock{mutex_};
+    ready_.wait(lock, [this] { return !items_.empty(); });
+    Item item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard lock{mutex_};
+    return items_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Item> items_;
+};
+
+}  // namespace wtp::serve::net

@@ -1,0 +1,117 @@
+// Wire protocol of the network serving front end (docs/FORMATS.md,
+// "Serving wire protocol").
+//
+// Two ingest encodings carry the same WebTransaction and must decode to
+// byte-identical records (the loopback equivalence suite asserts decisions
+// match offline replay for both):
+//
+//   * JSON lines — one flat JSON object per '\n'-terminated line
+//     ({"type":"txn",...}); human-typeable, matches the event output side.
+//   * Binary frames — 0xBF marker, u8 frame type, u32 little-endian payload
+//     length, payload.  Compact fixed fields plus length-prefixed strings;
+//     no JSON parsing on the hot path.
+//
+// A connection commits to one encoding with its first byte (0xBF = binary;
+// JSON text can never start with that byte).  Both encodings also carry the
+// control messages `end` (drain the engine, emit flush decisions + metrics)
+// and `shutdown` (end + stop the whole server).
+//
+// Decoding is strict: unknown fields, bad enum values, truncated payloads,
+// and oversized frames/lines all throw WireError — the server replies with
+// an error event and closes that connection, never touching other sessions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "log/transaction.h"
+
+namespace wtp::serve::net {
+
+/// Malformed or oversized wire input.  The message names the offending
+/// field/offset and is safe to echo back to the client (JSON-escaped).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// First byte of every binary frame.  A JSON-lines connection can never
+/// begin with it, so the first byte of a connection selects the encoding.
+inline constexpr std::uint8_t kFrameMarker = 0xBF;
+
+/// Binary frame header: marker, type, u32le payload length.
+inline constexpr std::size_t kFrameHeaderBytes = 6;
+
+enum class FrameType : std::uint8_t {
+  kTransaction = 1,  ///< payload = binary transaction (encode_txn_payload)
+  kEnd = 2,          ///< drain: flush the engine, reply metrics, close
+  kShutdown = 3,     ///< end + stop accepting and exit the server loop
+};
+
+/// One decoded wire message (either encoding).
+struct WireMessage {
+  FrameType type = FrameType::kTransaction;
+  log::WebTransaction txn;  ///< meaningful only for kTransaction
+};
+
+// -- binary encoding ---------------------------------------------------------
+
+/// Binary transaction payload: i64le timestamp; u8 scheme, action,
+/// reputation, private flag; then url, user_id, device_id, category,
+/// media_type, application_type as u16le length + bytes each.
+[[nodiscard]] std::string encode_txn_payload(const log::WebTransaction& txn);
+
+/// Strict inverse of encode_txn_payload.  Throws WireError on truncation,
+/// trailing bytes, or out-of-range enum values.
+[[nodiscard]] log::WebTransaction decode_txn_payload(std::string_view payload);
+
+/// Appends one complete binary frame (header + payload) to `out`.
+void append_txn_frame(std::string& out, const log::WebTransaction& txn);
+void append_control_frame(std::string& out, FrameType type);
+
+// -- JSON-lines encoding -----------------------------------------------------
+
+/// {"type":"txn","ts":...,"url":"...",...} — no trailing newline.
+[[nodiscard]] std::string to_json_line(const log::WebTransaction& txn);
+
+/// Parses one line (without its '\n').  Accepts txn objects and the `end` /
+/// `shutdown` controls; anything else throws WireError.
+[[nodiscard]] WireMessage parse_json_line(std::string_view line);
+
+// -- incremental connection decoder ------------------------------------------
+
+/// Reassembles wire messages from an arbitrarily-chunked byte stream (one
+/// instance per connection).  The encoding is sniffed from the first byte;
+/// feed() invokes the callback once per complete message, in order.  Any
+/// WireError (malformed payload, oversized frame or line) is thrown out of
+/// feed() and the decoder must be discarded with its connection.
+class FrameDecoder {
+ public:
+  /// `max_message_bytes` bounds a binary frame payload and a text line
+  /// (connection read buffers stay O(one message)).
+  explicit FrameDecoder(std::size_t max_message_bytes);
+
+  void feed(std::string_view bytes,
+            const std::function<void(WireMessage&&)>& on_message);
+
+  /// True when bytes of an incomplete message are buffered — a disconnect
+  /// now means the peer truncated a frame mid-flight.
+  [[nodiscard]] bool mid_message() const noexcept { return !buffer_.empty(); }
+  /// Whether the connection committed to the binary encoding yet.
+  [[nodiscard]] bool binary() const noexcept { return mode_ == Mode::kBinary; }
+
+ private:
+  enum class Mode : std::uint8_t { kUndecided, kText, kBinary };
+
+  void drain(const std::function<void(WireMessage&&)>& on_message);
+
+  std::size_t max_message_bytes_;
+  Mode mode_ = Mode::kUndecided;
+  std::string buffer_;
+};
+
+}  // namespace wtp::serve::net

@@ -1,0 +1,96 @@
+#include "serve/retrain/collector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wtp::serve::retrain {
+
+WindowCollector::WindowCollector(std::span<const std::string> users,
+                                 CollectorConfig config, obs::Registry* registry)
+    : config_{config}, users_{users.begin(), users.end()} {
+  if (config_.window_capacity == 0) {
+    throw std::invalid_argument{"WindowCollector: window_capacity must be >= 1"};
+  }
+  for (const auto& user : users_) {
+    states_.emplace(user, std::make_unique<UserState>(config_.drift));
+  }
+  if (registry != nullptr) {
+    observed_ = &registry->counter("retrain.windows_observed");
+    drift_signals_ = &registry->counter("retrain.drift_signals");
+  }
+}
+
+WindowCollector::UserState* WindowCollector::find(const std::string& user) const {
+  const auto it = states_.find(user);
+  return it == states_.end() ? nullptr : it->second.get();
+}
+
+void WindowCollector::observe(const std::string& user,
+                              const util::SparseVector& features,
+                              bool self_accepted) {
+  UserState* state = find(user);
+  if (state == nullptr) return;
+  const std::lock_guard lock{state->mutex};
+  const bool was_drifted = state->monitor.drift_detected();
+  state->monitor.observe(self_accepted);
+  if (!was_drifted && state->monitor.drift_detected() &&
+      drift_signals_ != nullptr) {
+    drift_signals_->add(1);
+  }
+  state->windows.push_back(features);
+  if (state->windows.size() > config_.window_capacity) {
+    state->windows.pop_front();
+  }
+  if (observed_ != nullptr) observed_->add(1);
+}
+
+std::vector<std::string> WindowCollector::drifted_users() const {
+  std::vector<std::string> drifted;
+  for (const auto& user : users_) {
+    const UserState* state = find(user);
+    const std::lock_guard lock{state->mutex};
+    if (state->monitor.drift_detected() &&
+        state->windows.size() >= config_.min_windows) {
+      drifted.push_back(user);
+    }
+  }
+  return drifted;
+}
+
+std::vector<util::SparseVector> WindowCollector::window_snapshot(
+    const std::string& user) const {
+  const UserState* state = find(user);
+  if (state == nullptr) return {};
+  const std::lock_guard lock{state->mutex};
+  return {state->windows.begin(), state->windows.end()};
+}
+
+bool WindowCollector::drift_detected(const std::string& user) const {
+  const UserState* state = find(user);
+  if (state == nullptr) return false;
+  const std::lock_guard lock{state->mutex};
+  return state->monitor.drift_detected();
+}
+
+std::size_t WindowCollector::buffered(const std::string& user) const {
+  const UserState* state = find(user);
+  if (state == nullptr) return 0;
+  const std::lock_guard lock{state->mutex};
+  return state->windows.size();
+}
+
+double WindowCollector::acceptance_estimate(const std::string& user) const {
+  const UserState* state = find(user);
+  if (state == nullptr) return 0.0;
+  const std::lock_guard lock{state->mutex};
+  return state->monitor.acceptance_estimate();
+}
+
+void WindowCollector::rearm(const std::string& user, double new_expected_rate) {
+  UserState* state = find(user);
+  if (state == nullptr) return;
+  const std::lock_guard lock{state->mutex};
+  state->monitor.reset(std::clamp(new_expected_rate, 0.05, 1.0));
+}
+
+}  // namespace wtp::serve::retrain

@@ -1,0 +1,96 @@
+// Drift signals + retraining corpora for the online retraining loop.
+//
+// The ScoringEngine reports every scored window with a known true user
+// (EngineConfig::collector); per user, the collector feeds a
+// core::DriftMonitor with the self-acceptance outcome and keeps the last N
+// window feature vectors in a ring buffer.  When a user's monitor fires,
+// the RetrainLoop snapshots that buffer, re-runs the fit_path solver on it,
+// and hot-swaps the profile — so the buffer IS the fresh training window
+// the paper's future-work note on seasonal behaviour calls for.
+//
+// observe() runs under the engine's shard lock: it must stay O(nnz) — one
+// deque append plus an EWMA update — and never call back into the engine.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/drift.h"
+#include "obs/registry.h"
+#include "util/sparse_vector.h"
+
+namespace wtp::serve::retrain {
+
+struct CollectorConfig {
+  /// Window feature vectors retained per user (the retraining corpus).
+  std::size_t window_capacity = 256;
+  /// Minimum buffered windows before a drifted user is offered for retrain
+  /// (fit_path on a handful of windows overfits; see drifted_users()).
+  std::size_t min_windows = 32;
+  /// Per-user drift monitor parameters.
+  core::DriftConfig drift;
+};
+
+/// Thread-safe: the user table is immutable after construction and each
+/// user's state has its own lock, so concurrent shard threads observing
+/// different users never contend.
+class WindowCollector {
+ public:
+  /// `users` fixes the monitored population (windows of unknown users are
+  /// ignored).  Throws std::invalid_argument on zero window_capacity.
+  WindowCollector(std::span<const std::string> users, CollectorConfig config,
+                  obs::Registry* registry = nullptr);
+
+  /// Engine hook: one scored window of `user`'s own traffic.
+  void observe(const std::string& user, const util::SparseVector& features,
+               bool self_accepted);
+
+  /// Users whose drift monitor has fired and whose buffer holds at least
+  /// min_windows vectors, in construction order.
+  [[nodiscard]] std::vector<std::string> drifted_users() const;
+
+  /// Copy of the user's buffered windows, oldest first (the retraining
+  /// corpus; empty for unknown users).
+  [[nodiscard]] std::vector<util::SparseVector> window_snapshot(
+      const std::string& user) const;
+
+  [[nodiscard]] bool drift_detected(const std::string& user) const;
+  [[nodiscard]] std::size_t buffered(const std::string& user) const;
+  [[nodiscard]] double acceptance_estimate(const std::string& user) const;
+
+  /// Re-arms the user's drift monitor after a retrain, re-baselining its
+  /// expected self-acceptance to `new_expected_rate` (clamped to (0, 1]).
+  /// The window buffer is kept: it keeps filling with post-swap traffic so
+  /// the next drift episode trains on fresh data.
+  void rearm(const std::string& user, double new_expected_rate);
+
+  [[nodiscard]] const CollectorConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<std::string>& users() const noexcept {
+    return users_;
+  }
+
+ private:
+  struct UserState {
+    mutable std::mutex mutex;
+    core::DriftMonitor monitor;
+    std::deque<util::SparseVector> windows;
+
+    explicit UserState(const core::DriftConfig& drift) : monitor{drift} {}
+  };
+
+  [[nodiscard]] UserState* find(const std::string& user) const;
+
+  CollectorConfig config_;
+  std::vector<std::string> users_;
+  std::unordered_map<std::string, std::unique_ptr<UserState>> states_;
+  obs::Counter* observed_ = nullptr;
+  obs::Counter* drift_signals_ = nullptr;
+};
+
+}  // namespace wtp::serve::retrain

@@ -1,8 +1,34 @@
 #include "serve/session.h"
 
+#include <istream>
 #include <map>
+#include <ostream>
+#include <stdexcept>
 
 namespace wtp::serve {
+
+namespace {
+
+// Length-prefixed string (`<len>:<raw bytes>`): device and user ids are
+// free-form CSV fields and may contain whitespace.
+void write_string(std::ostream& out, const std::string& value) {
+  out << value.size() << ':' << value;
+}
+
+std::string read_string(std::istream& in) {
+  std::size_t length = 0;
+  char colon = 0;
+  if (!(in >> length) || !in.get(colon) || colon != ':') {
+    throw std::runtime_error{"DeviceSession::restore: bad string prefix"};
+  }
+  std::string value(length, '\0');
+  if (length != 0 && !in.read(value.data(), static_cast<std::streamsize>(length))) {
+    throw std::runtime_error{"DeviceSession::restore: truncated string"};
+  }
+  return value;
+}
+
+}  // namespace
 
 DeviceSession::DeviceSession(std::string device_id,
                              const features::FeatureSchema& schema,
@@ -73,6 +99,78 @@ std::string DeviceSession::decide(const core::IdentificationEvent& event) {
   const std::vector<core::IdentificationEvent> recent{history_.begin(),
                                                       history_.end()};
   return core::UserIdentifier::decide_consecutive(recent, smooth_);
+}
+
+void DeviceSession::save(std::ostream& out) const {
+  out << "session ";
+  write_string(out, device_id_);
+  out << ' ' << last_seen_ << ' ' << producers_.size() << ' '
+      << history_.size() << '\n';
+  for (const auto& [timestamp, user] : producers_) {
+    out << 'p' << ' ' << timestamp << ' ';
+    write_string(out, user);
+    out << '\n';
+  }
+  for (const auto& event : history_) {
+    out << 'h' << ' ' << event.window_start << ' ' << event.window_end << ' '
+        << event.transaction_count << ' ';
+    write_string(out, event.true_user);
+    out << ' ' << event.accepted_by.size();
+    for (const auto& user : event.accepted_by) {
+      out << ' ';
+      write_string(out, user);
+    }
+    out << '\n';
+  }
+  aggregator_.save_state(out);
+}
+
+DeviceSession DeviceSession::restore(std::istream& in,
+                                     const features::FeatureSchema& schema,
+                                     features::WindowConfig window,
+                                     std::size_t smooth) {
+  const auto fail = [](const char* what) -> std::runtime_error {
+    return std::runtime_error{std::string{"DeviceSession::restore: "} + what};
+  };
+  std::string tag;
+  if (!(in >> tag) || tag != "session") throw fail("bad session header");
+  std::string device_id = read_string(in);
+  util::UnixSeconds last_seen = 0;
+  std::size_t producer_count = 0;
+  std::size_t history_count = 0;
+  if (!(in >> last_seen >> producer_count >> history_count)) {
+    throw fail("bad session counts");
+  }
+  DeviceSession session{std::move(device_id), schema, window, smooth};
+  session.last_seen_ = last_seen;
+  for (std::size_t i = 0; i < producer_count; ++i) {
+    char kind = 0;
+    util::UnixSeconds timestamp = 0;
+    if (!(in >> kind) || kind != 'p' || !(in >> timestamp)) {
+      throw fail("bad producer record");
+    }
+    std::string user = read_string(in);
+    session.producers_.emplace_back(timestamp, std::move(user));
+  }
+  for (std::size_t i = 0; i < history_count; ++i) {
+    char kind = 0;
+    core::IdentificationEvent event;
+    if (!(in >> kind) || kind != 'h' ||
+        !(in >> event.window_start >> event.window_end >>
+          event.transaction_count)) {
+      throw fail("bad history record");
+    }
+    event.true_user = read_string(in);
+    std::size_t accepted = 0;
+    if (!(in >> accepted)) throw fail("bad accepted count");
+    event.accepted_by.reserve(accepted);
+    for (std::size_t j = 0; j < accepted; ++j) {
+      event.accepted_by.push_back(read_string(in));
+    }
+    session.history_.push_back(std::move(event));
+  }
+  session.aggregator_.restore_state(in);
+  return session;
 }
 
 }  // namespace wtp::serve

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <deque>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +53,20 @@ class DeviceSession {
   [[nodiscard]] const std::string& device_id() const noexcept { return device_id_; }
   /// Timestamp of the most recent transaction (event time; drives TTL).
   [[nodiscard]] util::UnixSeconds last_seen() const noexcept { return last_seen_; }
+
+  /// Serializes the full session (aggregator, producer buffer, smoothing
+  /// history) so a restored session continues the device's stream
+  /// byte-identically.  Strings are length-prefixed, so arbitrary device and
+  /// user ids round-trip.
+  void save(std::ostream& out) const;
+
+  /// Inverse of save().  `schema`/`window`/`smooth` must match the saving
+  /// engine's configuration (the engine header enforces this).  Throws
+  /// std::runtime_error on malformed input.
+  [[nodiscard]] static DeviceSession restore(std::istream& in,
+                                             const features::FeatureSchema& schema,
+                                             features::WindowConfig window,
+                                             std::size_t smooth);
 
  private:
   /// Majority producer of [start, end), pruning producers no future window

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "util/rng.h"
 
 namespace wtp::features {
@@ -161,6 +163,56 @@ TEST(StreamingAggregator, BufferStaysBoundedOnLongStreams) {
   }
   // At 1 txn/s and D=60s, at most ~2 windows' worth of txns stay buffered.
   EXPECT_LE(max_buffered, 150u);
+}
+
+TEST(StreamingAggregator, SaveRestoreRoundTripsMidStream) {
+  // Snapshot an aggregator with open windows, restore into a fresh one, and
+  // both must emit identical windows for the rest of the stream — the
+  // primitive the serving engine's session handoff is built on.
+  const FeatureSchema schema = test_schema();
+  const WindowConfig config{60, 30};
+  std::vector<log::WebTransaction> txns;
+  for (int i = 0; i < 60; ++i) {
+    txns.push_back(txn_at(1000 + i * 23, i % 3 == 0 ? "News" : "Games"));
+  }
+  const std::size_t cut = 25;  // mid-window by construction
+
+  StreamingWindowAggregator original{schema, config};
+  for (std::size_t i = 0; i < cut; ++i) (void)original.push(txns[i]);
+
+  std::ostringstream out;
+  original.save_state(out);
+  StreamingWindowAggregator restored{schema, config};
+  std::istringstream in{out.str()};
+  restored.restore_state(in);
+  EXPECT_EQ(restored.buffered(), original.buffered());
+
+  // Save of the restored copy is byte-identical (state is exact).
+  std::ostringstream again;
+  restored.save_state(again);
+  EXPECT_EQ(again.str(), out.str());
+
+  const std::span rest{txns.data() + cut, txns.size() - cut};
+  const auto from_original = stream_all(original, rest);
+  const auto from_restored = stream_all(restored, rest);
+  ASSERT_EQ(from_restored.size(), from_original.size());
+  for (std::size_t i = 0; i < from_original.size(); ++i) {
+    EXPECT_EQ(from_restored[i].start, from_original[i].start);
+    EXPECT_EQ(from_restored[i].end, from_original[i].end);
+    EXPECT_EQ(from_restored[i].transaction_count,
+              from_original[i].transaction_count);
+    EXPECT_EQ(from_restored[i].features, from_original[i].features);
+  }
+}
+
+TEST(StreamingAggregator, RestoreRejectsMalformedState) {
+  const FeatureSchema schema = test_schema();
+  StreamingWindowAggregator aggregator{schema, {60, 30}};
+  std::istringstream bad{"not an aggregator snapshot"};
+  EXPECT_THROW(aggregator.restore_state(bad), std::runtime_error);
+  // A failed restore must not corrupt the aggregator.
+  (void)aggregator.push(txn_at(10));
+  EXPECT_GE(aggregator.buffered(), 1u);
 }
 
 TEST(StreamingAggregator, RejectsInvalidConfig) {

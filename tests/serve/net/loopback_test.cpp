@@ -1,0 +1,184 @@
+// Loopback equivalence: the same interleaved transaction stream delivered
+// over TCP — either wire format, sliced at adversarial byte boundaries —
+// must yield decision lines byte-identical to offline ScoringEngine replay.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "features/split.h"
+#include "serve/net/client.h"
+#include "serve/net/server.h"
+#include "serve/serve_test_util.h"
+
+namespace wtp::serve::net {
+namespace {
+
+using testing::device_of_line;
+using testing::line_has_type;
+using testing::offline_decision_lines;
+using testing::tiny_store;
+
+enum class Format { kBinary, kJson };
+
+EngineConfig engine_config() {
+  EngineConfig config;
+  config.shards = 4;
+  config.smooth = 3;
+  config.score_threads = 0;
+  return config;
+}
+
+std::string encode_stream(std::span<const log::WebTransaction> txns,
+                          Format format) {
+  std::string stream;
+  for (const auto& txn : txns) {
+    if (format == Format::kBinary) {
+      append_txn_frame(stream, txn);
+    } else {
+      stream += to_json_line(txn);
+      stream += '\n';
+    }
+  }
+  return stream;
+}
+
+/// Sends the stream + end over one connection in `chunk`-byte slices and
+/// groups the decision replies per device.
+void tcp_decision_lines(NetServer& server,
+                        std::span<const log::WebTransaction> txns,
+                        Format format, std::size_t chunk,
+                        std::map<std::string, std::vector<std::string>>& got,
+                        std::string& metrics_line) {
+  BlockingClient client{server.port()};
+  client.send_chunked(encode_stream(txns, format), chunk);
+  if (format == Format::kBinary) {
+    client.send_end_binary();
+  } else {
+    client.send_end_json();
+  }
+  for (const auto& line : client.read_all_lines()) {
+    if (line_has_type(line, "metrics")) {
+      metrics_line = line;
+      continue;
+    }
+    ASSERT_TRUE(line_has_type(line, "decision")) << line;
+    got[device_of_line(line)].push_back(line);
+  }
+}
+
+void expect_equivalent_to_offline(std::span<const log::WebTransaction> txns,
+                                  Format format, std::size_t chunk) {
+  NetServerConfig net;
+  net.ingest_workers = 3;
+  // Equivalence runs want zero drops: queues deep enough for the whole
+  // trace even if every device hashes to one worker.
+  net.queue_capacity = 200000;
+  NetServer server{tiny_store(), engine_config(), net};
+  server.start();
+
+  std::string metrics_line;
+  std::map<std::string, std::vector<std::string>> got;
+  ASSERT_NO_FATAL_FAILURE(
+      tcp_decision_lines(server, txns, format, chunk, got, metrics_line));
+  const auto want = offline_decision_lines(tiny_store(), engine_config(), txns);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [device, lines] : want) {
+    ASSERT_TRUE(got.contains(device)) << device;
+    ASSERT_EQ(got.at(device).size(), lines.size()) << device;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      EXPECT_EQ(got.at(device)[i], lines[i]) << device << " line " << i;
+    }
+  }
+  EXPECT_FALSE(metrics_line.empty());
+  EXPECT_EQ(server.registry().counter("net.transactions_received").value(),
+            txns.size());
+  EXPECT_EQ(server.registry().counter("net.malformed_input").value(), 0u);
+  EXPECT_EQ(server.registry().counter("net.ingest_dropped").value(), 0u);
+  server.stop();
+}
+
+TEST(Loopback, BinaryStreamMatchesOffline) {
+  const auto& txns = core::testing::tiny_trace().transactions;
+  expect_equivalent_to_offline(txns, Format::kBinary, 4096);
+}
+
+TEST(Loopback, JsonStreamMatchesOffline) {
+  const auto& txns = core::testing::tiny_trace().transactions;
+  expect_equivalent_to_offline(txns, Format::kJson, 4096);
+}
+
+TEST(Loopback, AdversarialChunkingMatchesOffline) {
+  // Byte-at-a-time and prime-sized slices over a prefix: every frame header,
+  // length field, and JSON line gets split mid-way at least once.
+  const auto& all = core::testing::tiny_trace().transactions;
+  const std::span prefix{all.data(), std::min<std::size_t>(all.size(), 300)};
+  expect_equivalent_to_offline(prefix, Format::kBinary, 1);
+  expect_equivalent_to_offline(prefix, Format::kJson, 1);
+  expect_equivalent_to_offline(prefix, Format::kBinary, 7);
+  expect_equivalent_to_offline(prefix, Format::kJson, 13);
+}
+
+TEST(Loopback, MixedEncodingClientsAgree) {
+  // Devices split across two concurrent connections, one per wire format;
+  // each connection receives exactly its own devices' decisions.
+  const auto& txns = core::testing::tiny_trace().transactions;
+  const auto by_device = features::group_by_device(txns);
+  ASSERT_GE(by_device.size(), 2u);
+
+  NetServerConfig net;
+  net.ingest_workers = 2;
+  net.queue_capacity = 200000;
+  NetServer server{tiny_store(), engine_config(), net};
+  server.start();
+
+  std::vector<log::WebTransaction> txns_a;
+  std::vector<log::WebTransaction> txns_b;
+  std::size_t index = 0;
+  for (const auto& [device, stream] : by_device) {
+    auto& target = (index++ % 2 == 0) ? txns_a : txns_b;
+    target.insert(target.end(), stream.begin(), stream.end());
+  }
+
+  BlockingClient client_a{server.port()};
+  BlockingClient client_b{server.port()};
+  client_a.send(encode_stream(txns_a, Format::kBinary));
+  client_b.send(encode_stream(txns_b, Format::kJson));
+
+  // Wait until every transaction of both clients is ingested before the
+  // drain, so flush output is deterministic.
+  const std::size_t total = txns_a.size() + txns_b.size();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  while (server.engine().metrics().transactions_ingested < total) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "ingest stalled";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  client_a.send_end_binary();
+
+  std::map<std::string, std::vector<std::string>> got;
+  for (const auto& line : client_a.read_all_lines()) {
+    if (line_has_type(line, "metrics")) continue;
+    got[device_of_line(line)].push_back(line);
+  }
+  server.stop();  // closes client B once its replies flushed
+  for (const auto& line : client_b.read_all_lines()) {
+    ASSERT_TRUE(line_has_type(line, "decision")) << line;
+    got[device_of_line(line)].push_back(line);
+  }
+
+  const auto want = offline_decision_lines(tiny_store(), engine_config(), txns);
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [device, lines] : want) {
+    ASSERT_TRUE(got.contains(device)) << device;
+    EXPECT_EQ(got.at(device), lines) << device;
+  }
+}
+
+}  // namespace
+}  // namespace wtp::serve::net

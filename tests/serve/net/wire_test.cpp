@@ -1,0 +1,200 @@
+#include "serve/net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace wtp::serve::net {
+namespace {
+
+log::WebTransaction sample_txn() {
+  log::WebTransaction txn;
+  txn.timestamp = 1432875904;
+  txn.url = "www.inlinegames.com";
+  txn.scheme = log::UriScheme::kHttps;
+  txn.action = log::HttpAction::kPost;
+  txn.user_id = "user_9";
+  txn.device_id = "device_3";
+  txn.category = "Games";
+  txn.media_type = "text/html";
+  txn.application_type = "CloudFlare";
+  txn.reputation = log::Reputation::kMediumRisk;
+  txn.private_destination = true;
+  return txn;
+}
+
+std::vector<WireMessage> decode_all(FrameDecoder& decoder,
+                                    std::string_view bytes,
+                                    std::size_t chunk = 0) {
+  std::vector<WireMessage> messages;
+  const auto sink = [&messages](WireMessage&& message) {
+    messages.push_back(std::move(message));
+  };
+  if (chunk == 0) {
+    decoder.feed(bytes, sink);
+  } else {
+    for (std::size_t at = 0; at < bytes.size(); at += chunk) {
+      decoder.feed(bytes.substr(at, std::min(chunk, bytes.size() - at)), sink);
+    }
+  }
+  return messages;
+}
+
+TEST(Wire, BinaryPayloadRoundTrips) {
+  const log::WebTransaction txn = sample_txn();
+  EXPECT_EQ(decode_txn_payload(encode_txn_payload(txn)), txn);
+
+  log::WebTransaction empty;  // all-default strings round-trip too
+  EXPECT_EQ(decode_txn_payload(encode_txn_payload(empty)), empty);
+}
+
+TEST(Wire, JsonLineRoundTrips) {
+  log::WebTransaction txn = sample_txn();
+  txn.url = "evil\"quote\\back\tslash";  // escaping must survive
+  txn.category = "ctrl\x01char";
+  const WireMessage parsed = parse_json_line(to_json_line(txn));
+  EXPECT_EQ(parsed.type, FrameType::kTransaction);
+  EXPECT_EQ(parsed.txn, txn);
+}
+
+TEST(Wire, JsonControlsParse) {
+  EXPECT_EQ(parse_json_line("{\"type\":\"end\"}").type, FrameType::kEnd);
+  EXPECT_EQ(parse_json_line("{\"type\":\"shutdown\"}").type,
+            FrameType::kShutdown);
+  EXPECT_EQ(parse_json_line("  { \"type\" : \"end\" }  ").type,
+            FrameType::kEnd);
+}
+
+TEST(Wire, JsonRejectsMalformedLines) {
+  EXPECT_THROW((void)parse_json_line(""), WireError);
+  EXPECT_THROW((void)parse_json_line("not json"), WireError);
+  EXPECT_THROW((void)parse_json_line("{\"type\":\"nope\"}"), WireError);
+  EXPECT_THROW((void)parse_json_line("{\"type\":\"txn\"}"), WireError);  // no ts
+  EXPECT_THROW((void)parse_json_line("{\"type\":\"end\",\"bogus\":1}"),
+               WireError);
+  EXPECT_THROW((void)parse_json_line("{\"type\":\"end\"} trailing"), WireError);
+  EXPECT_THROW((void)parse_json_line(
+                   "{\"type\":\"txn\",\"ts\":1,\"scheme\":\"GOPHER\"}"),
+               WireError);
+  EXPECT_THROW((void)parse_json_line(
+                   "{\"type\":\"txn\",\"ts\":1,\"url\":\"bad\\escape\"}"),
+               WireError);
+  EXPECT_THROW((void)parse_json_line(
+                   "{\"type\":\"txn\",\"ts\":1,\"private\":7}"),
+               WireError);
+}
+
+TEST(Wire, BinaryRejectsCorruptPayloads) {
+  const std::string good = encode_txn_payload(sample_txn());
+  // Truncation at every prefix length must throw, never read out of bounds.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_THROW((void)decode_txn_payload(std::string_view{good}.substr(0, cut)),
+                 WireError)
+        << "prefix " << cut;
+  }
+  EXPECT_THROW((void)decode_txn_payload(good + "x"), WireError);  // trailing
+
+  std::string bad_scheme = good;
+  bad_scheme[8] = 9;  // scheme byte
+  EXPECT_THROW((void)decode_txn_payload(bad_scheme), WireError);
+  std::string bad_flag = good;
+  bad_flag[11] = 2;  // private flag byte
+  EXPECT_THROW((void)decode_txn_payload(bad_flag), WireError);
+}
+
+TEST(Wire, DecoderReassemblesBinaryAtEveryBoundary) {
+  std::string stream;
+  append_txn_frame(stream, sample_txn());
+  log::WebTransaction second = sample_txn();
+  second.timestamp += 30;
+  second.device_id = "device_0";
+  append_txn_frame(stream, second);
+  append_control_frame(stream, FrameType::kEnd);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{7}, stream.size()}) {
+    FrameDecoder decoder{1 << 20};
+    const auto messages = decode_all(decoder, stream, chunk);
+    ASSERT_EQ(messages.size(), 3u) << "chunk " << chunk;
+    EXPECT_EQ(messages[0].txn, sample_txn());
+    EXPECT_EQ(messages[1].txn, second);
+    EXPECT_EQ(messages[2].type, FrameType::kEnd);
+    EXPECT_FALSE(decoder.mid_message());
+  }
+}
+
+TEST(Wire, DecoderReassemblesTextAtEveryBoundary) {
+  const std::string stream = to_json_line(sample_txn()) + "\n" +
+                             "{\"type\":\"end\"}\r\n";
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  stream.size()}) {
+    FrameDecoder decoder{1 << 20};
+    const auto messages = decode_all(decoder, stream, chunk);
+    ASSERT_EQ(messages.size(), 2u) << "chunk " << chunk;
+    EXPECT_EQ(messages[0].txn, sample_txn());
+    EXPECT_EQ(messages[1].type, FrameType::kEnd);
+    EXPECT_FALSE(decoder.binary());
+  }
+}
+
+TEST(Wire, DecoderTracksMidMessageState) {
+  std::string frame;
+  append_txn_frame(frame, sample_txn());
+  FrameDecoder decoder{1 << 20};
+  (void)decode_all(decoder, std::string_view{frame}.substr(0, frame.size() / 2));
+  EXPECT_TRUE(decoder.mid_message());
+  (void)decode_all(decoder, std::string_view{frame}.substr(frame.size() / 2));
+  EXPECT_FALSE(decoder.mid_message());
+}
+
+TEST(Wire, DecoderRejectsOversizedFrames) {
+  // Declared length over the limit throws before any payload arrives.
+  std::string header;
+  header.push_back(static_cast<char>(kFrameMarker));
+  header.push_back(1);
+  const std::uint32_t huge = 1 << 16;
+  for (int shift = 0; shift < 32; shift += 8) {
+    header.push_back(static_cast<char>((huge >> shift) & 0xFF));
+  }
+  FrameDecoder decoder{1024};
+  EXPECT_THROW((void)decode_all(decoder, header), WireError);
+}
+
+TEST(Wire, DecoderRejectsOversizedTextLines) {
+  FrameDecoder decoder{64};
+  const std::string long_line(100, 'a');  // no newline, over the cap
+  EXPECT_THROW((void)decode_all(decoder, long_line), WireError);
+}
+
+TEST(Wire, DecoderRejectsSyncLossAndBadTypes) {
+  {
+    std::string stream;
+    append_txn_frame(stream, sample_txn());
+    stream += "garbage";  // next header has no marker
+    stream.append(8, 'g');
+    FrameDecoder decoder{1 << 20};
+    EXPECT_THROW((void)decode_all(decoder, stream), WireError);
+  }
+  {
+    std::string stream;
+    stream.push_back(static_cast<char>(kFrameMarker));
+    stream.push_back(42);  // unknown frame type
+    stream.append(4, '\0');
+    FrameDecoder decoder{1 << 20};
+    EXPECT_THROW((void)decode_all(decoder, stream), WireError);
+  }
+  {
+    std::string stream;  // control frame with a payload
+    stream.push_back(static_cast<char>(kFrameMarker));
+    stream.push_back(2);
+    stream.push_back(1);
+    stream.append(3, '\0');
+    stream.push_back('x');
+    FrameDecoder decoder{1 << 20};
+    EXPECT_THROW((void)decode_all(decoder, stream), WireError);
+  }
+}
+
+}  // namespace
+}  // namespace wtp::serve::net

@@ -1,0 +1,153 @@
+// Session handoff determinism: draining a live engine to a snapshot and
+// restoring it in a successor must (a) round-trip byte-identically and
+// (b) leave the successor's decisions indistinguishable from one engine
+// that saw the whole stream.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/serve_test_util.h"
+
+namespace wtp::serve {
+namespace {
+
+using testing::offline_decision_lines;
+using testing::tiny_store;
+
+EngineConfig engine_config(std::size_t shards = 4, std::size_t smooth = 3) {
+  EngineConfig config;
+  config.shards = shards;
+  config.smooth = smooth;
+  config.score_threads = 0;
+  return config;
+}
+
+ScoringEngine make_engine(
+    EngineConfig config,
+    std::map<std::string, std::vector<std::string>>* decisions = nullptr) {
+  return ScoringEngine{tiny_store(), config,
+                       [decisions](const DecisionEvent& event) {
+                         if (decisions != nullptr) {
+                           (*decisions)[event.device_id].push_back(
+                               to_json_line(event));
+                         }
+                       }};
+}
+
+TEST(Snapshot, SaveRestoreSaveIsByteIdentical) {
+  const auto& txns = core::testing::tiny_trace().transactions;
+  auto engine = make_engine(engine_config());
+  for (std::size_t i = 0; i < txns.size() / 2; ++i) engine.ingest(txns[i]);
+
+  std::ostringstream first;
+  engine.save_snapshot(first);
+  ASSERT_FALSE(first.str().empty());
+
+  auto successor = make_engine(engine_config());
+  std::istringstream in{first.str()};
+  successor.restore_snapshot(in);
+
+  std::ostringstream second;
+  successor.save_snapshot(second);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_EQ(successor.metrics().sessions_active,
+            engine.metrics().sessions_active);
+}
+
+TEST(Snapshot, HandoffMidStreamMatchesSingleEngine) {
+  const auto& txns = core::testing::tiny_trace().transactions;
+  // Cut inside the stream (not on any window boundary on purpose — open
+  // windows and smoothing history must ride along in the snapshot).
+  const std::size_t cut = txns.size() / 3 + 7;
+
+  std::map<std::string, std::vector<std::string>> handoff;
+  std::string snapshot;
+  {
+    auto first = make_engine(engine_config(), &handoff);
+    for (std::size_t i = 0; i < cut; ++i) first.ingest(txns[i]);
+    std::ostringstream out;
+    first.save_snapshot(out);  // drain: no flush, windows stay open
+    snapshot = out.str();
+  }
+  {
+    auto second = make_engine(engine_config(), &handoff);
+    std::istringstream in{snapshot};
+    second.restore_snapshot(in);
+    for (std::size_t i = cut; i < txns.size(); ++i) second.ingest(txns[i]);
+    second.flush();
+  }
+
+  const auto want = offline_decision_lines(tiny_store(), engine_config(), txns);
+  ASSERT_EQ(handoff.size(), want.size());
+  for (const auto& [device, lines] : want) {
+    ASSERT_TRUE(handoff.contains(device)) << device;
+    EXPECT_EQ(handoff.at(device), lines) << device;
+  }
+}
+
+TEST(Snapshot, RestoreAcrossDifferentShardCountsStillEquivalent) {
+  // Byte-identity holds per shard count; equivalence must hold across them.
+  const auto& txns = core::testing::tiny_trace().transactions;
+  const std::size_t cut = txns.size() / 2;
+
+  std::map<std::string, std::vector<std::string>> handoff;
+  std::ostringstream out;
+  {
+    auto first = make_engine(engine_config(/*shards=*/2), &handoff);
+    for (std::size_t i = 0; i < cut; ++i) first.ingest(txns[i]);
+    first.save_snapshot(out);
+  }
+  auto second = make_engine(engine_config(/*shards=*/8), &handoff);
+  std::istringstream in{out.str()};
+  second.restore_snapshot(in);
+  for (std::size_t i = cut; i < txns.size(); ++i) second.ingest(txns[i]);
+  second.flush();
+
+  const auto want = offline_decision_lines(tiny_store(), engine_config(), txns);
+  ASSERT_EQ(handoff.size(), want.size());
+  for (const auto& [device, lines] : want) {
+    EXPECT_EQ(handoff.at(device), lines) << device;
+  }
+}
+
+TEST(Snapshot, RestoreRejectsMismatchedHeaderAndKeepsEngineIntact) {
+  const auto& txns = core::testing::tiny_trace().transactions;
+  auto engine = make_engine(engine_config());
+  for (std::size_t i = 0; i < txns.size() / 2; ++i) engine.ingest(txns[i]);
+  std::ostringstream out;
+  engine.save_snapshot(out);
+  const std::size_t sessions_before = engine.metrics().sessions_active;
+
+  {
+    std::istringstream bad_magic{"not_a_snapshot v1\n"};
+    EXPECT_THROW(engine.restore_snapshot(bad_magic), std::runtime_error);
+  }
+  {
+    // Same stream saved by an engine with different smoothing: incompatible.
+    auto other = make_engine(engine_config(/*shards=*/4, /*smooth=*/2));
+    for (std::size_t i = 0; i < txns.size() / 2; ++i) other.ingest(txns[i]);
+    std::ostringstream incompatible;
+    other.save_snapshot(incompatible);
+    std::istringstream in{incompatible.str()};
+    EXPECT_THROW(engine.restore_snapshot(in), std::runtime_error);
+  }
+  {
+    std::string truncated = out.str();
+    truncated.resize(truncated.size() / 2);
+    std::istringstream in{truncated};
+    EXPECT_THROW(engine.restore_snapshot(in), std::runtime_error);
+  }
+  // Failed restores must not have clobbered live sessions.
+  EXPECT_EQ(engine.metrics().sessions_active, sessions_before);
+  std::ostringstream after;
+  engine.save_snapshot(after);
+  EXPECT_EQ(after.str(), out.str());
+}
+
+}  // namespace
+}  // namespace wtp::serve

@@ -7,39 +7,97 @@
 //             [--smooth K] [--shards N] [--threads N]
 //             [--ttl SECONDS] [--max-sessions N] [--replay-speed X]
 //             [--metrics-out FILE] [--metrics-interval S] [--trace-out FILE]
+//             [--listen PORT] [--port-file FILE] [--net-workers N]
+//             [--queue-capacity N]
+//             [--restore FILE] [--snapshot-out FILE]
+//             [--retrain] [--retrain-interval S] [--retrain-min-windows N]
+//             [--drift-threshold X] [--drift-warmup N] [--retrain-max-rate N]
 //
-// Reads the log file (or stdin when --log is omitted) and feeds every
-// transaction to the ScoringEngine.  One JSON-lines event is printed per
-// scored window; the final line is an engine-metrics object (formats in
-// docs/FORMATS.md).  --replay-speed X paces ingestion at X times real time
-// (0, the default, replays as fast as possible).
+// Two ingest modes:
+//
+//   * stdin/file replay (default): reads the CSV log (or stdin when --log
+//     is omitted) and feeds every transaction to the ScoringEngine.  One
+//     JSON-lines event is printed per scored window; the final line is an
+//     engine-metrics object (formats in docs/FORMATS.md).  --replay-speed X
+//     paces ingestion at X times real time (0 = as fast as possible).
+//
+//   * --listen PORT: epoll TCP front end on 127.0.0.1:PORT (0 = ephemeral;
+//     --port-file writes the bound port).  Clients speak either wire format
+//     of docs/FORMATS.md — JSON lines or binary frames, sniffed per
+//     connection — and receive their devices' decision events as JSON
+//     lines.  An `end` control drains + flushes the engine; `shutdown`
+//     additionally stops the server.
+//
+// Session handoff: --snapshot-out drains the session table to a snapshot
+// file at exit *instead of* flushing open windows, so a successor started
+// with --restore resumes every stream byte-identically.
+//
+// Online retraining: --retrain starts the drift-driven retraining loop
+// (window collector + background trainer, guards tuned by the retrain/drift
+// flags); retrained profiles are hot-swapped into the engine while scoring
+// continues.
 //
 // Telemetry: --metrics-out writes a JSON metrics snapshot of the global
 // registry every --metrics-interval seconds (default 1; atomic rename, so
 // the file always parses) and once at exit; --trace-out enables scoped
 // tracing and writes Chrome trace_event JSON loadable in chrome://tracing
 // or Perfetto.  Either flag also prints a run summary table to stderr.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "core/profile_store.h"
 #include "log/log_io.h"
 #include "obs/telemetry.h"
 #include "serve/engine.h"
+#include "serve/net/server.h"
+#include "serve/retrain/collector.h"
+#include "serve/retrain/trainer.h"
 #include "tool_common.h"
 
 using namespace wtp;
+
+namespace {
+
+bool restore_from_file(serve::ScoringEngine& engine, const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "wtp_serve: cannot open snapshot '%s'\n", path.c_str());
+    return false;
+  }
+  engine.restore_snapshot(in);
+  return true;
+}
+
+bool snapshot_to_file(serve::ScoringEngine& engine, const std::string& path) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) {
+    std::fprintf(stderr, "wtp_serve: cannot write snapshot '%s'\n", path.c_str());
+    return false;
+  }
+  engine.save_snapshot(out);
+  return out.good();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const tools::Args args{argc, argv,
                          "--store FILE [--log FILE] [--smooth K] [--shards N] "
                          "[--threads N] [--ttl SECONDS] [--max-sessions N] "
                          "[--replay-speed X] [--metrics-out FILE] "
-                         "[--metrics-interval S] [--trace-out FILE]"};
+                         "[--metrics-interval S] [--trace-out FILE] "
+                         "[--listen PORT] [--port-file FILE] [--net-workers N] "
+                         "[--queue-capacity N] [--restore FILE] "
+                         "[--snapshot-out FILE] [--retrain] "
+                         "[--retrain-interval S] [--retrain-min-windows N] "
+                         "[--drift-threshold X] [--drift-warmup N] "
+                         "[--retrain-max-rate N]"};
   const auto store = core::ProfileStore::load_file(args.require("store"));
 
   serve::EngineConfig config;
@@ -65,9 +123,106 @@ int main(int argc, char** argv) {
   }
   if (args.has("trace-out")) obs::TraceRecorder::global().enable();
 
+  // Retraining plane: the collector plugs into the engine config, the loop
+  // attaches once the engine exists.
+  std::unique_ptr<serve::retrain::WindowCollector> collector;
+  if (args.has("retrain")) {
+    serve::retrain::CollectorConfig collect;
+    collect.min_windows =
+        static_cast<std::size_t>(args.get_int("retrain-min-windows", 32));
+    collect.window_capacity = std::max<std::size_t>(
+        collect.min_windows, collect.window_capacity);
+    collect.drift.cusum_threshold = args.get_double("drift-threshold", 5.0);
+    collect.drift.warmup =
+        static_cast<std::size_t>(args.get_int("drift-warmup", 30));
+    std::vector<std::string> users;
+    users.reserve(store.profiles().size());
+    for (const auto& profile : store.profiles()) {
+      users.push_back(profile.user_id());
+    }
+    collector = std::make_unique<serve::retrain::WindowCollector>(
+        users, collect, &registry);
+    config.collector = collector.get();
+  }
+  const auto make_retrain_loop = [&](serve::ScoringEngine& engine)
+      -> std::unique_ptr<serve::retrain::RetrainLoop> {
+    if (!collector) return nullptr;
+    serve::retrain::TrainerConfig trainer;
+    trainer.poll_interval_s = args.get_double("retrain-interval", 1.0);
+    trainer.max_retrains_per_cycle =
+        static_cast<std::size_t>(args.get_int("retrain-max-rate", 2));
+    auto loop = std::make_unique<serve::retrain::RetrainLoop>(
+        engine, *collector, trainer, &registry);
+    loop->start();
+    return loop;
+  };
+
+  const auto finish = [&](serve::ScoringEngine& engine) -> int {
+    const serve::EngineMetrics metrics = engine.metrics();
+    std::puts(serve::to_json_line(metrics).c_str());
+    std::fprintf(stderr,
+                 "%zu transactions, %zu windows scored, %zu decisions "
+                 "(%zu correct), %zu sessions (%zu evicted), "
+                 "%zu profile swaps\n",
+                 metrics.transactions_ingested, metrics.windows_scored,
+                 metrics.decisions_emitted, metrics.correct_decisions,
+                 metrics.sessions_created, metrics.sessions_evicted,
+                 metrics.profile_swaps);
+    if (metrics_writer != nullptr) metrics_writer->stop();
+    if (args.has("trace-out")) {
+      obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+      recorder.disable();
+      if (!obs::write_trace_file(recorder, args.require("trace-out"))) return 1;
+    }
+    if (telemetry) {
+      std::fprintf(stderr, "%s",
+                   obs::summary_table(registry.snapshot(false)).c_str());
+    }
+    return 0;
+  };
+
+  if (args.has("listen")) {
+    serve::net::NetServerConfig net;
+    net.port = static_cast<std::uint16_t>(args.get_int("listen", 0));
+    net.ingest_workers =
+        static_cast<std::size_t>(args.get_int("net-workers", 4));
+    net.queue_capacity =
+        static_cast<std::size_t>(args.get_int("queue-capacity", 4096));
+    serve::net::NetServer server{store, config, net};
+    if (args.has("restore") &&
+        !restore_from_file(server.engine(), args.require("restore"))) {
+      return 1;
+    }
+    if (args.has("port-file")) {
+      std::ofstream port_file{args.require("port-file"), std::ios::trunc};
+      port_file << server.port() << '\n';
+      if (!port_file.good()) {
+        std::fprintf(stderr, "wtp_serve: cannot write port file\n");
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "wtp_serve: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server.port()));
+    server.start();
+    auto retrain_loop = make_retrain_loop(server.engine());
+    server.wait_for_shutdown();
+    if (retrain_loop) retrain_loop->stop();
+    server.stop();
+    if (args.has("snapshot-out") &&
+        !snapshot_to_file(server.engine(), args.require("snapshot-out"))) {
+      return 1;
+    }
+    return finish(server.engine());
+  }
+
   serve::ScoringEngine engine{store, config, [](const serve::DecisionEvent& event) {
                                 std::puts(serve::to_json_line(event).c_str());
                               }};
+  if (args.has("restore") &&
+      !restore_from_file(engine, args.require("restore"))) {
+    return 1;
+  }
+  auto retrain_loop = make_retrain_loop(engine);
 
   std::ifstream file;
   if (args.has("log")) {
@@ -104,26 +259,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wtp_serve: fatal stream error: %s\n", error.what());
     return 1;
   }
-  engine.flush();
-
-  const serve::EngineMetrics metrics = engine.metrics();
-  std::puts(serve::to_json_line(metrics).c_str());
-  std::fprintf(stderr,
-               "%zu transactions, %zu windows scored, %zu decisions "
-               "(%zu correct), %zu sessions (%zu evicted)\n",
-               metrics.transactions_ingested, metrics.windows_scored,
-               metrics.decisions_emitted, metrics.correct_decisions,
-               metrics.sessions_created, metrics.sessions_evicted);
-
-  if (metrics_writer != nullptr) metrics_writer->stop();
-  if (args.has("trace-out")) {
-    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
-    recorder.disable();
-    if (!obs::write_trace_file(recorder, args.require("trace-out"))) return 1;
+  if (retrain_loop) retrain_loop->stop();
+  if (args.has("snapshot-out")) {
+    // Drain, don't flush: open windows ride along to the successor.
+    if (!snapshot_to_file(engine, args.require("snapshot-out"))) return 1;
+  } else {
+    engine.flush();
   }
-  if (telemetry) {
-    std::fprintf(stderr, "%s",
-                 obs::summary_table(registry.snapshot(false)).c_str());
-  }
-  return 0;
+  return finish(engine);
 }
