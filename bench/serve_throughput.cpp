@@ -122,14 +122,41 @@ int run_overhead_mode(const core::ProfileStore& store,
 RunResult run_tcp(const core::ProfileStore& store, serve::EngineConfig config,
                   std::size_t feeders,
                   const std::vector<log::WebTransaction>& txns,
-                  std::size_t& decisions_read, std::uint64_t& dropped) {
+                  std::size_t& decisions_read, std::uint64_t& dropped,
+                  std::size_t& scrapes, bool& scrape_ok) {
   serve::net::NetServerConfig net;
   net.ingest_workers = feeders;
   // The comparison is only meaningful drop-free: queues sized so even a
   // worst-case single-worker hash skew absorbs the whole stream.
   net.queue_capacity = txns.size() + 16;
+  net.admin = true;  // the <20% budget is asserted with the admin plane live
   serve::net::NetServer server{store, config, net};
   server.start();
+
+  // A concurrent ~1 Hz Prometheus scraper for the whole timed run — the
+  // deployment shape the budget must hold under, not an idle admin port.
+  std::atomic<bool> scraping{true};
+  std::size_t scrape_count = 0;
+  bool scrapes_valid = true;
+  std::thread scraper{[&server, &scraping, &scrape_count, &scrapes_valid] {
+    while (scraping.load(std::memory_order_relaxed)) {
+      try {
+        const std::string body =
+            serve::net::http_get(server.admin_port(), "/metrics");
+        scrapes_valid =
+            scrapes_valid &&
+            body.find("wtp_net_transactions_received_total") !=
+                std::string::npos;
+      } catch (const std::exception&) {
+        scrapes_valid = false;
+      }
+      ++scrape_count;
+      for (int i = 0; i < 100 && scraping.load(std::memory_order_relaxed);
+           ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  }};
 
   std::vector<std::string> streams(feeders);  // encoded outside the timer
   for (const auto& txn : txns) {
@@ -176,6 +203,10 @@ RunResult run_tcp(const core::ProfileStore& store, serve::EngineConfig config,
   result.seconds = stopwatch.elapsed_seconds();
   result.metrics = server.engine().metrics();
   dropped = server.registry().counter("net.ingest_dropped").value();
+  scraping.store(false, std::memory_order_relaxed);
+  scraper.join();  // before stop(): the admin socket must outlive the scrape
+  scrapes = scrape_count;
+  scrape_ok = scrapes_valid && scrape_count > 0;
   server.stop();
   for (auto& reader : readers) reader.join();
   decisions_read = replies.load();
@@ -198,8 +229,10 @@ int run_tcp_mode(const core::ProfileStore& store,
   const RunResult stdin_parallel = run_engine(store, config, kFeeders, txns);
   std::size_t decisions_read = 0;
   std::uint64_t dropped = 0;
-  const RunResult tcp =
-      run_tcp(store, config, kFeeders, txns, decisions_read, dropped);
+  std::size_t scrapes = 0;
+  bool scrape_ok = false;
+  const RunResult tcp = run_tcp(store, config, kFeeders, txns, decisions_read,
+                                dropped, scrapes, scrape_ok);
 
   struct Row {
     const char* mode;
@@ -221,8 +254,10 @@ int run_tcp_mode(const core::ProfileStore& store,
                 row.result->metrics.score.p50_us,
                 row.result->metrics.score.p99_us);
   }
-  std::printf("tcp run: %zu reply lines read, %llu dropped\n", decisions_read,
-              static_cast<unsigned long long>(dropped));
+  std::printf("tcp run: %zu reply lines read, %llu dropped, "
+              "%zu admin scrapes\n",
+              decisions_read, static_cast<unsigned long long>(dropped),
+              scrapes);
 
   const double stdin_rate =
       static_cast<double>(stdin_parallel.metrics.transactions_ingested) /
@@ -241,7 +276,10 @@ int run_tcp_mode(const core::ProfileStore& store,
   std::printf("shape check (net ingest within 20%% of stdin replay): %s "
               "(%.0f vs %.0f txns/s)\n",
               within_budget ? "PASS" : "FAIL", tcp_rate, stdin_rate);
-  const bool ok = counts_agree && no_drops && within_budget;
+  std::printf("shape check (live /metrics scrapes served during the run): %s "
+              "(%zu scrapes)\n",
+              scrape_ok ? "PASS" : "FAIL", scrapes);
+  const bool ok = counts_agree && no_drops && within_budget && scrape_ok;
 
   if (!json_out.empty()) {
     bench::JsonBuilder json;
@@ -269,6 +307,7 @@ int run_tcp_mode(const core::ProfileStore& store,
     }
     json.end_array();
     json.key("tcp_over_stdin").value(tcp_rate / stdin_rate);
+    json.key("admin_scrapes").value(scrapes);
     json.key("ok").value(ok);
     json.end_object();
     json.write_file(json_out);

@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace wtp::core {
 
 bool IdentificationEvent::accepted(const std::string& user) const {
@@ -29,6 +31,9 @@ std::vector<IdentificationEvent> UserIdentifier::monitor(
   events.reserve(windows.size());
   std::size_t cursor = 0;  // first txn not yet before the current window
   for (const auto& window : windows) {
+    const obs::TraceSpan span{
+        "identify.window", "identify",
+        static_cast<std::uint64_t>(window.transaction_count)};
     IdentificationEvent event;
     event.window_start = window.start;
     event.window_end = window.end;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace wtp::core {
 
 AcceptanceRatios profile_acceptance(const UserProfile& profile,
@@ -83,6 +85,8 @@ ConfusionMatrix compute_confusion(std::span<const UserProfile> profiles,
   }
   matrix.cells.resize(profiles.size());
   for (std::size_t j = 0; j < profiles.size(); ++j) {
+    const obs::TraceSpan span{"classify.profile_row", "classify",
+                              static_cast<std::uint64_t>(j)};
     matrix.cells[j].reserve(matrix.users.size());
     for (const auto& user : matrix.users) {
       matrix.cells[j].push_back(
@@ -101,6 +105,8 @@ ConfusionMatrix compute_confusion(std::span<const UserProfile> profiles,
   }
   matrix.cells.resize(profiles.size());
   for (std::size_t j = 0; j < profiles.size(); ++j) {
+    const obs::TraceSpan span{"classify.profile_row", "classify",
+                              static_cast<std::uint64_t>(j)};
     matrix.cells[j].reserve(matrix.users.size());
     for (const auto& user : matrix.users) {
       matrix.cells[j].push_back(

@@ -284,8 +284,9 @@ IdentificationResult IdentificationPlane::identify(
     }
   }
   keep_top(survivors, scratch.score, config_.overlap_keep);
-  metrics_->stage_overlap->record_ns(elapsed_ns(stage_start));
   IdentificationResult result;
+  result.stage_ns[0] = static_cast<std::int64_t>(elapsed_ns(stage_start));
+  metrics_->stage_overlap->record_ns(static_cast<double>(result.stage_ns[0]));
   result.overlap_survivors = survivors.size();
   metrics_->overlap_survivors->add(survivors.size());
 
@@ -309,7 +310,8 @@ IdentificationResult IdentificationPlane::identify(
     }
     keep_top(survivors, scratch.score, config_.centroid_keep);
   }
-  metrics_->stage_centroid->record_ns(elapsed_ns(stage_start));
+  result.stage_ns[1] = static_cast<std::int64_t>(elapsed_ns(stage_start));
+  metrics_->stage_centroid->record_ns(static_cast<double>(result.stage_ns[1]));
   result.centroid_survivors = survivors.size();
   metrics_->centroid_survivors->add(survivors.size());
 
@@ -331,7 +333,8 @@ IdentificationResult IdentificationPlane::identify(
     }
     keep_top(survivors, scratch.score, config_.final_keep);
   }
-  metrics_->stage_gaussian->record_ns(elapsed_ns(stage_start));
+  result.stage_ns[2] = static_cast<std::int64_t>(elapsed_ns(stage_start));
+  metrics_->stage_gaussian->record_ns(static_cast<double>(result.stage_ns[2]));
   result.gaussian_survivors = survivors.size();
   metrics_->gaussian_survivors->add(survivors.size());
 
@@ -346,14 +349,16 @@ IdentificationResult IdentificationPlane::identify(
   std::sort(survivors.begin(), survivors.end());
   IdentificationResult scored =
       score_survivors(survivors, query_indices, query_values, query_sqnorm);
-  metrics_->stage_svm->record_ns(elapsed_ns(stage_start));
+  result.stage_ns[3] = static_cast<std::int64_t>(elapsed_ns(stage_start));
+  metrics_->stage_svm->record_ns(static_cast<double>(result.stage_ns[3]));
   metrics_->kernel_row_calls->add(scored.scored);
 
   result.best = scored.best;
   result.best_decision = scored.best_decision;
   result.scored = scored.scored;
   result.accepted = std::move(scored.accepted);
-  metrics_->total->record_ns(elapsed_ns(total_start));
+  result.total_ns = static_cast<std::int64_t>(elapsed_ns(total_start));
+  metrics_->total->record_ns(static_cast<double>(result.total_ns));
   return result;
 }
 

@@ -64,6 +64,11 @@ struct IdentificationResult {
   std::size_t scored = 0;
   /// Catalog indices whose decision value was >= 0, ascending.
   std::vector<std::uint32_t> accepted;
+  /// Per-stage wall clock of this identify() call (overlap, centroid,
+  /// gaussian, svm) — the slow-decision attribution feed.  All zero on the
+  /// exhaustive path (no stages to attribute).
+  std::int64_t stage_ns[4] = {0, 0, 0, 0};
+  std::int64_t total_ns = 0;
 };
 
 class IdentificationPlane {

@@ -1,0 +1,94 @@
+#include "obs/slow_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace wtp::obs {
+
+namespace {
+
+bool slower(const SlowLog::Record& a, const SlowLog::Record& b) {
+  return a.total_ns > b.total_ns;
+}
+
+}  // namespace
+
+SlowLog::SlowLog(std::int64_t threshold_ns, std::size_t capacity)
+    : threshold_ns_{threshold_ns < 0 ? 0 : threshold_ns},
+      capacity_{capacity == 0 ? 1 : capacity} {}
+
+void SlowLog::record(Record record) {
+  if (record.total_ns < threshold_ns_) return;
+  over_threshold_.fetch_add(1, std::memory_order_relaxed);
+  if (record.total_ns <= floor_ns_.load(std::memory_order_relaxed)) return;
+  const std::lock_guard lock{mutex_};
+  if (heap_.size() < capacity_) {
+    heap_.push_back(std::move(record));
+    std::push_heap(heap_.begin(), heap_.end(), slower);
+  } else {
+    // Full: displace the fastest retained record (heap front under the
+    // `slower` comparator) if this one is slower.
+    if (record.total_ns <= heap_.front().total_ns) return;
+    std::pop_heap(heap_.begin(), heap_.end(), slower);
+    heap_.back() = std::move(record);
+    std::push_heap(heap_.begin(), heap_.end(), slower);
+  }
+  if (heap_.size() == capacity_) {
+    floor_ns_.store(heap_.front().total_ns, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SlowLog::Record> SlowLog::worst() const {
+  std::vector<Record> out;
+  {
+    const std::lock_guard lock{mutex_};
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(), slower);
+  return out;
+}
+
+std::string to_json_line(const SlowLog::Record& record) {
+  std::string out = "{\"type\":\"slow_decision\"";
+  out += ",\"device\":\"" + util::json_escape(record.device) + '"';
+  out += ",\"window_start\":" + std::to_string(record.window_start);
+  out += ",\"window_end\":" + std::to_string(record.window_end);
+  if (record.trace_id != 0) {
+    out += ",\"trace\":" + std::to_string(record.trace_id);
+  }
+  out += ",\"total_ns\":" + std::to_string(record.total_ns);
+  out += ",\"stages\":{";
+  out += "\"decode_ns\":" + std::to_string(record.stages.decode_ns);
+  out += ",\"queue_ns\":" + std::to_string(record.stages.queue_ns);
+  out += ",\"ingest_ns\":" + std::to_string(record.stages.ingest_ns);
+  out += ",\"score_ns\":" + std::to_string(record.stages.score_ns);
+  out += ",\"overlap_ns\":" + std::to_string(record.stages.overlap_ns);
+  out += ",\"centroid_ns\":" + std::to_string(record.stages.centroid_ns);
+  out += ",\"gaussian_ns\":" + std::to_string(record.stages.gaussian_ns);
+  out += ",\"svm_ns\":" + std::to_string(record.stages.svm_ns);
+  out += "},\"identity\":\"" + util::json_escape(record.identity) + "\"}";
+  return out;
+}
+
+std::string SlowLog::to_json_lines() const {
+  std::string out;
+  for (const Record& record : worst()) {
+    out += to_json_line(record);
+    out += '\n';
+  }
+  return out;
+}
+
+bool SlowLog::write_file(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string contents = to_json_lines();
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool ok = written == contents.size();
+  return (std::fclose(file) == 0) && ok;
+}
+
+}  // namespace wtp::obs

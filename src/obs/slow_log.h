@@ -1,0 +1,87 @@
+// Bounded slow-decision log: keeps the K worst decisions (by end-to-end
+// latency) seen over a threshold, each with its per-stage breakdown, and
+// dumps them as JSON lines (schema in docs/FORMATS.md, "Slow-decision
+// log").  The serving engine records into it from the scoring hot path, so
+// admission is two relaxed atomic loads for the common (fast) decision;
+// only decisions that would actually enter the top-K take the mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wtp::obs {
+
+class SlowLog {
+ public:
+  /// Per-stage nanosecond breakdown of one decision.  Network stages are 0
+  /// for stdin-replay decisions; cascade stages are 0 without a plane.
+  struct Stages {
+    std::int64_t decode_ns = 0;   ///< wire decode (network mode)
+    std::int64_t queue_ns = 0;    ///< ingest-queue wait (network mode)
+    std::int64_t ingest_ns = 0;   ///< window aggregation
+    std::int64_t score_ns = 0;    ///< profile fan-out / cascade + decision
+    std::int64_t overlap_ns = 0;  ///< cascade stage 1
+    std::int64_t centroid_ns = 0; ///< cascade stage 2
+    std::int64_t gaussian_ns = 0; ///< cascade stage 3
+    std::int64_t svm_ns = 0;      ///< cascade stage 4
+  };
+
+  struct Record {
+    std::string device;
+    std::int64_t window_start = 0;
+    std::int64_t window_end = 0;
+    std::uint64_t trace_id = 0;  ///< client-carried trace id (0 = none)
+    std::int64_t total_ns = 0;   ///< decode + queue + ingest + score
+    Stages stages;
+    std::string identity;  ///< the decision ("" = undecided window)
+  };
+
+  /// Decisions under `threshold_ns` are never recorded; of the rest, the
+  /// `capacity` slowest are kept.
+  explicit SlowLog(std::int64_t threshold_ns, std::size_t capacity = 64);
+
+  /// Fast pre-check: would a decision of this latency enter the log?
+  /// Lock-free; false negatives impossible, false positives only while the
+  /// floor is racing upward (record() re-checks under the lock).
+  [[nodiscard]] bool eligible(std::int64_t total_ns) const noexcept {
+    return total_ns >= threshold_ns_ &&
+           total_ns > floor_ns_.load(std::memory_order_relaxed);
+  }
+
+  void record(Record record);
+
+  /// Decisions that cleared the threshold (recorded or displaced later).
+  [[nodiscard]] std::uint64_t over_threshold() const noexcept {
+    return over_threshold_.load(std::memory_order_relaxed);
+  }
+
+  /// The retained records, slowest first.
+  [[nodiscard]] std::vector<Record> worst() const;
+
+  /// One JSON object per line, slowest first, trailing newline.
+  [[nodiscard]] std::string to_json_lines() const;
+
+  /// Writes to_json_lines() to `path` (truncating).  False on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::int64_t threshold_ns() const noexcept {
+    return threshold_ns_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::int64_t threshold_ns_;
+  const std::size_t capacity_;
+  /// Entry bar once full: the fastest retained total (lock-free gate).
+  std::atomic<std::int64_t> floor_ns_{-1};
+  std::atomic<std::uint64_t> over_threshold_{0};
+  mutable std::mutex mutex_;
+  std::vector<Record> heap_;  ///< min-heap on total_ns (guarded by mutex_)
+};
+
+[[nodiscard]] std::string to_json_line(const SlowLog::Record& record);
+
+}  // namespace wtp::obs

@@ -57,6 +57,20 @@ void register_common_metrics(Registry& registry) {
   (void)registry.gauge("serve.sessions_active");
   (void)registry.timer("serve.ingest");
   (void)registry.timer("serve.score");
+  // Network front end (aggregate series; NetServer adds per-worker labeled
+  // variants for its own worker count at construction).
+  for (const char* name :
+       {"net.connections_accepted", "net.connections_closed",
+        "net.transactions_received", "net.malformed_input",
+        "net.truncated_disconnects", "net.ingest_dropped",
+        "net.rejected_transactions", "net.slow_reader_disconnects",
+        "net.backpressure_replies", "net.decisions_sent",
+        "net.decisions_orphaned", "net.admin_requests"}) {
+    (void)registry.counter(name);
+  }
+  (void)registry.gauge("net.connections_active");
+  (void)registry.timer("net.decode");
+  (void)registry.timer("net.queue_wait");
 }
 
 MetricsFileWriter::MetricsFileWriter(Registry& registry, std::string path,

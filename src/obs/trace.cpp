@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <functional>
+#include <thread>
 
 #include "util/strings.h"
 
@@ -33,11 +35,54 @@ void TraceRecorder::enable(std::size_t capacity) {
   clear();
   capacity_.store(capacity == 0 ? 1 : capacity, std::memory_order_relaxed);
   epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  sample_threshold_.store(0xFFFFFFFFu, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_release);
 }
 
 void TraceRecorder::disable() {
   enabled_.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::set_sample_rate(double rate) noexcept {
+  if (rate >= 1.0) {
+    sample_threshold_.store(0xFFFFFFFFu, std::memory_order_relaxed);
+  } else if (rate <= 0.0) {
+    sample_threshold_.store(0, std::memory_order_relaxed);
+  } else {
+    sample_threshold_.store(
+        static_cast<std::uint32_t>(rate * 4294967296.0),
+        std::memory_order_relaxed);
+  }
+}
+
+double TraceRecorder::sample_rate() const noexcept {
+  const std::uint32_t threshold =
+      sample_threshold_.load(std::memory_order_relaxed);
+  if (threshold == 0xFFFFFFFFu) return 1.0;
+  return static_cast<double>(threshold) / 4294967296.0;
+}
+
+bool TraceRecorder::sample() noexcept {
+  if (!enabled()) return false;
+  const std::uint32_t threshold =
+      sample_threshold_.load(std::memory_order_relaxed);
+  if (threshold == 0xFFFFFFFFu) return true;
+  if (threshold == 0) return false;
+  // Per-thread xorshift32: no shared state on this hot path, and no demand
+  // on statistical quality beyond an even split.
+  thread_local std::uint32_t state =
+      static_cast<std::uint32_t>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())) |
+      1u;
+  state ^= state << 13;
+  state ^= state >> 17;
+  state ^= state << 5;
+  return state < threshold;
+}
+
+void TraceRecorder::record(const Event& event) {
+  if (!enabled()) return;
+  append(event);
 }
 
 void TraceRecorder::clear() {
@@ -113,10 +158,20 @@ std::string TraceRecorder::chrome_trace_json() const {
                     static_cast<double>(event.start_ns) / 1e3,
                     static_cast<double>(event.duration_ns) / 1e3);
       out += buf;
-      if (event.has_arg) {
-        std::snprintf(buf, sizeof buf, ",\"args\":{\"value\":%llu}",
-                      static_cast<unsigned long long>(event.arg));
-        out += buf;
+      if (event.has_arg || event.flow != 0) {
+        out += ",\"args\":{";
+        if (event.has_arg) {
+          std::snprintf(buf, sizeof buf, "\"value\":%llu",
+                        static_cast<unsigned long long>(event.arg));
+          out += buf;
+        }
+        if (event.flow != 0) {
+          std::snprintf(buf, sizeof buf, "%s\"trace\":%llu",
+                        event.has_arg ? "," : "",
+                        static_cast<unsigned long long>(event.flow));
+          out += buf;
+        }
+        out += '}';
       }
       out += '}';
     }

@@ -32,16 +32,34 @@ class TraceRecorder {
     std::int64_t start_ns = 0;   // relative to the recorder epoch
     std::int64_t duration_ns = 0;
     std::uint64_t arg = 0;       // optional payload (window size, cell id)
+    std::uint64_t flow = 0;      // decision/trace id (0 = standalone span)
     bool has_arg = false;
   };
 
   /// Starts recording.  `capacity` bounds each thread's event buffer.
-  /// Re-enabling clears previously recorded events.
+  /// Re-enabling clears previously recorded events and resets sampling
+  /// to record-everything.
   void enable(std::size_t capacity = kDefaultCapacity);
   void disable();
   [[nodiscard]] bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
   }
+
+  /// Per-decision sampling: `sample()` answers "trace this decision?" once
+  /// at its entry point, so all of a decision's spans are kept or skipped
+  /// together (never a half-traced decision).  Rate is clamped to [0, 1];
+  /// 1 (the enable() default) samples everything.
+  void set_sample_rate(double rate) noexcept;
+  [[nodiscard]] double sample_rate() const noexcept;
+  [[nodiscard]] bool sample() noexcept;
+
+  /// Records a pre-measured complete event (the decision-tracing path
+  /// synthesizes spans from durations measured off-thread).  Drops the
+  /// event when disabled.
+  void record(const Event& event);
+
+  /// Nanoseconds since the recorder epoch (the timebase of Event.start_ns).
+  [[nodiscard]] std::int64_t now_ns() const noexcept;
 
   /// Discards all recorded events (buffers stay registered).
   void clear();
@@ -72,11 +90,12 @@ class TraceRecorder {
   /// The calling thread's buffer, registering it on first use.
   ThreadBuffer& local_buffer();
   void append(const Event& event);
-  [[nodiscard]] std::int64_t now_ns() const noexcept;
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::int64_t> epoch_ns_{0};
   std::atomic<std::size_t> capacity_{kDefaultCapacity};
+  /// Sampling threshold over the full u32 range (UINT32_MAX = keep all).
+  std::atomic<std::uint32_t> sample_threshold_{0xFFFFFFFFu};
 
   mutable std::mutex registry_mutex_;  // guards buffers_ / next_tid_
   std::vector<ThreadBuffer*> buffers_;

@@ -1,0 +1,41 @@
+// Per-decision trace context: the wire-to-reply story of one transaction.
+//
+// Allocated at wire decode, carried by value through the ingest queue into
+// the engine, and surfaced on the DecisionEvents the transaction's windows
+// produce.  Two independent identities ride in it:
+//
+//   * `id` — the CLIENT's trace id (the optional wire trace field; 0 when
+//     the peer sent none).  Echoed as `"trace":N` on decision replies so a
+//     caller can correlate a decision with the transaction that caused it.
+//     Never invented server-side: replies to old-format peers stay
+//     byte-identical to offline replay.
+//   * `flow` — an internal span-correlation id, nonzero only when this
+//     decision was sampled into the global TraceRecorder.  It groups the
+//     decode/queue/ingest/score/cascade/reply spans of one decision in the
+//     Chrome trace (`args.trace`) and never leaves the process on the wire.
+//
+// The stage stamps accumulate as the decision moves through the pipeline;
+// the engine folds them with its own measurements into the slow-decision
+// log (obs::SlowLog).
+#pragma once
+
+#include <cstdint>
+
+namespace wtp::serve {
+
+struct DecisionTrace {
+  std::uint64_t id = 0;    ///< client-provided wire trace id (0 = none)
+  std::uint64_t flow = 0;  ///< internal sampled-trace flow id (0 = unsampled)
+
+  std::int64_t decode_ns = 0;   ///< wire bytes -> WireMessage
+  std::int64_t queue_ns = 0;    ///< ingest-queue residency
+  std::int64_t ingest_ns = 0;   ///< session routing + window push
+  std::int64_t enqueue_ns = 0;  ///< TraceRecorder::now_ns() stamp at push
+
+  /// True when this decision participates in sampled server-side tracing
+  /// (spans should be recorded) or carries a client trace id (stage totals
+  /// should be attributed).
+  [[nodiscard]] bool active() const noexcept { return id != 0 || flow != 0; }
+};
+
+}  // namespace wtp::serve

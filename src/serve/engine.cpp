@@ -118,13 +118,15 @@ ScoringEngine::Shard& ScoringEngine::shard_for(const std::string& device_id) {
 
 void ScoringEngine::accept_flags(const util::SparseVector& features,
                                  std::vector<char>& flags,
-                                 const ProfileVector& profiles) const {
+                                 const ProfileVector& profiles,
+                                 index::IdentificationResult* cascade_out) const {
   flags.assign(profiles.size(), 0);
   if (config_.plane != nullptr) {
     // Candidate-pruning cascade: only survivors reach kernel_row; accepted
     // survivors arrive as ascending catalog indices (= store order).
-    const index::IdentificationResult result = config_.plane->identify(features);
+    index::IdentificationResult result = config_.plane->identify(features);
     for (const std::uint32_t i : result.accepted) flags[i] = 1;
+    if (cascade_out != nullptr) *cascade_out = std::move(result);
     return;
   }
   // One query norm per scored window, shared across every profile's kernel
@@ -157,10 +159,67 @@ void ScoringEngine::accept_flags(const util::SparseVector& features,
   done.wait();
 }
 
+void ScoringEngine::observe_decision(
+    const DecisionTrace& trace, const DecisionEvent& event,
+    std::int64_t score_ns, const index::IdentificationResult* cascade) const {
+  if (trace.flow != 0) {
+    auto& recorder = obs::TraceRecorder::global();
+    const std::int64_t score_start = recorder.now_ns() - score_ns;
+    obs::TraceRecorder::Event span;
+    span.name = "decision.score";
+    span.category = "decision";
+    span.start_ns = score_start;
+    span.duration_ns = score_ns;
+    span.flow = trace.flow;
+    recorder.record(span);
+    if (cascade != nullptr) {
+      static constexpr const char* kStageNames[4] = {
+          "decision.cascade.overlap", "decision.cascade.centroid",
+          "decision.cascade.gaussian", "decision.cascade.svm"};
+      std::int64_t cursor = score_start;
+      for (int stage = 0; stage < 4; ++stage) {
+        obs::TraceRecorder::Event sub;
+        sub.name = kStageNames[stage];
+        sub.category = "decision";
+        sub.start_ns = cursor;
+        sub.duration_ns = cascade->stage_ns[stage];
+        sub.flow = trace.flow;
+        recorder.record(sub);
+        cursor += cascade->stage_ns[stage];
+      }
+    }
+  }
+  if (config_.slow_log != nullptr) {
+    const std::int64_t total =
+        trace.decode_ns + trace.queue_ns + trace.ingest_ns + score_ns;
+    if (config_.slow_log->eligible(total)) {
+      obs::SlowLog::Record record;
+      record.device = event.device_id;
+      record.window_start = event.window_start;
+      record.window_end = event.window_end;
+      record.trace_id = trace.id;
+      record.total_ns = total;
+      record.stages.decode_ns = trace.decode_ns;
+      record.stages.queue_ns = trace.queue_ns;
+      record.stages.ingest_ns = trace.ingest_ns;
+      record.stages.score_ns = score_ns;
+      if (cascade != nullptr) {
+        record.stages.overlap_ns = cascade->stage_ns[0];
+        record.stages.centroid_ns = cascade->stage_ns[1];
+        record.stages.gaussian_ns = cascade->stage_ns[2];
+        record.stages.svm_ns = cascade->stage_ns[3];
+      }
+      record.identity = event.identity;
+      config_.slow_log->record(std::move(record));
+    }
+  }
+}
+
 void ScoringEngine::score_and_emit(DeviceSession& session,
                                    const PendingWindow& pending,
                                    EventSource source,
-                                   const ProfileVector& profiles) {
+                                   const ProfileVector& profiles,
+                                   const DecisionTrace* trace) {
   const obs::TraceSpan span{
       "serve.score", "serve",
       static_cast<std::uint64_t>(pending.window.transaction_count)};
@@ -172,7 +231,10 @@ void ScoringEngine::score_and_emit(DeviceSession& session,
   event.true_user = pending.true_user;
 
   std::vector<char> flags;
-  accept_flags(pending.window.features, flags, profiles);
+  index::IdentificationResult cascade;
+  const bool want_cascade = trace != nullptr && config_.plane != nullptr;
+  accept_flags(pending.window.features, flags, profiles,
+               want_cascade ? &cascade : nullptr);
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     if (flags[i]) event.accepted_by.push_back(profiles[i].user_id());
   }
@@ -190,25 +252,37 @@ void ScoringEngine::score_and_emit(DeviceSession& session,
   out.identity = session.decide(event);
   out.accepted_by = std::move(event.accepted_by);
   out.source = source;
+  if (trace != nullptr) {
+    out.trace_id = trace->id;
+    out.trace_flow = trace->flow;
+  }
 
   metrics_.windows.add(1);
   if (out.decided()) {
     metrics_.decisions.add(1);
     if (out.correct()) metrics_.correct.add(1);
   }
-  metrics_.score_ns.record_ns(stopwatch.elapsed_micros() * kNanosPerMicro);
+  const double score_ns = stopwatch.elapsed_micros() * kNanosPerMicro;
+  metrics_.score_ns.record_ns(score_ns);
+  if (trace != nullptr) {
+    observe_decision(*trace, out, static_cast<std::int64_t>(score_ns),
+                     want_cascade ? &cascade : nullptr);
+  }
   sink_(out);
 }
 
 void ScoringEngine::score_and_emit_batch(DeviceSession& session,
                                          std::span<const PendingWindow> pending,
                                          EventSource source,
-                                         const ProfileVector& profiles) {
+                                         const ProfileVector& profiles,
+                                         const DecisionTrace* trace) {
   if (pending.empty()) return;
   // The cascade plane prunes per window (its stages are query-local), and a
   // single window gains nothing from the block path.
   if (pending.size() == 1 || config_.plane != nullptr) {
-    for (const auto& p : pending) score_and_emit(session, p, source, profiles);
+    for (const auto& p : pending) {
+      score_and_emit(session, p, source, profiles, trace);
+    }
     return;
   }
   const obs::TraceSpan span{"serve.score", "serve",
@@ -282,6 +356,10 @@ void ScoringEngine::score_and_emit_batch(DeviceSession& session,
     out.identity = session.decide(event);
     out.accepted_by = std::move(event.accepted_by);
     out.source = source;
+    if (trace != nullptr) {
+      out.trace_id = trace->id;
+      out.trace_flow = trace->flow;
+    }
 
     metrics_.windows.add(1);
     if (out.decided()) {
@@ -289,6 +367,10 @@ void ScoringEngine::score_and_emit_batch(DeviceSession& session,
       if (out.correct()) metrics_.correct.add(1);
     }
     metrics_.score_ns.record_ns(per_window_ns);
+    if (trace != nullptr) {
+      observe_decision(*trace, out, static_cast<std::int64_t>(per_window_ns),
+                       nullptr);
+    }
     sink_(out);
   }
 }
@@ -325,6 +407,16 @@ void ScoringEngine::enforce_capacity(Shard& shard,
 }
 
 void ScoringEngine::ingest(const log::WebTransaction& txn) {
+  ingest_impl(txn, nullptr);
+}
+
+void ScoringEngine::ingest(const log::WebTransaction& txn,
+                           const DecisionTrace& trace) {
+  ingest_impl(txn, &trace);
+}
+
+void ScoringEngine::ingest_impl(const log::WebTransaction& txn,
+                                const DecisionTrace* trace) {
   const obs::TraceSpan span{"serve.ingest", "serve"};
   // One profile snapshot per call: every window this arrival completes is
   // scored against a consistent profile set even if a retrain publishes
@@ -350,10 +442,27 @@ void ScoringEngine::ingest(const log::WebTransaction& txn) {
   }
   const auto completed = it->second.session.push(txn);
   metrics_.transactions.add(1);
-  metrics_.ingest_ns.record_ns(stopwatch.elapsed_micros() * kNanosPerMicro);
+  const double ingest_ns = stopwatch.elapsed_micros() * kNanosPerMicro;
+  metrics_.ingest_ns.record_ns(ingest_ns);
+
+  DecisionTrace local;
+  if (trace != nullptr) {
+    local = *trace;
+    local.ingest_ns = static_cast<std::int64_t>(ingest_ns);
+    if (local.flow != 0) {
+      auto& recorder = obs::TraceRecorder::global();
+      obs::TraceRecorder::Event event;
+      event.name = "decision.ingest";
+      event.category = "decision";
+      event.start_ns = recorder.now_ns() - local.ingest_ns;
+      event.duration_ns = local.ingest_ns;
+      event.flow = local.flow;
+      recorder.record(event);
+    }
+  }
 
   score_and_emit_batch(it->second.session, completed, EventSource::kStream,
-                       *profiles);
+                       *profiles, trace != nullptr ? &local : nullptr);
   evict_expired(shard, txn.timestamp, *profiles);
   enforce_capacity(shard, *profiles);
 }

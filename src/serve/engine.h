@@ -26,6 +26,8 @@
 #include "core/profile_store.h"
 #include "index/cascade.h"
 #include "obs/registry.h"
+#include "obs/slow_log.h"
+#include "serve/decision_trace.h"
 #include "serve/event.h"
 #include "serve/metrics.h"
 #include "serve/session.h"
@@ -68,6 +70,11 @@ struct EngineConfig {
   /// ingesting shard's lock, so observe() must be cheap and must not
   /// re-enter the engine.  Must outlive the engine.
   retrain::WindowCollector* collector = nullptr;
+  /// Optional slow-decision log.  Every window scored through the traced
+  /// ingest overload is attributed (decode + queue + ingest + score, plus
+  /// per-cascade-stage splits when a plane is set) and recorded when its
+  /// total crosses the log's threshold.  Must outlive the engine.
+  obs::SlowLog* slow_log = nullptr;
 };
 
 class ScoringEngine {
@@ -83,6 +90,13 @@ class ScoringEngine {
   /// across devices is unrestricted.  Safe to call concurrently from
   /// several threads as long as each device's stream stays on one thread.
   void ingest(const log::WebTransaction& txn);
+
+  /// ingest() with a per-decision trace context (the serving front end's
+  /// path): windows completed by this arrival carry the client trace id on
+  /// their DecisionEvents, sampled decisions emit decision.* spans into the
+  /// global TraceRecorder, and the configured slow log sees an attributed
+  /// stage breakdown.
+  void ingest(const log::WebTransaction& txn, const DecisionTrace& trace);
 
   /// Ends the stream: every session's open windows are scored and emitted
   /// (EventSource::kFlush, devices in lexicographic order) and the session
@@ -155,10 +169,13 @@ class ScoringEngine {
 
   [[nodiscard]] Shard& shard_for(const std::string& device_id);
 
+  void ingest_impl(const log::WebTransaction& txn, const DecisionTrace* trace);
+
   /// Scores one pending window and emits its event.  Caller holds the
   /// shard lock and keeps the profile snapshot alive.
   void score_and_emit(DeviceSession& session, const PendingWindow& pending,
-                      EventSource source, const ProfileVector& profiles);
+                      EventSource source, const ProfileVector& profiles,
+                      const DecisionTrace* trace = nullptr);
 
   /// Scores a burst of completed windows and emits their events in order.
   /// With >= 2 windows and no cascade plane, the burst becomes one window
@@ -167,13 +184,22 @@ class ScoringEngine {
   /// per-window path.  Caller holds the shard lock.
   void score_and_emit_batch(DeviceSession& session,
                             std::span<const PendingWindow> pending,
-                            EventSource source, const ProfileVector& profiles);
+                            EventSource source, const ProfileVector& profiles,
+                            const DecisionTrace* trace = nullptr);
 
   /// accepts() of every profile over the vector, in store order; fans out
-  /// across the pool when one is configured.
+  /// across the pool when one is configured.  When a cascade plane is set
+  /// and `cascade_out` is non-null, the plane's full result (survivor
+  /// counts, per-stage timings) lands there.
   void accept_flags(const util::SparseVector& features,
-                    std::vector<char>& flags,
-                    const ProfileVector& profiles) const;
+                    std::vector<char>& flags, const ProfileVector& profiles,
+                    index::IdentificationResult* cascade_out = nullptr) const;
+
+  /// Sampled decision.* span emission plus slow-log attribution for one
+  /// scored window.  `cascade` is null when no plane ran.
+  void observe_decision(const DecisionTrace& trace, const DecisionEvent& event,
+                        std::int64_t score_ns,
+                        const index::IdentificationResult* cascade) const;
 
   /// Flushes + erases one session.  Caller holds the shard lock.
   void evict(Shard& shard, const std::string& device_id,

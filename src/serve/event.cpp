@@ -33,7 +33,11 @@ std::string to_json_line(const DecisionEvent& event) {
   }
   out += ",\"source\":\"";
   out += to_string(event.source);
-  out += "\"}";
+  out += '"';
+  if (event.trace_id != 0) {
+    out += ",\"trace\":" + std::to_string(event.trace_id);
+  }
+  out += '}';
   return out;
 }
 

@@ -33,6 +33,14 @@ struct DecisionEvent {
   std::vector<std::string> accepted_by;  ///< accepting profiles, store order
   std::string identity;                  ///< smoothed decision ("" = undecided)
   EventSource source = EventSource::kStream;
+  /// Client wire trace id of the transaction that completed this window;
+  /// nonzero only when the peer sent one, and then echoed as "trace":N in
+  /// the JSON line (replies to trace-less peers stay byte-identical to
+  /// offline replay).
+  std::uint64_t trace_id = 0;
+  /// Internal sampled-trace flow id (Chrome span correlation); never
+  /// serialized.
+  std::uint64_t trace_flow = 0;
 
   [[nodiscard]] bool decided() const noexcept { return !identity.empty(); }
   [[nodiscard]] bool correct() const noexcept {

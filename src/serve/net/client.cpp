@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <stdexcept>
 #include <system_error>
 
 namespace wtp::serve::net {
@@ -76,14 +77,16 @@ void BlockingClient::send_chunked(std::string_view bytes, std::size_t chunk) {
   }
 }
 
-void BlockingClient::send_txn_binary(const log::WebTransaction& txn) {
+void BlockingClient::send_txn_binary(const log::WebTransaction& txn,
+                                     std::uint64_t trace_id) {
   std::string frame;
-  append_txn_frame(frame, txn);
+  append_txn_frame(frame, txn, trace_id);
   send(frame);
 }
 
-void BlockingClient::send_txn_json(const log::WebTransaction& txn) {
-  send(to_json_line(txn) + "\n");
+void BlockingClient::send_txn_json(const log::WebTransaction& txn,
+                                   std::uint64_t trace_id) {
+  send(to_json_line(txn, trace_id) + "\n");
 }
 
 void BlockingClient::send_end_binary() {
@@ -122,6 +125,55 @@ std::vector<std::string> BlockingClient::read_all_lines() {
   std::vector<std::string> lines;
   while (auto line = read_line()) lines.push_back(std::move(*line));
   return lines;
+}
+
+std::string http_request(std::uint16_t port, std::string_view method,
+                         std::string_view target, std::string_view body) {
+  BlockingClient client{port};
+  std::string request{method};
+  request += ' ';
+  request += target;
+  request += " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n";
+  if (!body.empty()) {
+    request += "Content-Length: ";
+    request += std::to_string(body.size());
+    request += "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  client.send(request);
+  client.shutdown_write();
+
+  std::string response;
+  char buffer[65536];
+  while (true) {
+    const ssize_t n = ::recv(client.fd(), buffer, sizeof buffer, 0);
+    if (n > 0) {
+      response.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+  return response;
+}
+
+std::string http_get(std::uint16_t port, std::string_view target,
+                     int expect_status) {
+  const std::string response = http_request(port, "GET", target);
+  const std::string expected =
+      "HTTP/1.1 " + std::to_string(expect_status) + " ";
+  if (response.rfind(expected, 0) != 0) {
+    throw std::runtime_error{"http_get " + std::string{target} +
+                             ": unexpected response: " +
+                             response.substr(0, response.find("\r\n"))};
+  }
+  const std::size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    throw std::runtime_error{"http_get: truncated response"};
+  }
+  return response.substr(body + 4);
 }
 
 }  // namespace wtp::serve::net

@@ -33,8 +33,12 @@ class BlockingClient {
   /// intra-frame split).
   void send_chunked(std::string_view bytes, std::size_t chunk);
 
-  void send_txn_binary(const log::WebTransaction& txn);
-  void send_txn_json(const log::WebTransaction& txn);
+  /// A nonzero trace_id rides along as the optional wire trace field and
+  /// comes back on the window's decision events.
+  void send_txn_binary(const log::WebTransaction& txn,
+                       std::uint64_t trace_id = 0);
+  void send_txn_json(const log::WebTransaction& txn,
+                     std::uint64_t trace_id = 0);
   void send_end_binary();
   void send_shutdown_binary();
   void send_end_json() { send("{\"type\":\"end\"}\n"); }
@@ -59,5 +63,19 @@ class BlockingClient {
   int fd_ = -1;
   std::string inbound_;  ///< bytes read past the last returned line
 };
+
+/// One blocking HTTP/1.1 request against 127.0.0.1:port (the admin
+/// endpoint driver for tests, CI smoke, and the bench scraper).  Returns
+/// the raw response (status line + headers + body).  `body` non-empty
+/// implies a Content-Length request body.
+[[nodiscard]] std::string http_request(std::uint16_t port,
+                                       std::string_view method,
+                                       std::string_view target,
+                                       std::string_view body = {});
+
+/// Body of an http_request response; throws std::runtime_error unless the
+/// status matches `expect_status`.
+[[nodiscard]] std::string http_get(std::uint16_t port, std::string_view target,
+                                   int expect_status = 200);
 
 }  // namespace wtp::serve::net

@@ -1,0 +1,228 @@
+#include "serve/net/http.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cctype>
+
+namespace wtp::serve::net {
+
+namespace {
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string lowercase(std::string_view text) {
+  std::string out{text};
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim_ows(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+      continue;
+    }
+    if (c != '%') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 3 > text.size()) {
+      throw HttpError{"http: truncated percent escape"};
+    }
+    unsigned value = 0;
+    const char* begin = text.data() + i + 1;
+    const auto [ptr, ec] = std::from_chars(begin, begin + 2, value, 16);
+    if (ec != std::errc{} || ptr != begin + 2) {
+      throw HttpError{"http: bad percent escape"};
+    }
+    out.push_back(static_cast<char>(value));
+    i += 2;
+  }
+  return out;
+}
+
+std::string_view HttpRequest::query_value(std::string_view key,
+                                          std::string_view fallback) const {
+  std::string_view found = fallback;
+  for (const auto& [k, v] : query) {
+    if (k == key) found = v;
+  }
+  return found;
+}
+
+bool HttpRequest::has_query(std::string_view key) const {
+  for (const auto& [k, v] : query) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+HttpParser::HttpParser(std::size_t max_head_bytes, std::size_t max_body_bytes)
+    : max_head_bytes_{max_head_bytes}, max_body_bytes_{max_body_bytes} {}
+
+void HttpParser::feed(std::string_view bytes,
+                      const std::function<void(HttpRequest&&)>& on_request) {
+  if (bytes.empty()) return;
+  buffer_ += bytes;
+  drain(on_request);
+}
+
+void HttpParser::drain(const std::function<void(HttpRequest&&)>& on_request) {
+  while (true) {
+    const std::size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > max_head_bytes_) {
+        throw HttpError{"http: request head exceeds " +
+                        std::to_string(max_head_bytes_) + " bytes"};
+      }
+      return;
+    }
+    if (head_end > max_head_bytes_) {
+      throw HttpError{"http: request head exceeds " +
+                      std::to_string(max_head_bytes_) + " bytes"};
+    }
+    HttpRequest request =
+        parse_head(std::string_view{buffer_.data(), head_end});
+    std::size_t body_length = 0;
+    const auto length_it = request.headers.find("content-length");
+    if (length_it != request.headers.end()) {
+      const std::string& raw = length_it->second;
+      const auto [ptr, ec] = std::from_chars(
+          raw.data(), raw.data() + raw.size(), body_length);
+      if (ec != std::errc{} || ptr != raw.data() + raw.size()) {
+        throw HttpError{"http: bad Content-Length"};
+      }
+      if (body_length > max_body_bytes_) {
+        throw HttpError{"http: body exceeds " +
+                        std::to_string(max_body_bytes_) + " bytes"};
+      }
+    }
+    if (request.headers.contains("transfer-encoding")) {
+      throw HttpError{"http: Transfer-Encoding is not supported"};
+    }
+    const std::size_t total = head_end + 4 + body_length;
+    if (buffer_.size() < total) return;  // body still in flight
+    request.body = buffer_.substr(head_end + 4, body_length);
+    buffer_.erase(0, total);
+    on_request(std::move(request));
+  }
+}
+
+HttpRequest HttpParser::parse_head(std::string_view head) const {
+  HttpRequest request;
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+
+  const std::size_t method_end = request_line.find(' ');
+  if (method_end == std::string::npos || method_end == 0) {
+    throw HttpError{"http: malformed request line"};
+  }
+  const std::size_t target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string::npos || target_end == method_end + 1) {
+    throw HttpError{"http: malformed request line"};
+  }
+  request.method = std::string{request_line.substr(0, method_end)};
+  request.target =
+      std::string{request_line.substr(method_end + 1,
+                                      target_end - method_end - 1)};
+  const std::string_view version = request_line.substr(target_end + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    throw HttpError{"http: unsupported version '" + std::string{version} +
+                    "'"};
+  }
+  request.keep_alive = version == "HTTP/1.1";
+
+  // Split the target into path and query parameters.
+  const std::string_view target{request.target};
+  const std::size_t question = target.find('?');
+  request.path = url_decode(target.substr(0, question));
+  if (question != std::string_view::npos) {
+    std::string_view rest = target.substr(question + 1);
+    while (!rest.empty()) {
+      const std::size_t amp = rest.find('&');
+      const std::string_view pair =
+          amp == std::string_view::npos ? rest : rest.substr(0, amp);
+      rest = amp == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(amp + 1);
+      if (pair.empty()) continue;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        request.query.emplace_back(url_decode(pair), std::string{});
+      } else {
+        request.query.emplace_back(url_decode(pair.substr(0, eq)),
+                                   url_decode(pair.substr(eq + 1)));
+      }
+    }
+  }
+
+  // Header fields.
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string_view::npos) next = head.size();
+    const std::string_view line = head.substr(pos, next - pos);
+    pos = next + 2;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      throw HttpError{"http: malformed header field"};
+    }
+    request.headers[lowercase(line.substr(0, colon))] =
+        std::string{trim_ows(line.substr(colon + 1))};
+  }
+
+  const auto connection = request.headers.find("connection");
+  if (connection != request.headers.end()) {
+    const std::string value = lowercase(connection->second);
+    if (value == "close") request.keep_alive = false;
+    if (value == "keep-alive") request.keep_alive = true;
+  }
+  return request;
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason_phrase(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace wtp::serve::net

@@ -1,0 +1,79 @@
+// Minimal HTTP/1.1 server-side machinery for the admin plane: an
+// incremental request parser (request line + headers + optional
+// Content-Length body, keep-alive aware) and a response serializer.  The
+// admin endpoint serves single-line scrapes and probes — chunked bodies,
+// trailers, pipelined uploads, and expect/continue are out of scope and
+// rejected as HttpError (the server answers 400 and closes).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wtp::serve::net {
+
+/// Malformed or unsupported HTTP input; the message is safe to echo.
+class HttpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct HttpRequest {
+  std::string method;  ///< uppercase as sent: "GET", "POST", ...
+  std::string target;  ///< raw request target, e.g. "/trace?enable=1"
+  std::string path;    ///< target up to '?', percent-decoded
+  /// Query parameters, percent-decoded, in order of appearance.
+  std::vector<std::pair<std::string, std::string>> query;
+  /// Header fields, names lowercased; repeated fields keep the last value.
+  std::unordered_map<std::string, std::string> headers;
+  std::string body;
+  bool keep_alive = true;  ///< HTTP/1.1 default unless "Connection: close"
+
+  /// Last value of a query parameter, or `fallback` when absent.
+  [[nodiscard]] std::string_view query_value(
+      std::string_view key, std::string_view fallback = {}) const;
+  [[nodiscard]] bool has_query(std::string_view key) const;
+};
+
+/// Reassembles HTTP/1.1 requests from an arbitrarily-chunked byte stream
+/// (one instance per admin connection).  feed() invokes the callback once
+/// per complete request, in order; HttpError is thrown out of feed() and
+/// the connection must be discarded.
+class HttpParser {
+ public:
+  /// Bounds the head (request line + headers) and the body, separately.
+  explicit HttpParser(std::size_t max_head_bytes = 16 * 1024,
+                      std::size_t max_body_bytes = 64 * 1024);
+
+  void feed(std::string_view bytes,
+            const std::function<void(HttpRequest&&)>& on_request);
+
+  /// True when bytes of an incomplete request are buffered.
+  [[nodiscard]] bool mid_request() const noexcept { return !buffer_.empty(); }
+
+ private:
+  void drain(const std::function<void(HttpRequest&&)>& on_request);
+  [[nodiscard]] HttpRequest parse_head(std::string_view head) const;
+
+  std::size_t max_head_bytes_;
+  std::size_t max_body_bytes_;
+  std::string buffer_;
+};
+
+/// Serializes one response with Content-Length framing.  `status` must be a
+/// known code (200, 400, 404, 405, 503); keep_alive controls the Connection
+/// header.
+[[nodiscard]] std::string http_response(int status,
+                                        std::string_view content_type,
+                                        std::string_view body,
+                                        bool keep_alive = true);
+
+/// Percent-decoding ('+' becomes space, %XX bytes); throws HttpError on a
+/// truncated or non-hex escape.
+[[nodiscard]] std::string url_decode(std::string_view text);
+
+}  // namespace wtp::serve::net

@@ -3,14 +3,20 @@
 // backpressure: the caller drops the transaction, replies to the client,
 // and bumps a drop counter); control items (drain barriers, worker poison)
 // use push_unbounded so they can never be lost to backpressure.
+//
+// Storage is a grow-on-demand circular buffer rather than a deque: a
+// backlogged queue reaches steady state after O(log backlog) doublings and
+// then pushes and pops allocate nothing, where deque chunk churn costs an
+// allocator round-trip every few items at QueueItem sizes.  The ring never
+// shrinks, so a queue that once absorbed its configured worst case keeps
+// roughly capacity * sizeof(Item) resident — the bound the operator chose.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <mutex>
-#include <optional>
 #include <utility>
+#include <vector>
 
 namespace wtp::serve::net {
 
@@ -26,8 +32,8 @@ class IngestQueue {
   [[nodiscard]] bool try_push(Item item) {
     {
       const std::lock_guard lock{mutex_};
-      if (items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+      if (count_ >= capacity_) return false;
+      push_locked(std::move(item));
     }
     ready_.notify_one();
     return true;
@@ -38,7 +44,7 @@ class IngestQueue {
   void push_unbounded(Item item) {
     {
       const std::lock_guard lock{mutex_};
-      items_.push_back(std::move(item));
+      push_locked(std::move(item));
     }
     ready_.notify_one();
   }
@@ -46,22 +52,44 @@ class IngestQueue {
   /// Blocks until an item is available.
   [[nodiscard]] Item pop() {
     std::unique_lock lock{mutex_};
-    ready_.wait(lock, [this] { return !items_.empty(); });
-    Item item = std::move(items_.front());
-    items_.pop_front();
+    ready_.wait(lock, [this] { return count_ != 0; });
+    Item item = std::move(ring_[head_]);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
     return item;
   }
 
   [[nodiscard]] std::size_t size() const {
     const std::lock_guard lock{mutex_};
-    return items_.size();
+    return count_;
   }
 
  private:
+  void push_locked(Item&& item) {
+    if (count_ == ring_.size()) grow();
+    ring_[(head_ + count_) & (ring_.size() - 1)] = std::move(item);
+    ++count_;
+  }
+
+  /// Doubles the ring (power-of-two sizes keep the index mask branch-free)
+  /// and unrolls the wrapped tail so the live range restarts at 0.
+  void grow() {
+    std::vector<Item> next(ring_.empty() ? kInitialRing : ring_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(ring_[(head_ + i) & (ring_.size() - 1)]);
+    }
+    ring_.swap(next);
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialRing = 64;
+
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable ready_;
-  std::deque<Item> items_;
+  std::vector<Item> ring_;  ///< power-of-two circular buffer
+  std::size_t head_ = 0;    ///< index of the oldest item
+  std::size_t count_ = 0;   ///< live items (<= ring_.size())
 };
 
 }  // namespace wtp::serve::net

@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "serve/decision_trace.h"
 #include "serve/engine.h"
+#include "serve/net/http.h"
 #include "serve/net/ingest_queue.h"
 #include "serve/net/wire.h"
 
@@ -56,6 +58,14 @@ struct NetServerConfig {
   /// Outbound bytes buffered for a connection before it is declared a slow
   /// reader and disconnected.
   std::size_t max_outbound_bytes = std::size_t{8} << 20;
+  /// Enables the HTTP admin plane: a second listener on 127.0.0.1 sharing
+  /// the event loop, serving GET /metrics (Prometheus text), /stats (JSON),
+  /// /healthz, /readyz, GET/POST /trace (runtime trace control + Chrome
+  /// export).  Read-mostly: an admin scrape never takes an engine or
+  /// ingest-path lock.
+  bool admin = false;
+  /// Admin TCP port (0 = ephemeral; read back via admin_port()).
+  std::uint16_t admin_port = 0;
 };
 
 /// Owns the ScoringEngine it serves (the engine's sink is the server's
@@ -90,6 +100,15 @@ class NetServer {
 
   /// The bound port (valid after construction).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// The bound admin port (0 when the admin plane is disabled).
+  [[nodiscard]] std::uint16_t admin_port() const noexcept { return admin_port_; }
+
+  /// Readiness as /readyz reports it: started, accepting, not draining.
+  [[nodiscard]] bool ready() const noexcept {
+    return ready_.load(std::memory_order_acquire) &&
+           accepting_.load(std::memory_order_acquire) &&
+           !draining_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] ScoringEngine& engine() noexcept { return *engine_; }
   [[nodiscard]] const ScoringEngine& engine() const noexcept { return *engine_; }
@@ -105,6 +124,7 @@ class NetServer {
     log::WebTransaction txn;
     std::shared_ptr<Connection> conn;
     std::shared_ptr<EndBarrier> barrier;
+    DecisionTrace trace;  ///< per-decision context (decode stamp, ids)
   };
 
   /// net.* counter handles, resolved once.
@@ -117,22 +137,41 @@ class NetServer {
     obs::Counter& dropped;
     obs::Counter& rejected;
     obs::Counter& slow_readers;
+    obs::Counter& backpressure;
     obs::Counter& decisions_sent;
     obs::Counter& decisions_orphaned;
+    obs::Counter& admin_requests;
     obs::Gauge& connections_active;
+    obs::Timer& decode_ns;
 
     explicit Metrics(obs::Registry& registry);
+  };
+
+  /// Per-worker {worker=N}-labeled handles (slow-path attribution of drops
+  /// and queue residency to the queue that caused them).  The unlabeled
+  /// aggregates above keep counting alongside.
+  struct WorkerMetrics {
+    obs::Counter& dropped;
+    obs::Counter& backpressure;
+    obs::Timer& queue_wait_ns;
+
+    WorkerMetrics(obs::Registry& registry, std::size_t worker);
   };
 
   void event_loop();
   void worker_loop(std::size_t queue_index);
 
-  void accept_ready();
+  void accept_ready(int listen_fd, bool admin);
   void read_ready(const std::shared_ptr<Connection>& conn);
+  void read_ready_admin(const std::shared_ptr<Connection>& conn);
   void write_ready(const std::shared_ptr<Connection>& conn);
   void close_connection(const std::shared_ptr<Connection>& conn);
   void handle_message(const std::shared_ptr<Connection>& conn,
-                      WireMessage&& message);
+                      WireMessage&& message, std::int64_t decode_ns,
+                      std::int64_t now_ns);
+  void handle_admin_request(const std::shared_ptr<Connection>& conn,
+                            const HttpRequest& request);
+  [[nodiscard]] std::string stats_json() const;
 
   /// Engine sink: routes a decision to the connection that owns the device.
   void route_decision(const DecisionEvent& event);
@@ -140,6 +179,9 @@ class NetServer {
   /// Appends one reply line to the connection's outbound buffer (slow-reader
   /// cutoff applied) and wakes the event loop.  Thread-safe.
   void send_line(const std::shared_ptr<Connection>& conn, std::string_view line);
+  /// send_line without the newline framing (admin HTTP responses).
+  void send_bytes(const std::shared_ptr<Connection>& conn,
+                  std::string_view bytes, bool newline);
 
   void wake_event_loop();
   void update_epoll_interest(const std::shared_ptr<Connection>& conn);
@@ -149,11 +191,14 @@ class NetServer {
   obs::Registry* registry_ = nullptr;
   std::unique_ptr<ScoringEngine> engine_;
   Metrics metrics_;
+  std::vector<WorkerMetrics> worker_metrics_;
 
   int listen_fd_ = -1;
+  int admin_listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   std::uint16_t port_ = 0;
+  std::uint16_t admin_port_ = 0;
 
   std::vector<std::unique_ptr<IngestQueue<QueueItem>>> queues_;
   std::vector<std::thread> workers_;
@@ -174,6 +219,11 @@ class NetServer {
   bool stopped_ = false;
   std::atomic<bool> draining_{false};
   std::atomic<bool> accepting_{true};
+  std::atomic<bool> ready_{false};  ///< start() reached (readiness probe)
+  /// Internal flow-id allocator for sampled decision traces (never 0).
+  std::atomic<std::uint64_t> next_flow_{1};
+  /// True while an eventfd wake is outstanding (wake_event_loop coalescing).
+  std::atomic<bool> wake_pending_{false};
 };
 
 }  // namespace wtp::serve::net

@@ -23,11 +23,14 @@ void append_u32le(std::string& out, std::uint32_t value) {
   }
 }
 
-void append_i64le(std::string& out, std::int64_t value) {
-  const auto bits = static_cast<std::uint64_t>(value);
+void append_u64le(std::string& out, std::uint64_t bits) {
   for (int shift = 0; shift < 64; shift += 8) {
     out.push_back(static_cast<char>((bits >> shift) & 0xFF));
   }
+}
+
+void append_i64le(std::string& out, std::int64_t value) {
+  append_u64le(out, static_cast<std::uint64_t>(value));
 }
 
 void append_string_field(std::string& out, const std::string& value) {
@@ -53,7 +56,7 @@ class PayloadReader {
     return static_cast<std::uint16_t>(lo | (hi << 8));
   }
 
-  [[nodiscard]] std::int64_t i64le() {
+  [[nodiscard]] std::uint64_t u64le() {
     need(8);
     std::uint64_t bits = 0;
     for (int byte = 0; byte < 8; ++byte) {
@@ -62,7 +65,11 @@ class PayloadReader {
               << (8 * byte);
     }
     pos_ += 8;
-    return static_cast<std::int64_t>(bits);
+    return bits;
+  }
+
+  [[nodiscard]] std::int64_t i64le() {
+    return static_cast<std::int64_t>(u64le());
   }
 
   [[nodiscard]] std::string string_field() {
@@ -257,11 +264,12 @@ class JsonObjectScanner {
 
 }  // namespace
 
-std::string encode_txn_payload(const log::WebTransaction& txn) {
+std::string encode_txn_payload(const log::WebTransaction& txn,
+                               std::uint64_t trace_id) {
   std::string payload;
   payload.reserve(16 + txn.url.size() + txn.user_id.size() +
                   txn.device_id.size() + txn.category.size() +
-                  txn.media_type.size() + txn.application_type.size() + 12);
+                  txn.media_type.size() + txn.application_type.size() + 21);
   append_i64le(payload, txn.timestamp);
   payload.push_back(static_cast<char>(txn.scheme));
   payload.push_back(static_cast<char>(txn.action));
@@ -273,10 +281,15 @@ std::string encode_txn_payload(const log::WebTransaction& txn) {
   append_string_field(payload, txn.category);
   append_string_field(payload, txn.media_type);
   append_string_field(payload, txn.application_type);
+  if (trace_id != 0) {
+    payload.push_back(static_cast<char>(kTraceExtensionTag));
+    append_u64le(payload, trace_id);
+  }
   return payload;
 }
 
-log::WebTransaction decode_txn_payload(std::string_view payload) {
+log::WebTransaction decode_txn_payload(std::string_view payload,
+                                       std::uint64_t* trace_id) {
   PayloadReader reader{payload};
   log::WebTransaction txn;
   txn.timestamp = reader.i64le();
@@ -296,8 +309,18 @@ log::WebTransaction decode_txn_payload(std::string_view payload) {
   txn.category = reader.string_field();
   txn.media_type = reader.string_field();
   txn.application_type = reader.string_field();
-  if (!reader.exhausted()) {
-    throw WireError{"decode: trailing bytes after transaction payload"};
+  // Optional tagged extensions (currently only the trace id).  Unknown tags
+  // stay a hard error: silently skipping unparsed bytes would let encoder
+  // drift go unnoticed.
+  while (!reader.exhausted()) {
+    const std::uint8_t tag = reader.u8();
+    if (tag == kTraceExtensionTag) {
+      const std::uint64_t id = reader.u64le();
+      if (trace_id != nullptr) *trace_id = id;
+      continue;
+    }
+    throw WireError{"decode: unknown payload extension tag " +
+                    std::to_string(tag)};
   }
   return txn;
 }
@@ -327,15 +350,18 @@ auto wire_checked(Fn&& fn, const char* what) -> decltype(fn()) {
 
 }  // namespace
 
-void append_txn_frame(std::string& out, const log::WebTransaction& txn) {
-  append_frame(out, FrameType::kTransaction, encode_txn_payload(txn));
+void append_txn_frame(std::string& out, const log::WebTransaction& txn,
+                      std::uint64_t trace_id) {
+  append_frame(out, FrameType::kTransaction,
+               encode_txn_payload(txn, trace_id));
 }
 
 void append_control_frame(std::string& out, FrameType type) {
   append_frame(out, type, {});
 }
 
-std::string to_json_line(const log::WebTransaction& txn) {
+std::string to_json_line(const log::WebTransaction& txn,
+                         std::uint64_t trace_id) {
   std::string out = "{\"type\":\"txn\"";
   out += ",\"ts\":" + std::to_string(txn.timestamp);
   out += ",\"url\":\"" + util::json_escape(txn.url) + '"';
@@ -352,6 +378,7 @@ std::string to_json_line(const log::WebTransaction& txn) {
   out += log::to_string(txn.reputation);
   out += "\",\"private\":";
   out += txn.private_destination ? '1' : '0';
+  if (trace_id != 0) out += ",\"trace\":" + std::to_string(trace_id);
   out += '}';
   return out;
 }
@@ -397,6 +424,10 @@ WireMessage parse_json_line(std::string_view line) {
         throw WireError{"json: private must be 0 or 1"};
       }
       message.txn.private_destination = flag == 1;
+    } else if (key == "trace") {
+      const std::int64_t id = JsonObjectScanner::as_int(raw);
+      if (id < 0) throw WireError{"json: trace id must be >= 0"};
+      message.trace_id = static_cast<std::uint64_t>(id);
     } else {
       throw WireError{"json: unknown field '" + std::string{key} + "'"};
     }
@@ -475,7 +506,7 @@ void FrameDecoder::drain(const std::function<void(WireMessage&&)>& on_message) {
     switch (raw_type) {
       case static_cast<std::uint8_t>(FrameType::kTransaction):
         message.type = FrameType::kTransaction;
-        message.txn = decode_txn_payload(payload);
+        message.txn = decode_txn_payload(payload, &message.trace_id);
         break;
       case static_cast<std::uint8_t>(FrameType::kEnd):
       case static_cast<std::uint8_t>(FrameType::kShutdown):

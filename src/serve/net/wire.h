@@ -55,28 +55,44 @@ enum class FrameType : std::uint8_t {
 /// One decoded wire message (either encoding).
 struct WireMessage {
   FrameType type = FrameType::kTransaction;
-  log::WebTransaction txn;  ///< meaningful only for kTransaction
+  log::WebTransaction txn;      ///< meaningful only for kTransaction
+  std::uint64_t trace_id = 0;   ///< client-carried trace id (0 = none)
 };
+
+/// Extension tag for the optional trace-id field of a binary transaction
+/// payload (docs/FORMATS.md): u8 tag + u64le trace id, after the fixed
+/// fields.  Old decoders reject it as trailing bytes, old encoders simply
+/// never emit it — a peer speaking the pre-trace format is byte-compatible.
+inline constexpr std::uint8_t kTraceExtensionTag = 0x01;
 
 // -- binary encoding ---------------------------------------------------------
 
 /// Binary transaction payload: i64le timestamp; u8 scheme, action,
 /// reputation, private flag; then url, user_id, device_id, category,
-/// media_type, application_type as u16le length + bytes each.
-[[nodiscard]] std::string encode_txn_payload(const log::WebTransaction& txn);
+/// media_type, application_type as u16le length + bytes each; optionally
+/// the trace-id extension (emitted only when trace_id != 0).
+[[nodiscard]] std::string encode_txn_payload(const log::WebTransaction& txn,
+                                             std::uint64_t trace_id = 0);
 
 /// Strict inverse of encode_txn_payload.  Throws WireError on truncation,
-/// trailing bytes, or out-of-range enum values.
-[[nodiscard]] log::WebTransaction decode_txn_payload(std::string_view payload);
+/// trailing bytes, unknown extension tags, or out-of-range enum values.
+/// A trace-id extension, when present, lands in *trace_id (untouched
+/// otherwise).
+[[nodiscard]] log::WebTransaction decode_txn_payload(
+    std::string_view payload, std::uint64_t* trace_id = nullptr);
 
 /// Appends one complete binary frame (header + payload) to `out`.
-void append_txn_frame(std::string& out, const log::WebTransaction& txn);
+void append_txn_frame(std::string& out, const log::WebTransaction& txn,
+                      std::uint64_t trace_id = 0);
 void append_control_frame(std::string& out, FrameType type);
 
 // -- JSON-lines encoding -----------------------------------------------------
 
-/// {"type":"txn","ts":...,"url":"...",...} — no trailing newline.
-[[nodiscard]] std::string to_json_line(const log::WebTransaction& txn);
+/// {"type":"txn","ts":...,"url":"...",...} — no trailing newline.  A
+/// nonzero trace_id adds a "trace":N member (the JSON spelling of the
+/// binary trace extension).
+[[nodiscard]] std::string to_json_line(const log::WebTransaction& txn,
+                                       std::uint64_t trace_id = 0);
 
 /// Parses one line (without its '\n').  Accepts txn objects and the `end` /
 /// `shutdown` controls; anything else throws WireError.

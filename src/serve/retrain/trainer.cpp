@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "svm/one_class_svm.h"
 #include "svm/svdd.h"
 #include "util/feature_matrix.h"
@@ -29,6 +30,7 @@ RetrainLoop::RetrainLoop(ScoringEngine& engine, WindowCollector& collector,
     suppressed_ = &registry->counter("retrain.suppressed");
     failed_ = &registry->counter("retrain.failed");
     fit_ns_ = &registry->timer("retrain.fit");
+    swap_ns_ = &registry->timer("retrain.swap");
   }
 }
 
@@ -111,6 +113,10 @@ std::size_t RetrainLoop::run_once() {
       continue;
     }
     try {
+      // One span per attempted hot swap: refit + self-acceptance re-baseline
+      // + RCU publish, visible next to the decision.* spans in a capture.
+      const obs::TraceSpan swap_span{"retrain.swap", "retrain"};
+      const util::Stopwatch swap_watch;
       const auto windows = collector_->window_snapshot(user);
       const auto profiles = engine_->profiles_snapshot();
       const core::UserProfile* current = nullptr;
@@ -143,6 +149,9 @@ std::size_t RetrainLoop::run_once() {
       last_retrain_[user] = now;
       ++swapped;
       if (completed_ != nullptr) completed_->add(1);
+      if (swap_ns_ != nullptr) {
+        swap_ns_->record_ns(swap_watch.elapsed_micros() * kNanosPerMicro);
+      }
     } catch (const std::exception&) {
       if (failed_ != nullptr) failed_->add(1);
     }

@@ -91,6 +91,7 @@ class RetrainLoop {
   obs::Counter* suppressed_ = nullptr;
   obs::Counter* failed_ = nullptr;
   obs::Timer* fit_ns_ = nullptr;
+  obs::Timer* swap_ns_ = nullptr;  ///< full refit + RCU publish wall clock
 
   std::unordered_map<std::string, std::chrono::steady_clock::time_point>
       last_retrain_;

@@ -1,0 +1,117 @@
+// Slow-decision log: threshold gating, top-K retention under displacement,
+// the lock-free eligibility floor, and the JSON-lines export schema.
+#include "obs/slow_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace wtp::obs {
+namespace {
+
+SlowLog::Record record_with_total(std::int64_t total_ns,
+                                  const std::string& device = "dev") {
+  SlowLog::Record record;
+  record.device = device;
+  record.total_ns = total_ns;
+  return record;
+}
+
+TEST(SlowLog, ThresholdGatesAdmission) {
+  SlowLog log{1000};
+  EXPECT_FALSE(log.eligible(999));
+  EXPECT_TRUE(log.eligible(1000));
+  log.record(record_with_total(999));  // under threshold: dropped silently
+  log.record(record_with_total(1000));
+  EXPECT_EQ(log.over_threshold(), 1u);
+  ASSERT_EQ(log.worst().size(), 1u);
+  EXPECT_EQ(log.worst().front().total_ns, 1000);
+}
+
+TEST(SlowLog, KeepsTheKSlowestAndCountsAll) {
+  SlowLog log{1, 2};
+  log.record(record_with_total(10, "a"));
+  log.record(record_with_total(30, "b"));
+  log.record(record_with_total(20, "c"));  // displaces 10
+  log.record(record_with_total(5, "d"));   // over threshold, never retained
+  EXPECT_EQ(log.over_threshold(), 4u);
+  const auto worst = log.worst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].total_ns, 30);  // slowest first
+  EXPECT_EQ(worst[0].device, "b");
+  EXPECT_EQ(worst[1].total_ns, 20);
+  EXPECT_EQ(worst[1].device, "c");
+}
+
+TEST(SlowLog, FloorRaisesOnceFull) {
+  SlowLog log{1, 2};
+  EXPECT_TRUE(log.eligible(2));  // empty log: anything over threshold
+  log.record(record_with_total(10));
+  log.record(record_with_total(30));
+  // Full with fastest retained = 10: totals at or below the floor are
+  // pre-filtered without the lock.
+  EXPECT_FALSE(log.eligible(10));
+  EXPECT_TRUE(log.eligible(11));
+  log.record(record_with_total(20));
+  EXPECT_FALSE(log.eligible(20));  // floor moved up with the displacement
+}
+
+TEST(SlowLog, DegenerateParametersClamp) {
+  SlowLog negative{-5, 0};  // threshold clamps to 0, capacity to 1
+  EXPECT_EQ(negative.threshold_ns(), 0);
+  EXPECT_EQ(negative.capacity(), 1u);
+  negative.record(record_with_total(0));
+  negative.record(record_with_total(7));
+  ASSERT_EQ(negative.worst().size(), 1u);
+  EXPECT_EQ(negative.worst().front().total_ns, 7);
+}
+
+TEST(SlowLog, JsonLineSchema) {
+  SlowLog::Record record;
+  record.device = "dev \"7\"";
+  record.window_start = 100;
+  record.window_end = 160;
+  record.trace_id = 42;
+  record.total_ns = 123456;
+  record.stages = {10, 20, 30, 63396, 1, 2, 3, 4};
+  record.identity = "user_1";
+  EXPECT_EQ(to_json_line(record),
+            "{\"type\":\"slow_decision\",\"device\":\"dev \\\"7\\\"\","
+            "\"window_start\":100,\"window_end\":160,\"trace\":42,"
+            "\"total_ns\":123456,\"stages\":{\"decode_ns\":10,"
+            "\"queue_ns\":20,\"ingest_ns\":30,\"score_ns\":63396,"
+            "\"overlap_ns\":1,\"centroid_ns\":2,\"gaussian_ns\":3,"
+            "\"svm_ns\":4},\"identity\":\"user_1\"}");
+
+  // Zero trace id (no client trace field on the wire): the key is omitted.
+  record.trace_id = 0;
+  EXPECT_EQ(to_json_line(record).find("\"trace\""), std::string::npos);
+}
+
+TEST(SlowLog, WriteFileMatchesJsonLines) {
+  SlowLog log{1};
+  log.record(record_with_total(500, "x"));
+  log.record(record_with_total(900, "y"));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wtp_slow_log_test.jsonl")
+          .string();
+  ASSERT_TRUE(log.write_file(path));
+  std::ifstream in{path};
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), log.to_json_lines());
+  // Two lines, slowest first, each a slow_decision object.
+  EXPECT_EQ(content.str().rfind("{\"type\":\"slow_decision\",\"device\":\"y\"",
+                                0),
+            0u);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(log.write_file("/nonexistent-dir/slow.jsonl"));
+}
+
+}  // namespace
+}  // namespace wtp::obs

@@ -1,0 +1,565 @@
+// Admin plane of the network front end: Prometheus scrapes (with the
+// per-worker net.* series), the stats/health/readiness probes, runtime
+// trace control, keep-alive and malformed-request handling, the client
+// trace-id echo on decision replies, and the end-to-end decision trace —
+// one injected slow decision must show up, stage-attributed, in both the
+// slow-decision log and the Chrome trace, with the stage spans summing to
+// the logged end-to-end latency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/test_trace.h"
+#include "features/split.h"
+#include "index/cascade.h"
+#include "index/mapped_store.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
+#include "serve/net/client.h"
+#include "serve/net/server.h"
+#include "serve/serve_test_util.h"
+#include "util/stopwatch.h"
+
+namespace wtp::serve::net {
+namespace {
+
+using testing::device_of_line;
+using testing::line_has_type;
+using testing::offline_decision_lines;
+using testing::tiny_store;
+
+EngineConfig engine_config() {
+  EngineConfig config;
+  config.shards = 4;
+  config.smooth = 3;
+  config.score_threads = 0;
+  return config;
+}
+
+NetServerConfig admin_net_config(std::size_t workers = 2) {
+  NetServerConfig net;
+  net.ingest_workers = workers;
+  net.queue_capacity = 200000;
+  net.admin = true;
+  return net;
+}
+
+struct SimpleResponse {
+  int status = 0;
+  std::string body;
+};
+
+SimpleResponse parse_response(const std::string& raw) {
+  SimpleResponse response;
+  EXPECT_EQ(raw.rfind("HTTP/1.1 ", 0), 0u) << raw;
+  response.status = std::atoi(raw.c_str() + 9);
+  const std::size_t at = raw.find("\r\n\r\n");
+  if (at != std::string::npos) response.body = raw.substr(at + 4);
+  return response;
+}
+
+/// One keep-alive response off a persistent admin connection (body framed
+/// by Content-Length; only used for newline-terminated bodies).
+std::optional<SimpleResponse> read_keepalive_response(BlockingClient& client) {
+  auto line = client.read_line();
+  if (!line.has_value()) return std::nullopt;
+  SimpleResponse response;
+  response.status = std::atoi(line->c_str() + 9);
+  std::size_t content_length = 0;
+  while ((line = client.read_line()).has_value()) {
+    if (line->empty() || *line == "\r") break;
+    const std::string prefix = "Content-Length: ";
+    if (line->rfind(prefix, 0) == 0) {
+      content_length = std::strtoull(line->c_str() + prefix.size(), nullptr, 10);
+    }
+  }
+  std::size_t got = 0;
+  while (got < content_length) {
+    line = client.read_line();
+    if (!line.has_value()) return std::nullopt;
+    response.body += *line + "\n";
+    got += line->size() + 1;
+  }
+  return response;
+}
+
+/// The structural check a scraper performs: every line `name[{labels}] value`.
+void expect_prometheus_parseable(const std::string& exposition) {
+  ASSERT_FALSE(exposition.empty());
+  ASSERT_EQ(exposition.back(), '\n');
+  std::size_t begin = 0;
+  while (begin < exposition.size()) {
+    const std::size_t end = exposition.find('\n', begin);
+    const std::string line = exposition.substr(begin, end - begin);
+    begin = end + 1;
+    ASSERT_FALSE(line.empty());
+    std::size_t i = 0;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) != 0 ||
+            line[i] == '_' || line[i] == ':')) {
+      ++i;
+    }
+    ASSERT_GT(i, 0u) << line;
+    if (i < line.size() && line[i] == '{') {
+      bool in_string = false;
+      bool escaped = false;
+      for (++i; i < line.size(); ++i) {
+        if (escaped) {
+          escaped = false;
+        } else if (in_string && line[i] == '\\') {
+          escaped = true;
+        } else if (line[i] == '"') {
+          in_string = !in_string;
+        } else if (!in_string && line[i] == '}') {
+          break;
+        }
+      }
+      ASSERT_LT(i, line.size()) << "unterminated labels: " << line;
+      ++i;
+    }
+    ASSERT_LT(i + 1, line.size()) << "no sample value: " << line;
+    ASSERT_EQ(line[i], ' ') << line;
+  }
+}
+
+TEST(Admin, MetricsScrapeServesPerWorkerSeries) {
+  NetServer server{tiny_store(), engine_config(), admin_net_config(2)};
+  server.start();
+  ASSERT_NE(server.admin_port(), 0);
+
+  const auto& txns = core::testing::tiny_trace().transactions;
+  BlockingClient client{server.port()};
+  std::string stream;
+  for (std::size_t i = 0; i < std::min<std::size_t>(txns.size(), 50); ++i) {
+    append_txn_frame(stream, txns[i]);
+  }
+  client.send(stream);
+  client.send_end_binary();
+  (void)client.read_all_lines();  // drain through the end barrier
+
+  const std::string raw = http_request(server.admin_port(), "GET", "/metrics");
+  EXPECT_NE(raw.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const SimpleResponse response = parse_response(raw);
+  EXPECT_EQ(response.status, 200);
+  ASSERT_NO_FATAL_FAILURE(expect_prometheus_parseable(response.body));
+
+  // The PR7 net.* counters, including the per-worker labelled series.
+  EXPECT_NE(response.body.find("wtp_net_transactions_received_total 50"),
+            std::string::npos)
+      << response.body;
+  for (const char* series :
+       {"wtp_net_ingest_dropped_total{worker=\"0\"} ",
+        "wtp_net_ingest_dropped_total{worker=\"1\"} ",
+        "wtp_net_backpressure_replies_total{worker=\"0\"} ",
+        "wtp_net_queue_wait_seconds_count{worker=\"0\"} ",
+        "wtp_net_connections_accepted_total ", "wtp_net_decode_seconds_count ",
+        "wtp_net_admin_requests_total "}) {
+    EXPECT_NE(response.body.find(series), std::string::npos) << series;
+  }
+  server.stop();
+}
+
+TEST(Admin, StatsHealthzReadyz) {
+  NetServer server{tiny_store(), engine_config(), admin_net_config()};
+  server.start();
+  EXPECT_TRUE(server.ready());
+
+  const std::string stats = http_get(server.admin_port(), "/stats");
+  EXPECT_EQ(stats.rfind("{\"type\":\"stats\"", 0), 0u) << stats;
+  for (const char* field :
+       {"\"ready\":true", "\"port\":", "\"admin_port\":",
+        "\"ingest_workers\":2", "\"trace_enabled\":false",
+        "\"engine\":{", "\"metrics\":{\"type\":\"metrics_snapshot\""}) {
+    EXPECT_NE(stats.find(field), std::string::npos) << field;
+  }
+
+  EXPECT_EQ(http_get(server.admin_port(), "/healthz"), "ok\n");
+  EXPECT_EQ(http_get(server.admin_port(), "/readyz"), "ready\n");
+  EXPECT_EQ(http_get(server.admin_port(), "/nope", 404), "not found\n");
+  const SimpleResponse post_metrics =
+      parse_response(http_request(server.admin_port(), "POST", "/metrics"));
+  EXPECT_EQ(post_metrics.status, 405);
+
+  server.stop();
+  EXPECT_FALSE(server.ready());
+}
+
+TEST(Admin, ReadyzTurnsNotReadyDuringDrain) {
+  // A deep ingest backlog makes stop()'s worker drain long enough to
+  // observe: the pre-established admin connection keeps answering while the
+  // workers chew through the queue, reporting 503 once ready_ dropped.
+  NetServerConfig net = admin_net_config(1);
+  const auto& txns = core::testing::tiny_trace().transactions;
+  net.queue_capacity = txns.size() + 16;
+  NetServer server{tiny_store(), engine_config(), net};
+  server.start();
+
+  BlockingClient admin{server.admin_port()};
+  admin.send("GET /readyz HTTP/1.1\r\n\r\n");
+  auto first = read_keepalive_response(admin);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, 200);
+  EXPECT_EQ(first->body, "ready\n");
+
+  BlockingClient feeder{server.port()};
+  std::string stream;
+  for (const auto& txn : txns) append_txn_frame(stream, txn);
+  feeder.send(stream);
+  // Let the event loop move a solid backlog into the worker queue before
+  // the drain starts.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::thread stopper{[&server] { server.stop(); }};
+  std::vector<int> statuses;
+  try {
+    while (true) {
+      admin.send("GET /readyz HTTP/1.1\r\n\r\n");
+      const auto response = read_keepalive_response(admin);
+      if (!response.has_value()) break;
+      statuses.push_back(response->status);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  } catch (const std::exception&) {
+    // stop() closed the admin socket under us: the drain completed.
+  }
+  stopper.join();
+  EXPECT_NE(std::find(statuses.begin(), statuses.end(), 503), statuses.end())
+      << statuses.size() << " probes, none saw the draining server";
+}
+
+TEST(Admin, TraceControlEndpoint) {
+  NetServer server{tiny_store(), engine_config(), admin_net_config()};
+  server.start();
+  auto& recorder = obs::TraceRecorder::global();
+  ASSERT_FALSE(recorder.enabled());
+
+  SimpleResponse response = parse_response(http_request(
+      server.admin_port(), "POST", "/trace?enable=1&sample=0.25&capacity=4096"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"enabled\":true"), std::string::npos)
+      << response.body;
+  EXPECT_TRUE(recorder.enabled());
+  EXPECT_DOUBLE_EQ(recorder.sample_rate(), 0.25);
+
+  const std::string stats = http_get(server.admin_port(), "/stats");
+  EXPECT_NE(stats.find("\"trace_enabled\":true"), std::string::npos);
+
+  const std::string trace = http_get(server.admin_port(), "/trace");
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+
+  response = parse_response(
+      http_request(server.admin_port(), "POST", "/trace?enable=0"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"enabled\":false"), std::string::npos);
+  EXPECT_FALSE(recorder.enabled());
+
+  // Invalid control inputs answer 400 and leave the recorder alone.
+  for (const char* target :
+       {"/trace?enable=1&sample=1.5", "/trace?enable=1&sample=x",
+        "/trace?enable=maybe", "/trace?capacity=0", "/trace?capacity=lots"}) {
+    response =
+        parse_response(http_request(server.admin_port(), "POST", target));
+    EXPECT_EQ(response.status, 400) << target;
+  }
+  EXPECT_FALSE(recorder.enabled());
+  server.stop();
+}
+
+TEST(Admin, KeepAliveServesSequentialRequests) {
+  NetServer server{tiny_store(), engine_config(), admin_net_config()};
+  server.start();
+
+  BlockingClient admin{server.admin_port()};
+  // Two pipelined requests in one write, then a third after the replies.
+  admin.send("GET /healthz HTTP/1.1\r\n\r\nGET /readyz HTTP/1.1\r\n\r\n");
+  auto response = read_keepalive_response(admin);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "ok\n");
+  response = read_keepalive_response(admin);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->body, "ready\n");
+
+  admin.send("GET /healthz HTTP/1.1\r\n\r\n");
+  response = read_keepalive_response(admin);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->body, "ok\n");
+  server.stop();
+}
+
+TEST(Admin, MalformedRequestGets400AndClose) {
+  NetServer server{tiny_store(), engine_config(), admin_net_config()};
+  server.start();
+
+  BlockingClient admin{server.admin_port()};
+  admin.send("BOGUS\r\n\r\n");
+  std::string raw;
+  for (const auto& line : admin.read_all_lines()) raw += line + "\n";
+  EXPECT_NE(raw.find("HTTP/1.1 400 Bad Request"), std::string::npos) << raw;
+  EXPECT_GE(server.registry().counter("net.malformed_input").value(), 1u);
+  server.stop();
+}
+
+TEST(Admin, TraceIdEchoesOnDecisionsAndStripsToOfflineBytes) {
+  const auto& all = core::testing::tiny_trace().transactions;
+  const auto by_device = features::group_by_device(all);
+  // Busiest device: enough windows for live decisions.
+  const std::vector<log::WebTransaction>* txns = nullptr;
+  for (const auto& [device, stream] : by_device) {
+    if (txns == nullptr || stream.size() > txns->size()) txns = &stream;
+  }
+  ASSERT_NE(txns, nullptr);
+
+  NetServer server{tiny_store(), engine_config(), admin_net_config()};
+  server.start();
+  BlockingClient client{server.port()};
+  std::string stream;
+  for (const auto& txn : *txns) append_txn_frame(stream, txn, 42);
+  client.send(stream);
+  client.send_end_binary();
+
+  std::vector<std::string> got;
+  bool saw_echo = false;
+  for (const auto& line : client.read_all_lines()) {
+    if (line_has_type(line, "metrics")) continue;
+    ASSERT_TRUE(line_has_type(line, "decision")) << line;
+    std::string stripped = line;
+    const std::string echo = ",\"trace\":42";
+    const std::size_t at = stripped.find(echo);
+    if (at != std::string::npos) {
+      saw_echo = true;
+      stripped.erase(at, echo.size());
+    }
+    // Stream-sourced decisions carry the completing transaction's trace id;
+    // flush decisions (drained at the end barrier, no carrying transaction)
+    // must not invent one.
+    if (line.find("\"source\":\"stream\"") != std::string::npos) {
+      EXPECT_NE(at, std::string::npos) << line;
+    } else {
+      EXPECT_EQ(at, std::string::npos) << line;
+    }
+    got.push_back(stripped);
+  }
+  server.stop();
+  EXPECT_TRUE(saw_echo);
+
+  // Stripped of the echo, the replies are byte-identical to offline replay
+  // (and hence to what a trace-less old-format peer receives).
+  const auto want = offline_decision_lines(tiny_store(), engine_config(),
+                                           std::span{*txns});
+  ASSERT_EQ(want.size(), 1u);
+  EXPECT_EQ(got, want.begin()->second);
+}
+
+// -- end-to-end decision trace ----------------------------------------------
+
+/// Cascade catalog that sleeps in model() when armed: injects a measurable
+/// delay into the cascade's SVM stage (the only stage that touches models
+/// after construction), making one decision's slow path deterministic.
+class SleepyCatalog final : public index::ProfileCatalog {
+ public:
+  static constexpr auto kSleep = std::chrono::milliseconds(2);
+
+  explicit SleepyCatalog(const core::ProfileStore& store) : inner_{store} {}
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return inner_.size();
+  }
+  [[nodiscard]] std::string_view user_id(std::size_t i) const override {
+    return inner_.user_id(i);
+  }
+  [[nodiscard]] svm::ModelView model(std::size_t i) const override {
+    if (armed_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(kSleep);
+    }
+    return inner_.model(i);
+  }
+  [[nodiscard]] const features::FeatureSchema& schema() const noexcept override {
+    return inner_.schema();
+  }
+  [[nodiscard]] const features::WindowConfig& window() const noexcept override {
+    return inner_.window();
+  }
+
+  void arm() { armed_.store(true, std::memory_order_relaxed); }
+
+ private:
+  index::HeapProfileCatalog inner_;
+  std::atomic<bool> armed_{false};
+};
+
+struct FlowSpans {
+  double decode_us = 0;
+  double queue_us = 0;
+  double ingest_us = 0;
+  double max_score_us = 0;  ///< one arrival can complete several windows
+  double score_sum_us = 0;
+  double cascade_sum_us = 0;
+  double cascade_svm_max_us = 0;
+  std::vector<std::string> names;
+
+  [[nodiscard]] double worst_decision_us() const {
+    return decode_us + queue_us + ingest_us + max_score_us;
+  }
+  [[nodiscard]] bool has(const std::string& name) const {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  }
+};
+
+/// Minimal Chrome-trace reader for the decision.* spans: name, duration,
+/// and the args.trace flow id that groups one decision's spans.
+std::map<std::uint64_t, FlowSpans> decision_flows(const std::string& json) {
+  std::map<std::uint64_t, FlowSpans> flows;
+  const std::string name_key = "\"name\":\"";
+  std::size_t at = json.find(name_key);
+  while (at != std::string::npos) {
+    const std::size_t begin = at + name_key.size();
+    const std::size_t end = json.find('"', begin);
+    const std::string name = json.substr(begin, end - begin);
+    const std::size_t next = json.find(name_key, end);
+    const std::size_t limit = next == std::string::npos ? json.size() : next;
+    double dur_us = 0;
+    std::uint64_t flow = 0;
+    const std::size_t dur = json.find("\"dur\":", end);
+    if (dur != std::string::npos && dur < limit) {
+      dur_us = std::strtod(json.c_str() + dur + 6, nullptr);
+    }
+    const std::size_t trace = json.find("\"trace\":", end);
+    if (trace != std::string::npos && trace < limit) {
+      flow = std::strtoull(json.c_str() + trace + 8, nullptr, 10);
+    }
+    if (flow != 0 && name.rfind("decision.", 0) == 0) {
+      FlowSpans& spans = flows[flow];
+      spans.names.push_back(name);
+      if (name == "decision.decode") spans.decode_us += dur_us;
+      if (name == "decision.queue") spans.queue_us += dur_us;
+      if (name == "decision.ingest") spans.ingest_us += dur_us;
+      if (name == "decision.score") {
+        spans.score_sum_us += dur_us;
+        spans.max_score_us = std::max(spans.max_score_us, dur_us);
+      }
+      if (name.rfind("decision.cascade.", 0) == 0) spans.cascade_sum_us += dur_us;
+      if (name == "decision.cascade.svm") {
+        spans.cascade_svm_max_us = std::max(spans.cascade_svm_max_us, dur_us);
+      }
+    }
+    at = next;
+  }
+  return flows;
+}
+
+TEST(Admin, EndToEndTraceAttributesSlowDecisions) {
+  const auto& all = core::testing::tiny_trace().transactions;
+  const auto by_device = features::group_by_device(all);
+  const std::vector<log::WebTransaction>* txns = nullptr;
+  for (const auto& [device, stream] : by_device) {
+    if (txns == nullptr || stream.size() > txns->size()) txns = &stream;
+  }
+  ASSERT_NE(txns, nullptr);
+
+  SleepyCatalog catalog{tiny_store()};
+  const index::IdentificationPlane plane{catalog};  // builds before arming
+  obs::SlowLog slow_log{0, 8};  // threshold 0: every traced decision attributed
+  EngineConfig config = engine_config();
+  config.plane = &plane;
+  config.slow_log = &slow_log;
+
+  NetServer server{tiny_store(), config, admin_net_config(1)};
+  server.start();
+
+  // Runtime trace control over the admin plane: record everything.
+  const SimpleResponse enable = parse_response(http_request(
+      server.admin_port(), "POST", "/trace?enable=1&sample=1&capacity=65536"));
+  ASSERT_EQ(enable.status, 200);
+  catalog.arm();
+
+  const util::Stopwatch wall;
+  BlockingClient client{server.port()};
+  std::string stream;
+  std::uint64_t trace_id = 0;
+  // A prefix is plenty: a few hundred transactions complete several windows
+  // against the sleeping cascade while keeping the run (and the queue waits
+  // the single worker accumulates behind the 2ms sleeps) small enough that
+  // every span of every flow fits the recorder capacity.
+  const std::span prefix{txns->data(), std::min<std::size_t>(txns->size(), 400)};
+  for (const auto& txn : prefix) append_txn_frame(stream, txn, ++trace_id);
+  client.send(stream);
+  client.send_end_binary();
+  std::size_t decisions = 0;
+  for (const auto& line : client.read_all_lines()) {
+    if (line_has_type(line, "decision")) ++decisions;
+  }
+  const double wall_ns = wall.elapsed_seconds() * 1e9;
+
+  const SimpleResponse disable = parse_response(
+      http_request(server.admin_port(), "POST", "/trace?enable=0"));
+  ASSERT_EQ(disable.status, 200);
+  const std::string chrome = http_get(server.admin_port(), "/trace");
+  server.stop();
+  ASSERT_GT(decisions, 0u);
+
+  // The slow log attributed every stream decision; its worst entry carries
+  // the injected cascade sleep and an exact stage breakdown.
+  const auto worst = slow_log.worst();
+  ASSERT_FALSE(worst.empty());
+  EXPECT_GE(slow_log.over_threshold(), worst.size());
+  const obs::SlowLog::Record& slowest = worst.front();
+  const double sleep_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SleepyCatalog::kSleep)
+          .count();
+  EXPECT_GE(slowest.total_ns, sleep_ns);
+  EXPECT_NE(slowest.trace_id, 0u);  // the client's wire trace id
+  EXPECT_EQ(slowest.total_ns,
+            slowest.stages.decode_ns + slowest.stages.queue_ns +
+                slowest.stages.ingest_ns + slowest.stages.score_ns);
+  EXPECT_GE(slowest.stages.svm_ns, sleep_ns);  // the sleep lands in stage 4
+  EXPECT_LE(slowest.stages.overlap_ns + slowest.stages.centroid_ns +
+                slowest.stages.gaussian_ns + slowest.stages.svm_ns,
+            slowest.stages.score_ns);
+  // Client-observed wall clock bounds any single decision's latency.
+  EXPECT_GE(wall_ns, static_cast<double>(slowest.total_ns));
+
+  // The Chrome trace tells the same story: the worst flow's
+  // decode+queue+ingest+score spans sum to the logged end-to-end latency.
+  const auto flows = decision_flows(chrome);
+  ASSERT_FALSE(flows.empty());
+  // Only flows that completed a window produced a decision; a later
+  // transaction that merely queued behind the backlog can out-wait the
+  // worst decision without ever reaching the scorer.
+  const FlowSpans* worst_flow = nullptr;
+  for (const auto& [flow, spans] : flows) {
+    if (!spans.has("decision.score")) continue;
+    if (worst_flow == nullptr ||
+        spans.worst_decision_us() > worst_flow->worst_decision_us()) {
+      worst_flow = &spans;
+    }
+  }
+  ASSERT_NE(worst_flow, nullptr);
+  for (const char* span :
+       {"decision.decode", "decision.queue", "decision.ingest",
+        "decision.score", "decision.cascade.overlap",
+        "decision.cascade.centroid", "decision.cascade.gaussian",
+        "decision.cascade.svm", "decision.reply"}) {
+    EXPECT_TRUE(worst_flow->has(span)) << span;
+  }
+  EXPECT_GE(worst_flow->cascade_svm_max_us * 1e3, sleep_ns);
+  EXPECT_LE(worst_flow->cascade_sum_us, worst_flow->score_sum_us + 1.0);
+  // Span export rounds each stage to 1ns; 1us covers it with slack.
+  EXPECT_NEAR(worst_flow->worst_decision_us() * 1e3,
+              static_cast<double>(slowest.total_ns), 1e3);
+}
+
+}  // namespace
+}  // namespace wtp::serve::net

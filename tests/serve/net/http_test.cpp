@@ -1,0 +1,194 @@
+// Admin-plane HTTP machinery: incremental request reassembly at adversarial
+// byte boundaries, query/header parsing, strict rejection of what the admin
+// endpoint does not speak, and the response serializer's framing.
+#include "serve/net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace wtp::serve::net {
+namespace {
+
+/// Feeds `bytes` in `chunk`-byte slices and collects the parsed requests.
+std::vector<HttpRequest> parse_all(HttpParser& parser, std::string_view bytes,
+                                   std::size_t chunk = 0) {
+  std::vector<HttpRequest> requests;
+  const auto sink = [&requests](HttpRequest&& request) {
+    requests.push_back(std::move(request));
+  };
+  if (chunk == 0) {
+    parser.feed(bytes, sink);
+  } else {
+    for (std::size_t at = 0; at < bytes.size(); at += chunk) {
+      parser.feed(bytes.substr(at, std::min(chunk, bytes.size() - at)), sink);
+    }
+  }
+  return requests;
+}
+
+TEST(Http, ParsesRequestLineQueryAndHeaders) {
+  HttpParser parser;
+  const auto requests = parse_all(
+      parser,
+      "POST /trace?enable=1&sample=0.5&note=a%20b+c&flag HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\n"
+      "X-Custom:  spaced value \r\n"
+      "\r\n");
+  ASSERT_EQ(requests.size(), 1u);
+  const HttpRequest& request = requests.front();
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/trace?enable=1&sample=0.5&note=a%20b+c&flag");
+  EXPECT_EQ(request.path, "/trace");
+  ASSERT_EQ(request.query.size(), 4u);
+  EXPECT_EQ(request.query_value("enable"), "1");
+  EXPECT_EQ(request.query_value("sample"), "0.5");
+  EXPECT_EQ(request.query_value("note"), "a b c");  // %20 and '+' decode
+  EXPECT_TRUE(request.has_query("flag"));
+  EXPECT_EQ(request.query_value("flag"), "");
+  EXPECT_EQ(request.query_value("absent", "fallback"), "fallback");
+  EXPECT_FALSE(request.has_query("absent"));
+  EXPECT_EQ(request.headers.at("host"), "127.0.0.1");     // names lowercase
+  EXPECT_EQ(request.headers.at("x-custom"), "spaced value");  // OWS trimmed
+  EXPECT_TRUE(request.keep_alive);
+  EXPECT_TRUE(request.body.empty());
+  EXPECT_FALSE(parser.mid_request());
+}
+
+TEST(Http, RepeatedQueryKeyLastValueWins) {
+  HttpParser parser;
+  const auto requests =
+      parse_all(parser, "GET /trace?sample=0.1&sample=0.9 HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests.front().query_value("sample"), "0.9");
+}
+
+TEST(Http, ByteAtATimeFeedYieldsOneRequest) {
+  HttpParser parser;
+  const std::string wire =
+      "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  const auto requests = parse_all(parser, wire, 1);
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests.front().path, "/metrics");
+  EXPECT_FALSE(parser.mid_request());
+}
+
+TEST(Http, MidRequestTracksIncompleteHead) {
+  HttpParser parser;
+  auto requests = parse_all(parser, "GET /healthz HTT");
+  EXPECT_TRUE(requests.empty());
+  EXPECT_TRUE(parser.mid_request());
+  requests = parse_all(parser, "P/1.1\r\n\r\n");
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_FALSE(parser.mid_request());
+}
+
+TEST(Http, ContentLengthBodyReassembles) {
+  HttpParser parser;
+  auto requests = parse_all(
+      parser, "POST /trace HTTP/1.1\r\nContent-Length: 7\r\n\r\nenab");
+  EXPECT_TRUE(requests.empty());  // body still in flight
+  EXPECT_TRUE(parser.mid_request());
+  requests = parse_all(parser, "le=1");
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests.front().body, "enable=");
+  // The surplus byte starts the next request's buffer.
+  EXPECT_TRUE(parser.mid_request());
+}
+
+TEST(Http, PipelinedRequestsParseInOrder) {
+  HttpParser parser;
+  const auto requests = parse_all(parser,
+                                  "GET /healthz HTTP/1.1\r\n\r\n"
+                                  "GET /readyz HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[0].path, "/healthz");
+  EXPECT_EQ(requests[1].path, "/readyz");
+}
+
+TEST(Http, ConnectionSemantics) {
+  HttpParser parser;
+  const auto requests = parse_all(
+      parser,
+      "GET /a HTTP/1.1\r\nConnection: close\r\n\r\n"
+      "GET /b HTTP/1.0\r\n\r\n"
+      "GET /c HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"
+      "GET /d HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(requests.size(), 4u);
+  EXPECT_FALSE(requests[0].keep_alive);  // explicit close
+  EXPECT_FALSE(requests[1].keep_alive);  // HTTP/1.0 default
+  EXPECT_TRUE(requests[2].keep_alive);   // case-insensitive keep-alive
+  EXPECT_TRUE(requests[3].keep_alive);   // HTTP/1.1 default
+}
+
+TEST(Http, RejectsMalformedInput) {
+  const std::vector<std::string> bad{
+      "GET /x\r\n\r\n",                                // no version
+      " GET /x HTTP/1.1\r\n\r\n",                      // empty method
+      "GET  HTTP/1.1\r\n\r\n",                         // empty target
+      "GET /x HTTP/0.9\r\n\r\n",                       // unsupported version
+      "GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n",        // malformed header
+      "GET /x HTTP/1.1\r\n: empty-name\r\n\r\n",       // empty header name
+      "GET /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+      "GET /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+      "GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+      "GET /a%zz HTTP/1.1\r\n\r\n",                    // bad percent escape
+      "GET /a%2 HTTP/1.1\r\n\r\n",                     // truncated escape
+  };
+  for (const std::string& wire : bad) {
+    HttpParser parser;
+    EXPECT_THROW((void)parse_all(parser, wire), HttpError) << wire;
+  }
+}
+
+TEST(Http, BoundsHeadAndBody) {
+  {
+    HttpParser parser{64, 64};
+    const std::string huge_head =
+        "GET /x HTTP/1.1\r\nPad: " + std::string(100, 'a');
+    EXPECT_THROW((void)parse_all(parser, huge_head), HttpError);
+  }
+  {
+    HttpParser parser{1024, 8};
+    EXPECT_THROW((void)parse_all(parser,
+                                 "POST /x HTTP/1.1\r\n"
+                                 "Content-Length: 9\r\n\r\n"),
+                 HttpError);  // declared body over the cap, before any byte
+  }
+}
+
+TEST(Http, UrlDecode) {
+  EXPECT_EQ(url_decode("plain"), "plain");
+  EXPECT_EQ(url_decode("a+b"), "a b");
+  EXPECT_EQ(url_decode("a%2Fb%2fc"), "a/b/c");  // hex case-insensitive
+  EXPECT_EQ(url_decode("%00"), (std::string{"\0", 1}));
+  EXPECT_THROW((void)url_decode("%"), HttpError);
+  EXPECT_THROW((void)url_decode("%2"), HttpError);
+  EXPECT_THROW((void)url_decode("%g0"), HttpError);
+}
+
+TEST(Http, ResponseFraming) {
+  EXPECT_EQ(http_response(200, "text/plain", "ok\n"),
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain\r\n"
+            "Content-Length: 3\r\n"
+            "Connection: keep-alive\r\n\r\n"
+            "ok\n");
+  EXPECT_EQ(http_response(503, "text/plain", "not ready\n", false),
+            "HTTP/1.1 503 Service Unavailable\r\n"
+            "Content-Type: text/plain\r\n"
+            "Content-Length: 10\r\n"
+            "Connection: close\r\n\r\n"
+            "not ready\n");
+  EXPECT_NE(http_response(404, "text/plain", "").find("404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(
+      http_response(405, "text/plain", "").find("405 Method Not Allowed"),
+      std::string::npos);
+  EXPECT_NE(http_response(400, "text/plain", "").find("400 Bad Request"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wtp::serve::net

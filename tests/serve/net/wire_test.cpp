@@ -103,6 +103,80 @@ TEST(Wire, BinaryRejectsCorruptPayloads) {
   EXPECT_THROW((void)decode_txn_payload(bad_flag), WireError);
 }
 
+TEST(Wire, TraceExtensionRoundTripsBinary) {
+  const log::WebTransaction txn = sample_txn();
+  const std::string with_trace = encode_txn_payload(txn, 0x1122334455667788u);
+  std::uint64_t trace_id = 0;
+  EXPECT_EQ(decode_txn_payload(with_trace, &trace_id), txn);
+  EXPECT_EQ(trace_id, 0x1122334455667788u);
+
+  // Without the out parameter the extension is consumed and dropped — an
+  // engine-only consumer still decodes the transaction.
+  EXPECT_EQ(decode_txn_payload(with_trace), txn);
+
+  // Zero trace id emits no extension: bytes identical to the pre-trace
+  // encoder, so old peers and byte-level replay stay compatible.
+  EXPECT_EQ(encode_txn_payload(txn, 0), encode_txn_payload(txn));
+  trace_id = 99;
+  EXPECT_EQ(decode_txn_payload(encode_txn_payload(txn), &trace_id), txn);
+  EXPECT_EQ(trace_id, 99u);  // untouched when the field is absent
+}
+
+TEST(Wire, TraceExtensionRejectsUnknownAndTruncated) {
+  const std::string base = encode_txn_payload(sample_txn());
+  {
+    std::string unknown_tag = base;
+    unknown_tag.push_back(2);  // not kTraceExtensionTag
+    unknown_tag.append(8, '\0');
+    EXPECT_THROW((void)decode_txn_payload(unknown_tag), WireError);
+  }
+  {
+    std::string truncated = base;
+    truncated.push_back(static_cast<char>(kTraceExtensionTag));
+    truncated.append(4, '\0');  // id cut short
+    EXPECT_THROW((void)decode_txn_payload(truncated), WireError);
+  }
+  {
+    const std::string full = encode_txn_payload(sample_txn(), 7);
+    EXPECT_THROW((void)decode_txn_payload(full + "x"), WireError);  // trailing
+  }
+}
+
+TEST(Wire, TraceFieldRoundTripsJson) {
+  const log::WebTransaction txn = sample_txn();
+  const std::string line = to_json_line(txn, 31337);
+  EXPECT_NE(line.find("\"trace\":31337"), std::string::npos);
+  const WireMessage parsed = parse_json_line(line);
+  EXPECT_EQ(parsed.txn, txn);
+  EXPECT_EQ(parsed.trace_id, 31337u);
+
+  // Zero trace id emits no member, and the line parses with trace_id 0.
+  const std::string plain = to_json_line(txn, 0);
+  EXPECT_EQ(plain, to_json_line(txn));
+  EXPECT_EQ(plain.find("\"trace\""), std::string::npos);
+  EXPECT_EQ(parse_json_line(plain).trace_id, 0u);
+
+  EXPECT_THROW(
+      (void)parse_json_line("{\"type\":\"txn\",\"ts\":1,\"trace\":-3}"),
+      WireError);
+  EXPECT_THROW(
+      (void)parse_json_line("{\"type\":\"txn\",\"ts\":1,\"trace\":\"x\"}"),
+      WireError);
+}
+
+TEST(Wire, TracedFrameRoundTripsThroughDecoder) {
+  std::string stream;
+  append_txn_frame(stream, sample_txn(), 555);
+  append_txn_frame(stream, sample_txn());  // trace-less frame interleaves
+  FrameDecoder decoder{1 << 20};
+  const auto messages = decode_all(decoder, stream, 1);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].txn, sample_txn());
+  EXPECT_EQ(messages[0].trace_id, 555u);
+  EXPECT_EQ(messages[1].txn, sample_txn());
+  EXPECT_EQ(messages[1].trace_id, 0u);
+}
+
 TEST(Wire, DecoderReassemblesBinaryAtEveryBoundary) {
   std::string stream;
   append_txn_frame(stream, sample_txn());

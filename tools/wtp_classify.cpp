@@ -2,16 +2,24 @@
 // the acceptance matrix (which profiles accept which users' windows).
 //
 //   wtp_classify --log test.csv --store profiles.wtp [--user USER]
+//                [--metrics-out FILE] [--metrics-interval S]
+//                [--trace-out FILE]
 //
 // With --user, only that profile's row is evaluated (continuous-
 // authentication style); otherwise the full confusion matrix is printed.
+//
+// Telemetry matches wtp_serve: --metrics-out exports the global registry as
+// a periodically-refreshed JSON snapshot (plus a stderr summary table),
+// --trace-out captures Chrome trace_event JSON of the run.
 #include <cstdio>
+#include <memory>
 
 #include "core/metrics.h"
 #include "core/profile_store.h"
 #include "features/split.h"
 #include "features/window.h"
 #include "log/log_io.h"
+#include "obs/telemetry.h"
 #include "tool_common.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -19,7 +27,35 @@
 using namespace wtp;
 
 int main(int argc, char** argv) {
-  const tools::Args args{argc, argv, "--log FILE --store FILE [--user USER]"};
+  const tools::Args args{argc, argv,
+                         "--log FILE --store FILE [--user USER] "
+                         "[--metrics-out FILE] [--metrics-interval S] "
+                         "[--trace-out FILE]"};
+  obs::Registry& registry = obs::Registry::global();
+  obs::register_common_metrics(registry);
+  const bool telemetry = args.has("metrics-out") || args.has("trace-out");
+  std::unique_ptr<obs::MetricsFileWriter> metrics_writer;
+  if (args.has("metrics-out")) {
+    metrics_writer = std::make_unique<obs::MetricsFileWriter>(
+        registry, args.require("metrics-out"),
+        args.get_double("metrics-interval", 1.0));
+  }
+  if (args.has("trace-out")) obs::TraceRecorder::global().enable();
+  const auto finish = [&](int code) {
+    if (metrics_writer != nullptr) metrics_writer->stop();
+    if (args.has("trace-out")) {
+      obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+      recorder.disable();
+      if (!obs::write_trace_file(recorder, args.require("trace-out"))) {
+        code = code == 0 ? 1 : code;
+      }
+    }
+    if (telemetry) {
+      std::fprintf(stderr, "%s",
+                   obs::summary_table(registry.snapshot(false)).c_str());
+    }
+    return code;
+  };
   const auto store = core::ProfileStore::load_file(args.require("store"));
   const auto transactions = log::read_log_file(args.require("log"));
   std::printf("store: %zu profiles, window D=%lds S=%lds; log: %zu transactions\n",
@@ -45,7 +81,7 @@ int main(int argc, char** argv) {
                      util::format_double(100.0 * profile->acceptance_ratio(vectors), 1) + "%"});
     }
     std::printf("%s", table.render().c_str());
-    return 0;
+    return finish(0);
   }
 
   const auto confusion = core::compute_confusion(store.profiles(), windows);
@@ -63,5 +99,5 @@ int main(int argc, char** argv) {
   std::printf("%s", table.render("acceptance matrix (%)").c_str());
   std::printf("diagonal mean %.1f%%, off-diagonal mean %.1f%%\n",
               confusion.diagonal_mean(), confusion.off_diagonal_mean());
-  return 0;
+  return finish(0);
 }

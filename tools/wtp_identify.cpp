@@ -3,16 +3,24 @@
 //
 //   wtp_identify --log monitored.csv --store profiles.wtp
 //                [--device DEVICE] [--smooth K]
+//                [--metrics-out FILE] [--metrics-interval S]
+//                [--trace-out FILE]
 //
 // Host-specific windowing over the device's transactions; every profile in
 // the store votes on each window.  With --smooth K, identity is only
 // asserted after K consecutive accepted windows (§V-B).
+//
+// Telemetry matches wtp_serve: --metrics-out exports the global registry as
+// a periodically-refreshed JSON snapshot (plus a stderr summary table),
+// --trace-out captures Chrome trace_event JSON of the run.
 #include <cstdio>
+#include <memory>
 
 #include "core/identification.h"
 #include "core/profile_store.h"
 #include "features/split.h"
 #include "log/log_io.h"
+#include "obs/telemetry.h"
 #include "tool_common.h"
 #include "util/strings.h"
 #include "util/time.h"
@@ -21,7 +29,19 @@ using namespace wtp;
 
 int main(int argc, char** argv) {
   const tools::Args args{argc, argv,
-                         "--log FILE --store FILE [--device D] [--smooth K]"};
+                         "--log FILE --store FILE [--device D] [--smooth K] "
+                         "[--metrics-out FILE] [--metrics-interval S] "
+                         "[--trace-out FILE]"};
+  obs::Registry& registry = obs::Registry::global();
+  obs::register_common_metrics(registry);
+  const bool telemetry = args.has("metrics-out") || args.has("trace-out");
+  std::unique_ptr<obs::MetricsFileWriter> metrics_writer;
+  if (args.has("metrics-out")) {
+    metrics_writer = std::make_unique<obs::MetricsFileWriter>(
+        registry, args.require("metrics-out"),
+        args.get_double("metrics-interval", 1.0));
+  }
+  if (args.has("trace-out")) obs::TraceRecorder::global().enable();
   const auto store = core::ProfileStore::load_file(args.require("store"));
   const auto transactions = log::read_log_file(args.require("log"));
   const auto by_device = features::group_by_device(transactions);
@@ -78,6 +98,16 @@ int main(int argc, char** argv) {
                 100.0 * static_cast<double>(correct) / static_cast<double>(decided));
   } else {
     std::printf("\nno identity decisions at smoothing level %zu\n", smooth);
+  }
+  if (metrics_writer != nullptr) metrics_writer->stop();
+  if (args.has("trace-out")) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.disable();
+    if (!obs::write_trace_file(recorder, args.require("trace-out"))) return 1;
+  }
+  if (telemetry) {
+    std::fprintf(stderr, "%s",
+                 obs::summary_table(registry.snapshot(false)).c_str());
   }
   return 0;
 }

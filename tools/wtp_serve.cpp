@@ -9,6 +9,8 @@
 //             [--metrics-out FILE] [--metrics-interval S] [--trace-out FILE]
 //             [--listen PORT] [--port-file FILE] [--net-workers N]
 //             [--queue-capacity N]
+//             [--admin-port PORT] [--admin-port-file FILE]
+//             [--slow-log FILE] [--slow-threshold-us N]
 //             [--restore FILE] [--snapshot-out FILE]
 //             [--retrain] [--retrain-interval S] [--retrain-min-windows N]
 //             [--drift-threshold X] [--drift-warmup N] [--retrain-max-rate N]
@@ -42,6 +44,13 @@
 // the file always parses) and once at exit; --trace-out enables scoped
 // tracing and writes Chrome trace_event JSON loadable in chrome://tracing
 // or Perfetto.  Either flag also prints a run summary table to stderr.
+//
+// Observability (with --listen): --admin-port starts the HTTP admin plane
+// on 127.0.0.1 (GET /metrics Prometheus text, /stats JSON, /healthz,
+// /readyz, GET/POST /trace; 0 = ephemeral, --admin-port-file writes the
+// bound port).  --slow-log FILE records the worst decisions whose
+// decode+queue+ingest+score total exceeds --slow-threshold-us (default
+// 1000) as JSON lines with a per-stage breakdown, written at exit.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -93,7 +102,9 @@ int main(int argc, char** argv) {
                          "[--replay-speed X] [--metrics-out FILE] "
                          "[--metrics-interval S] [--trace-out FILE] "
                          "[--listen PORT] [--port-file FILE] [--net-workers N] "
-                         "[--queue-capacity N] [--restore FILE] "
+                         "[--queue-capacity N] [--admin-port PORT] "
+                         "[--admin-port-file FILE] [--slow-log FILE] "
+                         "[--slow-threshold-us N] [--restore FILE] "
                          "[--snapshot-out FILE] [--retrain] "
                          "[--retrain-interval S] [--retrain-min-windows N] "
                          "[--drift-threshold X] [--drift-warmup N] "
@@ -122,6 +133,15 @@ int main(int argc, char** argv) {
         args.get_double("metrics-interval", 1.0));
   }
   if (args.has("trace-out")) obs::TraceRecorder::global().enable();
+
+  // Slow-decision attribution: decisions over the threshold keep a
+  // per-stage breakdown, worst-first, dumped as JSON lines at exit.
+  std::unique_ptr<obs::SlowLog> slow_log;
+  if (args.has("slow-log")) {
+    const long threshold_us = args.get_int("slow-threshold-us", 1000);
+    slow_log = std::make_unique<obs::SlowLog>(threshold_us * 1000);
+    config.slow_log = slow_log.get();
+  }
 
   // Retraining plane: the collector plugs into the engine config, the loop
   // attaches once the engine exists.
@@ -178,6 +198,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s",
                    obs::summary_table(registry.snapshot(false)).c_str());
     }
+    if (slow_log != nullptr) {
+      const std::string path = args.require("slow-log");
+      if (!slow_log->write_file(path)) {
+        std::fprintf(stderr, "wtp_serve: cannot write slow log '%s'\n",
+                     path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "wtp_serve: %zu decisions over threshold, worst %zu in %s\n",
+                   static_cast<std::size_t>(slow_log->over_threshold()),
+                   slow_log->worst().size(), path.c_str());
+    }
     return 0;
   };
 
@@ -188,6 +220,10 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("net-workers", 4));
     net.queue_capacity =
         static_cast<std::size_t>(args.get_int("queue-capacity", 4096));
+    if (args.has("admin-port")) {
+      net.admin = true;
+      net.admin_port = static_cast<std::uint16_t>(args.get_int("admin-port", 0));
+    }
     serve::net::NetServer server{store, config, net};
     if (args.has("restore") &&
         !restore_from_file(server.engine(), args.require("restore"))) {
@@ -201,8 +237,20 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    if (args.has("admin-port-file")) {
+      std::ofstream admin_file{args.require("admin-port-file"), std::ios::trunc};
+      admin_file << server.admin_port() << '\n';
+      if (!admin_file.good()) {
+        std::fprintf(stderr, "wtp_serve: cannot write admin port file\n");
+        return 1;
+      }
+    }
     std::fprintf(stderr, "wtp_serve: listening on 127.0.0.1:%u\n",
                  static_cast<unsigned>(server.port()));
+    if (net.admin) {
+      std::fprintf(stderr, "wtp_serve: admin on 127.0.0.1:%u\n",
+                   static_cast<unsigned>(server.admin_port()));
+    }
     server.start();
     auto retrain_loop = make_retrain_loop(server.engine());
     server.wait_for_shutdown();
