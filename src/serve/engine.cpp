@@ -58,6 +58,12 @@ ScoringEngine::ScoringEngine(const core::ProfileStore& store,
   if (config_.score_threads > 0) {
     pool_ = std::make_unique<util::ThreadPool>(config_.score_threads);
   }
+  if (config_.transform != svm::TransformMode::kDefault) {
+    // Process-global (see EngineConfig::transform); the decision sweeps,
+    // cascade SVM stage, and mmap ModelView scoring all route through
+    // kernel_transform, so this one switch covers every scoring path.
+    svm::set_transform_mode(config_.transform);
+  }
   if (config_.plane != nullptr) {
     const auto& catalog = config_.plane->catalog();
     const auto& profiles = store.profiles();

@@ -31,6 +31,7 @@
 #include "serve/event.h"
 #include "serve/metrics.h"
 #include "serve/session.h"
+#include "svm/kernel.h"
 #include "util/histogram.h"
 #include "util/thread_pool.h"
 
@@ -75,6 +76,14 @@ struct EngineConfig {
   /// per-cascade-stage splits when a plane is set) and recorded when its
   /// total crosses the log's threshold.  Must outlive the engine.
   obs::SlowLog* slow_log = nullptr;
+  /// Kernel-transform precision tier for this process's scoring sweeps
+  /// (DESIGN §14).  kDefault keeps whatever the process mode already is
+  /// (WTP_TRANSFORM_MODE, exact when unset); kExact / kRelaxed call
+  /// svm::set_transform_mode at engine construction.  NOTE: the transform
+  /// mode is process-global, not per-engine — the last engine constructed
+  /// with a non-default value wins.  Training is unaffected either way
+  /// (the solver pins the exact tier).
+  svm::TransformMode transform = svm::TransformMode::kDefault;
 };
 
 class ScoringEngine {

@@ -1,15 +1,20 @@
 #include "svm/kernel.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
 
+#include "obs/registry.h"
 #include "svm/kernel_backends.h"
+#include "svm/kernel_scalar_body.h"
 #include "util/strings.h"
 
 namespace wtp::svm {
@@ -45,17 +50,25 @@ KernelType parse_kernel_type(std::string_view text) {
   throw std::runtime_error{"parse_kernel_type: unknown kernel '" + std::string{text} + "'"};
 }
 
-namespace {
-
-double powi(double base, int exponent) {
-  double result = 1.0;
-  double factor = base;
-  for (int e = exponent; e > 0; e /= 2) {
-    if (e % 2 == 1) result *= factor;
-    factor *= factor;
+std::string_view to_string(TransformMode mode) noexcept {
+  switch (mode) {
+    case TransformMode::kDefault: return "default";
+    case TransformMode::kExact: return "exact";
+    case TransformMode::kRelaxed: return "relaxed";
   }
-  return result;
+  return "exact";
 }
+
+TransformMode parse_transform_mode(std::string_view text) {
+  const std::string lowered = util::to_lower(text);
+  if (lowered == "default") return TransformMode::kDefault;
+  if (lowered == "exact") return TransformMode::kExact;
+  if (lowered == "relaxed") return TransformMode::kRelaxed;
+  throw std::runtime_error{"parse_transform_mode: unknown mode '" +
+                           std::string{text} + "' (want exact|relaxed)"};
+}
+
+namespace {
 
 // ------------------------------------------------------ backend selection --
 
@@ -103,6 +116,32 @@ const util::BitsetDotOps* select_backend(std::string_view requested) {
   return &util::scalar_bitset_ops();
 }
 
+// ------------------------------------------- transform backend selection --
+
+std::atomic<const detail::TransformOps*> g_transform_ops{nullptr};
+
+/// Maps a WTP_KERNEL_BACKEND name onto the transform set: "avx512"/"avx2"
+/// pick the same-named transform backend (scalar if the CPU lacks it —
+/// select_backend already warned); names with no transform counterpart
+/// ("popcnt", "csr", "none", "off") and the empty request's
+/// fastest-supported default resolve here too.  Never throws: the bitset
+/// selection already validated the name.
+const detail::TransformOps* select_transform_backend(std::string_view requested) {
+  if (requested.empty()) {
+    for (const auto& backend : detail::transform_backends()) {
+      if (backend.supported()) return backend.ops;
+    }
+    return &detail::scalar_transform_ops();
+  }
+  for (const auto& backend : detail::transform_backends()) {
+    if (requested == backend.ops->name) {
+      return backend.supported() ? backend.ops
+                                 : &detail::scalar_transform_ops();
+    }
+  }
+  return &detail::scalar_transform_ops();
+}
+
 const util::BitsetDotOps* active_backend() {
   const util::BitsetDotOps* ops = g_backend.load(std::memory_order_acquire);
   if (ops != nullptr) return ops;
@@ -111,10 +150,69 @@ const util::BitsetDotOps* active_backend() {
   ops = g_backend.load(std::memory_order_acquire);
   if (ops == nullptr) {
     const char* env = std::getenv("WTP_KERNEL_BACKEND");
-    ops = select_backend(env == nullptr ? std::string_view{} : env);
+    const std::string_view requested = env == nullptr ? std::string_view{} : env;
+    ops = select_backend(requested);
+    // Transform ops are published before g_backend (the release fence), so
+    // any thread that observes the bitset selection also observes the
+    // transform selection.
+    g_transform_ops.store(select_transform_backend(requested),
+                          std::memory_order_release);
     g_backend.store(ops, std::memory_order_release);
   }
   return ops;
+}
+
+const detail::TransformOps& transform_dispatch() {
+  const detail::TransformOps* ops =
+      g_transform_ops.load(std::memory_order_acquire);
+  if (ops != nullptr) return *ops;
+  active_backend();  // selects both planes under one lock
+  return *g_transform_ops.load(std::memory_order_acquire);
+}
+
+// ----------------------------------------------------------- mode + obs --
+
+constexpr int kModeUnset = -1;
+std::atomic<int> g_transform_mode{kModeUnset};
+
+/// Per-kernel dot/transform timers + the relaxed-mode gauge; resolved once
+/// per set_kernel_metrics install, lock-free on the hot path.
+struct KernelMetrics {
+  std::array<obs::Timer*, 4> dot{};
+  std::array<obs::Timer*, 4> transform{};
+  obs::Gauge* relaxed_active = nullptr;
+};
+
+std::atomic<const KernelMetrics*> g_metrics{nullptr};
+
+const KernelMetrics* kernel_metrics() {
+  return g_metrics.load(std::memory_order_acquire);
+}
+
+std::size_t kernel_index(KernelType type) {
+  return static_cast<std::size_t>(type);
+}
+
+std::int64_t phase_begin(const KernelMetrics* metrics) {
+  if (metrics == nullptr) return 0;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void dot_phase_end(const KernelMetrics* metrics, KernelType type,
+                   std::int64_t start) {
+  if (metrics == nullptr) return;
+  const std::int64_t now = phase_begin(metrics);
+  metrics->dot[kernel_index(type)]->record_ns(static_cast<double>(now - start));
+}
+
+void transform_phase_end(const KernelMetrics* metrics, KernelType type,
+                         std::int64_t start) {
+  if (metrics == nullptr) return;
+  const std::int64_t now = phase_begin(metrics);
+  metrics->transform[kernel_index(type)]->record_ns(
+      static_cast<double>(now - start));
 }
 
 // ------------------------------------------------------- bitset row paths --
@@ -177,10 +275,13 @@ std::vector<std::string_view> supported_kernel_backends() {
 
 void set_kernel_backend_for_testing(std::string_view name) {
   if (name.empty()) {
+    g_transform_ops.store(nullptr, std::memory_order_release);
     g_backend.store(nullptr, std::memory_order_release);
     return;
   }
   if (name == "csr" || name == "none" || name == "off") {
+    g_transform_ops.store(&detail::scalar_transform_ops(),
+                          std::memory_order_release);
     g_backend.store(kCsrOnly, std::memory_order_release);
     return;
   }
@@ -194,9 +295,80 @@ void set_kernel_backend_for_testing(std::string_view name) {
     throw std::runtime_error{"set_kernel_backend_for_testing: backend '" +
                              std::string{name} + "' not supported by this CPU"};
   }
+  g_transform_ops.store(select_transform_backend(name),
+                        std::memory_order_release);
   g_backend.store(ops, std::memory_order_release);
 }
 
+TransformMode transform_mode() {
+  int mode = g_transform_mode.load(std::memory_order_acquire);
+  if (mode == kModeUnset) {
+    const char* env = std::getenv("WTP_TRANSFORM_MODE");
+    TransformMode parsed = TransformMode::kExact;
+    if (env != nullptr && *env != '\0') {
+      parsed = parse_transform_mode(env);
+      if (parsed == TransformMode::kDefault) parsed = TransformMode::kExact;
+    }
+    mode = static_cast<int>(parsed);
+    // Benign race: concurrent first-callers parse the same environment and
+    // store the same value.
+    g_transform_mode.store(mode, std::memory_order_release);
+  }
+  return static_cast<TransformMode>(mode);
+}
+
+void set_transform_mode(TransformMode mode) {
+  g_transform_mode.store(
+      mode == TransformMode::kDefault ? kModeUnset : static_cast<int>(mode),
+      std::memory_order_release);
+  if (const KernelMetrics* metrics = kernel_metrics()) {
+    metrics->relaxed_active->set(
+        transform_mode() == TransformMode::kRelaxed ? 1.0 : 0.0);
+  }
+}
+
+TransformMode effective_transform_mode(const KernelParams& params) {
+  return params.transform == TransformMode::kDefault ? transform_mode()
+                                                     : params.transform;
+}
+
+std::string_view transform_backend_name() {
+  return transform_dispatch().name;
+}
+
+void set_kernel_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    g_metrics.store(nullptr, std::memory_order_release);
+    return;
+  }
+  // Handle bundles live in a static deque so a pointer published earlier
+  // stays valid across re-installs (handles themselves are stable for the
+  // registry's lifetime; the registry must outlive all kernel calls —
+  // tools pass obs::Registry::global()).
+  static std::mutex mutex;
+  static std::deque<KernelMetrics> bundles;
+  const std::scoped_lock lock{mutex};
+  KernelMetrics metrics;
+  constexpr std::array<KernelType, 4> kTypes{
+      KernelType::kLinear, KernelType::kPolynomial, KernelType::kRbf,
+      KernelType::kSigmoid};
+  for (const KernelType type : kTypes) {
+    const obs::Label label{"kernel", std::string{to_string(type)}};
+    const std::span<const obs::Label> labels{&label, 1};
+    metrics.dot[kernel_index(type)] = &registry->timer("kernel.dot_ns", labels);
+    metrics.transform[kernel_index(type)] =
+        &registry->timer("kernel.transform_ns", labels);
+  }
+  metrics.relaxed_active = &registry->gauge("kernel.transform_relaxed");
+  metrics.relaxed_active->set(
+      transform_mode() == TransformMode::kRelaxed ? 1.0 : 0.0);
+  bundles.push_back(metrics);
+  g_metrics.store(&bundles.back(), std::memory_order_release);
+}
+
+// The per-element expressions live in svm/kernel_scalar_body.h — the ONE
+// scalar definition kernel_eval, kernel_self, and every transform backend
+// stamp from, so exact-tier bit-identity is by construction.
 double kernel_eval(const KernelParams& params, const util::SparseVector& x,
                    const util::SparseVector& y, double x_sqnorm,
                    double y_sqnorm) {
@@ -204,13 +376,13 @@ double kernel_eval(const KernelParams& params, const util::SparseVector& x,
     case KernelType::kLinear:
       return x.dot(y);
     case KernelType::kPolynomial:
-      return powi(params.gamma * x.dot(y) + params.coef0, params.degree);
-    case KernelType::kRbf: {
-      const double sq_dist = x_sqnorm + y_sqnorm - 2.0 * x.dot(y);
-      return std::exp(-params.gamma * (sq_dist > 0.0 ? sq_dist : 0.0));
-    }
+      return detail::poly_element(params.gamma, params.coef0, params.degree,
+                                  x.dot(y));
+    case KernelType::kRbf:
+      return std::exp(
+          detail::rbf_exp_arg(params.gamma, x_sqnorm, y_sqnorm, x.dot(y)));
     case KernelType::kSigmoid:
-      return std::tanh(params.gamma * x.dot(y) + params.coef0);
+      return std::tanh(detail::affine_arg(params.gamma, params.coef0, x.dot(y)));
   }
   throw std::logic_error{"kernel_eval: invalid kernel type"};
 }
@@ -234,40 +406,87 @@ double kernel_self(const KernelParams& params, double sq_norm) {
     case KernelType::kLinear:
       return sq_norm;
     case KernelType::kPolynomial:
-      return powi(params.gamma * sq_norm + params.coef0, params.degree);
+      return detail::poly_element(params.gamma, params.coef0, params.degree,
+                                  sq_norm);
     case KernelType::kSigmoid:
-      return std::tanh(params.gamma * sq_norm + params.coef0);
+      return std::tanh(detail::affine_arg(params.gamma, params.coef0, sq_norm));
   }
   throw std::logic_error{"kernel_self: invalid kernel type"};
 }
 
-/// Shared tail of the kernel_row overloads: `inout` holds raw dot products
-/// of the query with every row; transform them in place.  The per-element
-/// arithmetic matches kernel_eval exactly (same expressions, same order).
-void kernel_transform(const KernelParams& params, const util::CsrView& matrix,
-                      double x_sqnorm, std::span<double> out) {
+namespace {
+
+/// Tile width of the batched transform: the argument pass and the exp/tanh
+/// pass revisit the same 8 KB of `out` (plus 8 KB of sq_norms for RBF), so
+/// a tile stays L1-resident between the two passes.
+constexpr std::size_t kTransformTile = 1024;
+
+/// The tiled transform core (DESIGN §14).  Everything around the libm call
+/// runs through the dispatched SIMD backend — the RBF squared-distance
+/// assembly with its clamp, the gamma*dot+coef0 pre-scale, lane-parallel
+/// powi — all bit-identical to kernel_eval's expressions by construction.
+/// Exact tier then applies std::exp/std::tanh per element; relaxed tier
+/// applies the backend's vectorized stamps instead.
+void transform_tiles(const KernelParams& params, const util::CsrView& matrix,
+                     double x_sqnorm, std::span<double> out) {
   const std::size_t n = matrix.rows();
+  const detail::TransformOps& ops = transform_dispatch();
   switch (params.type) {
     case KernelType::kLinear:
       return;
     case KernelType::kPolynomial:
-      for (std::size_t j = 0; j < n; ++j) {
-        out[j] = powi(params.gamma * out[j] + params.coef0, params.degree);
+      // No transcendental: the whole transform is one SIMD pass.
+      ops.poly_transform(params.gamma, params.coef0, params.degree, out.data(),
+                         n);
+      return;
+    case KernelType::kRbf: {
+      const bool relaxed =
+          effective_transform_mode(params) == TransformMode::kRelaxed;
+      const double* sq_norms = matrix.sq_norms.data();
+      for (std::size_t j = 0; j < n; j += kTransformTile) {
+        const std::size_t len = std::min(kTransformTile, n - j);
+        double* tile = out.data() + j;
+        ops.rbf_exp_args(params.gamma, x_sqnorm, sq_norms + j, tile, len);
+        if (relaxed) {
+          ops.exp_inplace(tile, len);
+        } else {
+          for (std::size_t t = 0; t < len; ++t) tile[t] = std::exp(tile[t]);
+        }
       }
       return;
-    case KernelType::kRbf:
-      for (std::size_t j = 0; j < n; ++j) {
-        const double sq_dist = x_sqnorm + matrix.sq_norm(j) - 2.0 * out[j];
-        out[j] = std::exp(-params.gamma * (sq_dist > 0.0 ? sq_dist : 0.0));
+    }
+    case KernelType::kSigmoid: {
+      const bool relaxed =
+          effective_transform_mode(params) == TransformMode::kRelaxed;
+      for (std::size_t j = 0; j < n; j += kTransformTile) {
+        const std::size_t len = std::min(kTransformTile, n - j);
+        double* tile = out.data() + j;
+        ops.affine_args(params.gamma, params.coef0, tile, len);
+        if (relaxed) {
+          ops.tanh_inplace(tile, len);
+        } else {
+          for (std::size_t t = 0; t < len; ++t) tile[t] = std::tanh(tile[t]);
+        }
       }
       return;
-    case KernelType::kSigmoid:
-      for (std::size_t j = 0; j < n; ++j) {
-        out[j] = std::tanh(params.gamma * out[j] + params.coef0);
-      }
-      return;
+    }
   }
-  throw std::logic_error{"kernel_row: invalid kernel type"};
+  throw std::logic_error{"kernel_transform: invalid kernel type"};
+}
+
+}  // namespace
+
+/// Shared tail of the kernel_row overloads: `inout` holds raw dot products
+/// of the query with every row; transform them in place.  Bit-identical to
+/// per-pair kernel_eval in exact mode (the default); see TransformMode for
+/// the relaxed tier.
+void kernel_transform(const KernelParams& params, const util::CsrView& matrix,
+                      double x_sqnorm, std::span<double> out) {
+  if (params.type == KernelType::kLinear) return;
+  const KernelMetrics* metrics = kernel_metrics();
+  const std::int64_t start = phase_begin(metrics);
+  transform_tiles(params, matrix, x_sqnorm, out);
+  transform_phase_end(metrics, params.type, start);
 }
 
 void kernel_transform(const KernelParams& params,
@@ -298,14 +517,20 @@ void dot_rows(const util::FeatureMatrix& matrix, std::size_t i,
 
 void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 std::size_t i, std::span<double> out) {
+  const KernelMetrics* metrics = kernel_metrics();
+  const std::int64_t start = phase_begin(metrics);
   dot_rows(matrix, i, out);
+  dot_phase_end(metrics, params.type, start);
   kernel_transform(params, matrix.view(), matrix.sq_norm(i), out);
 }
 
 void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 const util::SparseVector& x, double x_sqnorm,
                 std::span<double> out) {
+  const KernelMetrics* metrics = kernel_metrics();
+  const std::int64_t start = phase_begin(metrics);
   dot_rows(matrix, x, out);
+  dot_phase_end(metrics, params.type, start);
   kernel_transform(params, matrix.view(), x_sqnorm, out);
 }
 
@@ -313,11 +538,14 @@ void kernel_row(const KernelParams& params, const util::FeatureMatrix& matrix,
                 std::span<const std::uint32_t> query_indices,
                 std::span<const double> query_values, double x_sqnorm,
                 std::span<double> out) {
+  const KernelMetrics* metrics = kernel_metrics();
+  const std::int64_t start = phase_begin(metrics);
   util::BitsetView view_storage;
   const util::BitsetView* bits = matrix_bitset_view(matrix, &view_storage);
   if (!bitset_dots(bits, query_indices, query_values, out)) {
     matrix.dot_all(query_indices, query_values, out);
   }
+  dot_phase_end(metrics, params.type, start);
   kernel_transform(params, matrix.view(), x_sqnorm, out);
 }
 
@@ -325,14 +553,20 @@ void kernel_row(const KernelParams& params, const util::CsrView& matrix,
                 std::span<const std::uint32_t> query_indices,
                 std::span<const double> query_values, double x_sqnorm,
                 std::span<double> out) {
+  const KernelMetrics* metrics = kernel_metrics();
+  const std::int64_t start = phase_begin(metrics);
   matrix.dot_all(query_indices, query_values, out);
+  dot_phase_end(metrics, params.type, start);
   kernel_transform(params, matrix, x_sqnorm, out);
 }
 
 void kernel_row(const KernelParams& params, const util::CsrView& matrix,
                 const util::SparseVector& x, double x_sqnorm,
                 std::span<double> out) {
+  const KernelMetrics* metrics = kernel_metrics();
+  const std::int64_t start = phase_begin(metrics);
   matrix.dot_all(x, out);
+  dot_phase_end(metrics, params.type, start);
   kernel_transform(params, matrix, x_sqnorm, out);
 }
 
@@ -341,16 +575,22 @@ void kernel_row(const KernelParams& params, const util::CsrView& matrix,
                 std::span<const std::uint32_t> query_indices,
                 std::span<const double> query_values, double x_sqnorm,
                 std::span<double> out) {
+  const KernelMetrics* metrics = kernel_metrics();
+  const std::int64_t start = phase_begin(metrics);
   if (!bitset_dots(bitset, query_indices, query_values, out)) {
     matrix.dot_all(query_indices, query_values, out);
   }
+  dot_phase_end(metrics, params.type, start);
   kernel_transform(params, matrix, x_sqnorm, out);
 }
 
 void kernel_row(const KernelParams& params, const util::CsrView& matrix,
                 const util::BitsetView* bitset, const util::SparseVector& x,
                 double x_sqnorm, std::span<double> out) {
+  const KernelMetrics* metrics = kernel_metrics();
+  const std::int64_t start = phase_begin(metrics);
   if (!bitset_dots(bitset, x, out)) matrix.dot_all(x, out);
+  dot_phase_end(metrics, params.type, start);
   kernel_transform(params, matrix, x_sqnorm, out);
 }
 
@@ -378,7 +618,10 @@ void kernel_row(const KernelParams& params, const util::CsrView& matrix,
   const util::BitsetDotOps* ops = kernel_dispatch();
   if (bitset != nullptr && ops != nullptr && cache != nullptr) {
     if (const util::BitsetQuery* query = cache->get(*bitset)) {
+      const KernelMetrics* metrics = kernel_metrics();
+      const std::int64_t start = phase_begin(metrics);
       util::bitset_dot_rows(*bitset, *query, out, *ops);
+      dot_phase_end(metrics, params.type, start);
       kernel_transform(params, matrix, x_sqnorm, out);
       return;
     }
@@ -403,6 +646,12 @@ void kernel_block_impl(const KernelParams& params, const util::CsrView& matrix,
                                 std::to_string(n * nq) + " results"};
   }
   const util::BitsetDotOps* ops = kernel_dispatch();
+  // Dot phase: the blocked bitset mini-GEMM plus CSR fallbacks for queries
+  // that did not conform, all before any transform — so the transform
+  // phase below streams over finished dots tile by tile (and the obs
+  // registry sees a clean dot/transform split).
+  const KernelMetrics* metrics = kernel_metrics();
+  const std::int64_t start = phase_begin(metrics);
   bool need_fallback = true;
   thread_local util::BitsetQueryBlock block;
   if (matrix_bitset != nullptr && ops != nullptr && n != 0) {
@@ -410,13 +659,20 @@ void kernel_block_impl(const KernelParams& params, const util::CsrView& matrix,
     util::bitset_dot_block(*matrix_bitset, block, out, *ops);
     need_fallback = !block.all_ok();
   }
-  for (std::size_t q = 0; q < nq; ++q) {
-    std::span<double> row_out = out.subspan(q * n, n);
-    if (need_fallback &&
-        (matrix_bitset == nullptr || ops == nullptr || n == 0 || !block.ok(q))) {
-      matrix.dot_all(queries.row_indices(q), queries.row_values(q), row_out);
+  if (need_fallback) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      if (matrix_bitset == nullptr || ops == nullptr || n == 0 ||
+          !block.ok(q)) {
+        matrix.dot_all(queries.row_indices(q), queries.row_values(q),
+                       out.subspan(q * n, n));
+      }
     }
-    kernel_transform(params, matrix, queries.sq_norm(q), row_out);
+  }
+  dot_phase_end(metrics, params.type, start);
+  // Transform phase: per-query tiled SIMD transform (kernel_transform
+  // records its own per-kernel timer).
+  for (std::size_t q = 0; q < nq; ++q) {
+    kernel_transform(params, matrix, queries.sq_norm(q), out.subspan(q * n, n));
   }
 }
 

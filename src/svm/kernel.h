@@ -17,6 +17,10 @@
 #include "util/feature_matrix.h"
 #include "util/sparse_vector.h"
 
+namespace wtp::obs {
+class Registry;
+}  // namespace wtp::obs
+
 namespace wtp::svm {
 
 enum class KernelType : std::uint8_t { kLinear, kPolynomial, kRbf, kSigmoid };
@@ -25,14 +29,42 @@ enum class KernelType : std::uint8_t { kLinear, kPolynomial, kRbf, kSigmoid };
 /// Throws std::runtime_error on unknown names.
 [[nodiscard]] KernelType parse_kernel_type(std::string_view text);
 
+/// Precision tier of the batched kernel transform (DESIGN §14).
+///
+///   kExact   — std::exp/std::tanh per element in the oracle's expression
+///              order; every output bit-identical to kernel_eval.  This is
+///              the process default.
+///   kRelaxed — in-repo vectorized exp/tanh (svm/relaxed_math.h) with a
+///              documented max-ULP bound (exp <= 4, tanh <= 8).  Explicit
+///              opt-in only: WTP_TRANSFORM_MODE=relaxed, EngineConfig, or
+///              KernelParams::transform.  Scoring-tier only — training
+///              (the SMO solver) always pins kExact so models are
+///              reproducible regardless of mode.
+///   kDefault — follow the process-wide mode (KernelParams::transform's
+///              "no override" value).
+enum class TransformMode : std::uint8_t { kDefault, kExact, kRelaxed };
+
+[[nodiscard]] std::string_view to_string(TransformMode mode) noexcept;
+/// Parses "exact" / "relaxed" ("default" is also accepted for kDefault).
+/// Throws std::runtime_error on unknown names.
+[[nodiscard]] TransformMode parse_transform_mode(std::string_view text);
+
 struct KernelParams {
   KernelType type = KernelType::kRbf;
   /// gamma <= 0 means "auto": replaced by 1/dimension at training time.
   double gamma = 0.0;
   double coef0 = 0.0;
   int degree = 3;
+  /// Per-model transform-precision override.  kDefault follows the
+  /// process-wide mode (transform_mode() below).  Execution hint only —
+  /// NOT part of the kernel's identity, so it is excluded from equality
+  /// and never serialized (model_io writes the four math fields).
+  TransformMode transform = TransformMode::kDefault;
 
-  friend bool operator==(const KernelParams&, const KernelParams&) = default;
+  friend bool operator==(const KernelParams& a, const KernelParams& b) {
+    return a.type == b.type && a.gamma == b.gamma && a.coef0 == b.coef0 &&
+           a.degree == b.degree;
+  }
 };
 
 /// Evaluates k(x, y).  For RBF, the squared norms of x and y may be passed
@@ -113,9 +145,48 @@ void kernel_transform(const KernelParams& params, const util::CsrView& matrix,
 [[nodiscard]] std::vector<std::string_view> supported_kernel_backends();
 /// Forces a backend by name ("csr" disables the bitset plane; "" re-selects
 /// from the environment).  Throws std::runtime_error on unknown or
-/// unsupported names.  Test/bench hook — not thread-safe against concurrent
-/// kernel calls.
+/// unsupported names.  Also re-selects the transform backend below: the
+/// bitset names map onto the transform set ("avx512" -> avx512,
+/// "avx2" -> avx2, "popcnt"/"scalar"/"csr" -> scalar).  Test/bench hook —
+/// not thread-safe against concurrent kernel calls.
 void set_kernel_backend_for_testing(std::string_view name);
+
+// ----------------------------------------------------------------------
+// Transform plane (DESIGN §14).
+//
+// kernel_transform (and therefore every kernel_row/kernel_block tail) runs
+// in cache-sized tiles through a SIMD backend selected alongside the bitset
+// backend (same WTP_KERNEL_BACKEND override, same fastest-supported
+// default).  The exact tier vectorizes everything around the libm call —
+// RBF squared-distance assembly with its clamp, the gamma*dot+coef0
+// pre-scale, lane-parallel powi — while exp/tanh stay libm per element, so
+// outputs remain bit-identical to kernel_eval on every backend.  The
+// relaxed tier swaps in the in-repo vectorized exp/tanh (bounded-ULP, see
+// svm/relaxed_math.h) and must be explicitly opted into.
+// ----------------------------------------------------------------------
+
+/// The process-wide transform mode: kExact unless WTP_TRANSFORM_MODE=relaxed
+/// was set at first use or set_transform_mode(kRelaxed) was called.  Never
+/// returns kDefault.
+[[nodiscard]] TransformMode transform_mode();
+/// Overrides the process-wide mode (kDefault re-reads the environment at
+/// next use).  Not thread-safe against concurrent kernel calls.
+void set_transform_mode(TransformMode mode);
+/// The mode kernel_transform will actually use for `params`:
+/// params.transform unless kDefault, else transform_mode().
+[[nodiscard]] TransformMode effective_transform_mode(const KernelParams& params);
+/// Name of the active transform backend ("avx512", "avx2", "scalar").
+[[nodiscard]] std::string_view transform_backend_name();
+
+/// Installs per-kernel transform observability into `registry`:
+///   kernel.dot_ns{kernel=...}       — time per dot phase (kernel_row/block)
+///   kernel.transform_ns{kernel=...} — time per transform tail
+///   kernel.transform_relaxed        — gauge, 1 when the process-wide mode
+///                                     is relaxed
+/// Process-global seam: the registry must outlive all subsequent kernel
+/// calls (tools pass obs::Registry::global()).  nullptr uninstalls; timing
+/// is a no-op when uninstalled.
+void set_kernel_metrics(obs::Registry* registry);
 
 /// Multi-query batch: out[q * matrix.rows() + r] = k(query_q, row_r) for
 /// every row of `queries` — the blocked mini-popcount-GEMM behind batched

@@ -1,0 +1,54 @@
+// The ONE scalar definition of the per-element kernel arithmetic
+// (DESIGN §14).  kernel_eval, kernel_self, kernel_transform's scalar
+// backend, and the SIMD transform tails all stamp their per-element bodies
+// from these inlines, so exact-tier bit-identity across entry points is by
+// construction: there is no second copy of the expressions to drift.
+//
+// Every helper preserves the historical expression ORDER of kernel_eval
+// (svm/kernel.cpp), which is the repo-wide oracle:
+//
+//   polynomial  powi(gamma * dot + coef0, degree)
+//   rbf         exp(-gamma * max(sq_dist, 0)),
+//               sq_dist = (x_sqnorm + y_sqnorm) - (2.0 * dot)
+//   sigmoid     tanh(gamma * dot + coef0)
+//
+// The SIMD stamps in svm/transform_backends.cpp mirror these expressions
+// with fp-contract pinned off, so a vector lane performs the same two-round
+// mul+add the baseline-ISA scalar build does.
+#pragma once
+
+namespace wtp::svm::detail {
+
+#define WTP_POWI_FN powi
+#define WTP_POWI_VEC double
+#define WTP_POWI_ONE 1.0
+#define WTP_POWI_MUL(a, b) ((a) * (b))
+#define WTP_POWI_ATTR
+#include "svm/powi_body.inc"
+#undef WTP_POWI_FN
+#undef WTP_POWI_VEC
+#undef WTP_POWI_ONE
+#undef WTP_POWI_MUL
+#undef WTP_POWI_ATTR
+
+/// gamma * dot + coef0 — the polynomial/sigmoid pre-scale.
+inline double affine_arg(double gamma, double coef0, double dot) {
+  return gamma * dot + coef0;
+}
+
+/// -gamma * max(sq_dist, 0) with sq_dist = x² + y² - 2·dot — the RBF
+/// exponent, clamp included (catastrophic cancellation near x == y can make
+/// sq_dist a tiny negative; NaN also clamps to 0, matching the ternary).
+inline double rbf_exp_arg(double gamma, double x_sqnorm, double y_sqnorm,
+                          double dot) {
+  const double sq_dist = x_sqnorm + y_sqnorm - 2.0 * dot;
+  return -gamma * (sq_dist > 0.0 ? sq_dist : 0.0);
+}
+
+/// The full polynomial element: powi(gamma * dot + coef0, degree).
+inline double poly_element(double gamma, double coef0, int degree,
+                           double dot) {
+  return powi(affine_arg(gamma, coef0, dot), degree);
+}
+
+}  // namespace wtp::svm::detail

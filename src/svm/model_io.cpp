@@ -16,6 +16,10 @@ namespace {
 constexpr const char* kMagic = "wtp_svm_model v1";
 
 void write_kernel(std::ostream& out, const KernelParams& kernel) {
+  // Only the four math fields are serialized.  KernelParams::transform is
+  // an execution hint (which precision tier scores the model), not part of
+  // the kernel's identity — a loaded model always starts at kDefault and
+  // follows the loading process's transform mode.
   out << "kernel " << to_string(kernel.type) << '\n';
   // max_digits10 round-trips doubles exactly through text.
   out.precision(17);

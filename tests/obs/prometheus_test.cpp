@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "svm/kernel.h"
+#include "util/feature_matrix.h"
+#include "util/sparse_vector.h"
 
 namespace wtp::obs {
 namespace {
@@ -115,6 +118,50 @@ TEST(Prometheus, DistinctNamesCollidingAfterManglingBothExport) {
   EXPECT_NE(out.find("wtp_net_queue_total 1"), std::string::npos);
   EXPECT_NE(out.find("wtp_net_queue_total 2"), std::string::npos);
   expect_well_formed(out);
+}
+
+TEST(Prometheus, KernelTransformMetricsExpose) {
+  // The transform plane's observability seam (DESIGN §14): installing a
+  // registry creates per-kernel dot/transform timers plus the relaxed-mode
+  // gauge, and a scored kernel row records into them.  The registry must
+  // outlive kernel calls, so the seam is uninstalled before it dies.
+  Registry registry;
+  svm::set_kernel_metrics(&registry);
+  const auto cleanup = [] {
+    svm::set_kernel_metrics(nullptr);
+    svm::set_transform_mode(svm::TransformMode::kDefault);
+  };
+  std::string out;
+  {
+    const std::vector<util::SparseVector> rows{
+        util::SparseVector{{{0, 1.0}, {2, 0.5}}},
+        util::SparseVector{{{1, 2.0}}},
+    };
+    const auto matrix = util::FeatureMatrix::from_rows(
+        std::span<const util::SparseVector>{rows}, 4);
+    const svm::KernelParams params{svm::KernelType::kRbf, 0.5, 0.0, 3};
+    std::vector<double> scores(rows.size());
+    kernel_row(params, matrix, rows[0], rows[0].squared_norm(), scores);
+    out = to_prometheus(registry.snapshot(false));
+  }
+  // Exact mode by default: the gauge reads 0.
+  EXPECT_NE(out.find("wtp_kernel_transform_relaxed 0"), std::string::npos);
+  // The scored row recorded one dot phase and one transform phase under the
+  // rbf label; other kernels' series exist but stay empty (still exposed).
+  EXPECT_NE(out.find("wtp_kernel_dot_ns_seconds_count{kernel=\"rbf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find("wtp_kernel_transform_ns_seconds_count{kernel=\"rbf\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      out.find("wtp_kernel_transform_ns_seconds_count{kernel=\"sigmoid\"} 0"),
+      std::string::npos);
+  expect_well_formed(out);
+  // Switching the process mode flips the gauge in place.
+  svm::set_transform_mode(svm::TransformMode::kRelaxed);
+  const std::string relaxed = to_prometheus(registry.snapshot(false));
+  EXPECT_NE(relaxed.find("wtp_kernel_transform_relaxed 1"), std::string::npos);
+  cleanup();
 }
 
 TEST(Prometheus, LabelKeysAreMangledToo) {

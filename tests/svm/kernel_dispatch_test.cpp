@@ -6,6 +6,7 @@
 // chunked add_ones escalation for large trailing popcounts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <set>
@@ -21,9 +22,17 @@
 namespace wtp::svm {
 namespace {
 
-// Restores the env-selected backend no matter how a test exits.
+// Restores the env-selected backend no matter how a test exits.  Also pins
+// the exact transform tier for the test's duration: every suite here
+// asserts bitwise identity against a scalar oracle, which is the exact
+// tier's contract — a CI leg exporting WTP_TRANSFORM_MODE=relaxed must not
+// skew it.
 struct BackendGuard {
-  ~BackendGuard() { set_kernel_backend_for_testing(""); }
+  BackendGuard() { set_transform_mode(TransformMode::kExact); }
+  ~BackendGuard() {
+    set_kernel_backend_for_testing("");
+    set_transform_mode(TransformMode::kDefault);
+  }
 };
 
 std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
@@ -215,6 +224,71 @@ TEST(KernelDispatch, KernelBlockMatchesPerQueryRows) {
       }
     }
   }
+}
+
+/// The transform tail in isolation, across sizes that exercise every lane
+/// and tile boundary: full 4/8-lane vectors, scalar/masked tails of every
+/// length, and rows crossing the 1024-element transform tile.  A raw
+/// CsrView (empty rows, only row count + sq_norms populated) drives
+/// kernel_transform directly so the dots are controlled inputs, not
+/// products of the bitset plane.
+TEST(KernelDispatch, TransformTailBitIdenticalOnAllBackends) {
+  BackendGuard guard;
+  util::Rng rng{5861};
+  const KernelParams kernels[] = {
+      {KernelType::kLinear, 1.0, 0.0, 3},
+      {KernelType::kPolynomial, 0.5, 1.0, 3},
+      {KernelType::kPolynomial, 0.37, -0.25, 7},
+      {KernelType::kRbf, 1.0 / 843.0, 0.0, 3},
+      {KernelType::kSigmoid, 0.1, 0.5, 3},
+  };
+  const std::size_t sizes[] = {1, 3, 4, 5, 7, 8, 9, 15, 16, 63, 64, 65, 100,
+                               1023, 1024, 1025, 2500};
+  for (const std::size_t n : sizes) {
+    std::vector<double> dots(n);
+    std::vector<double> sq_norms(n);
+    std::vector<std::size_t> offsets(n + 1, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      dots[j] = (rng.uniform() - 0.3) * 30.0;
+      sq_norms[j] = rng.uniform() * 40.0;
+    }
+    const util::CsrView view{843, {}, {}, offsets, sq_norms};
+    const double x_sqnorm = 21.5;
+    std::vector<double> scalar_out(n);
+    std::vector<double> backend_out(n);
+    for (const auto& params : kernels) {
+      set_kernel_backend_for_testing("scalar");
+      std::copy(dots.begin(), dots.end(), scalar_out.begin());
+      kernel_transform(params, view, x_sqnorm, scalar_out);
+      for (const auto backend : supported_kernel_backends()) {
+        set_kernel_backend_for_testing(backend);
+        std::copy(dots.begin(), dots.end(), backend_out.begin());
+        kernel_transform(params, view, x_sqnorm, backend_out);
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(bits(scalar_out[j]), bits(backend_out[j]))
+              << describe(params) << " backend=" << backend << " n=" << n
+              << " j=" << j << " scalar=" << scalar_out[j]
+              << " got=" << backend_out[j];
+        }
+      }
+    }
+  }
+}
+
+/// The transform backend follows the bitset backend override: same-named
+/// where one exists, scalar for the rest ("popcnt", "csr").
+TEST(KernelDispatch, TransformBackendFollowsOverride) {
+  BackendGuard guard;
+  for (const auto backend : supported_kernel_backends()) {
+    set_kernel_backend_for_testing(backend);
+    if (backend == "avx512" || backend == "avx2") {
+      EXPECT_EQ(transform_backend_name(), backend);
+    } else {
+      EXPECT_EQ(transform_backend_name(), "scalar") << backend;
+    }
+  }
+  set_kernel_backend_for_testing("csr");
+  EXPECT_EQ(transform_backend_name(), "scalar");
 }
 
 /// Adversarial trailing popcounts: rows whose sums sit exactly on binade

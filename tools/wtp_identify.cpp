@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
                          "[--trace-out FILE]"};
   obs::Registry& registry = obs::Registry::global();
   obs::register_common_metrics(registry);
+  svm::set_kernel_metrics(&registry);
   const bool telemetry = args.has("metrics-out") || args.has("trace-out");
   std::unique_ptr<obs::MetricsFileWriter> metrics_writer;
   if (args.has("metrics-out")) {

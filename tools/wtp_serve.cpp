@@ -125,6 +125,9 @@ int main(int argc, char** argv) {
   obs::Registry& registry = obs::Registry::global();
   obs::register_common_metrics(registry);
   config.registry = &registry;
+  // Per-kernel dot/transform split + the relaxed-mode gauge (DESIGN §14),
+  // visible on /metrics and in --metrics-out snapshots.
+  svm::set_kernel_metrics(&registry);
   const bool telemetry = args.has("metrics-out") || args.has("trace-out");
   std::unique_ptr<obs::MetricsFileWriter> metrics_writer;
   if (args.has("metrics-out")) {
